@@ -1,0 +1,1 @@
+bench/experiments.ml: Apps Array Benchgen Conceptual List Mpip Mpisim Option Printf Replay Scalatrace Stats Table Unix Util

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Apps Bechamel Benchgen Benchmark Conceptual Hashtbl Instance Lazy List Measure Mpisim Option Printf Replay Scalatrace Staged Test Time Toolkit

@@ -1,0 +1,78 @@
+(* Bechamel micro-benchmarks of the generator pipeline itself: how fast is
+   trace compression, merging, alignment, wildcard resolution, code
+   generation, and parsing.  One Test.make per stage. *)
+
+open Bechamel
+open Toolkit
+
+let ring iters (ctx : Mpisim.Mpi.ctx) =
+  let s1 = Mpisim.Mpi.site __POS__ and s2 = Mpisim.Mpi.site __POS__ in
+  let s3 = Mpisim.Mpi.site __POS__ in
+  let n = ctx.nranks in
+  for _ = 1 to iters do
+    let r =
+      Mpisim.Mpi.irecv ~site:s1 ctx
+        ~src:(Mpisim.Call.Rank ((ctx.rank + n - 1) mod n))
+        ~bytes:1024
+    in
+    let s = Mpisim.Mpi.isend ~site:s2 ctx ~dst:((ctx.rank + 1) mod n) ~bytes:1024 in
+    ignore (Mpisim.Mpi.waitall ~site:s3 ctx [ r; s ]);
+    Mpisim.Mpi.compute ctx 1e-6
+  done;
+  Mpisim.Mpi.finalize ~site:(Mpisim.Mpi.site __POS__) ctx
+
+let sweep_trace =
+  lazy
+    (let app = Option.get (Apps.Registry.find "sweep3d") in
+     fst (Scalatrace.Tracer.trace_run ~nranks:16 (app.program ~cls:Apps.Params.W ())))
+
+let lu_trace =
+  lazy
+    (let app = Option.get (Apps.Registry.find "lu") in
+     fst (Scalatrace.Tracer.trace_run ~nranks:16 (app.program ~cls:Apps.Params.W ())))
+
+let ring_trace = lazy (fst (Scalatrace.Tracer.trace_run ~nranks:16 (ring 200)))
+
+let ncptl_text =
+  lazy (Benchgen.generate_text ~name:"lu" (Lazy.force lu_trace))
+
+let tests =
+  [
+    Test.make ~name:"simulate: ring 16 ranks x 200 iters" (Staged.stage (fun () ->
+        ignore (Mpisim.Mpi.run ~nranks:16 (ring 200))));
+    Test.make ~name:"trace+compress: ring 16 ranks x 200 iters"
+      (Staged.stage (fun () ->
+           ignore (Scalatrace.Tracer.trace_run ~nranks:16 (ring 200))));
+    Test.make ~name:"align: sweep3d 16 ranks" (Staged.stage (fun () ->
+        ignore (Benchgen.Align.run (Lazy.force sweep_trace))));
+    Test.make ~name:"wildcard: lu 16 ranks" (Staged.stage (fun () ->
+        ignore (Benchgen.Wildcard.run ~strategy:`Traversal (Lazy.force lu_trace))));
+    Test.make ~name:"replay: ring trace" (Staged.stage (fun () ->
+        ignore (Replay.run (Lazy.force ring_trace))));
+    Test.make ~name:"codegen: ring trace" (Staged.stage (fun () ->
+        ignore (Benchgen.Codegen.program (Lazy.force ring_trace))));
+    Test.make ~name:"parse: generated lu benchmark" (Staged.stage (fun () ->
+        ignore (Conceptual.Parse.program (Lazy.force ncptl_text))));
+  ]
+
+let run () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) () in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  Printf.printf "\n== generator pipeline micro-benchmarks (bechamel, monotonic clock) ==\n";
+  List.iter
+    (fun test ->
+      let name = Test.Elt.name (List.hd (Test.elements test)) in
+      let raw = Benchmark.all cfg instances test in
+      let analysis = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun _ v ->
+          match Analyze.OLS.estimates v with
+          | Some [ est ] ->
+              if est > 1e6 then Printf.printf "  %-45s %12.3f ms/run\n" name (est /. 1e6)
+              else Printf.printf "  %-45s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "  %-45s (no estimate)\n" name)
+        analysis)
+    tests

@@ -1,0 +1,337 @@
+(* Command-line front end for the benchmark generator.
+
+     benchgen list
+     benchgen trace    lu  -n 16 -c W          # show the compressed trace
+     benchgen generate lu  -n 16 -c W -o lu.ncptl
+     benchgen run      lu.ncptl -n 16 --net ethernet --compute-scale 0.5
+     benchgen compare  lu  -n 16 -c W          # original vs generated timing *)
+
+open Cmdliner
+
+let net_conv =
+  let parse = function
+    | "bgl" | "bluegene" | "bluegene_l" -> Ok Mpisim.Netmodel.bluegene_l
+    | "eth" | "ethernet" | "ethernet_cluster" -> Ok Mpisim.Netmodel.ethernet_cluster
+    | s -> Error (`Msg (Printf.sprintf "unknown network model %S (bgl|ethernet)" s))
+  in
+  let print ppf n = Format.fprintf ppf "%a" Mpisim.Netmodel.pp n in
+  Arg.conv (parse, print)
+
+let cls_conv =
+  let parse s =
+    match Apps.Params.cls_of_string s with
+    | Some c -> Ok c
+    | None -> Error (`Msg (Printf.sprintf "unknown class %S (S|W|A|B|C)" s))
+  in
+  Arg.conv (parse, fun ppf c -> Format.pp_print_string ppf (Apps.Params.cls_to_string c))
+
+let nranks_arg =
+  Arg.(value & opt int 16 & info [ "n"; "nranks" ] ~docv:"N" ~doc:"Number of MPI ranks.")
+
+let cls_arg =
+  Arg.(
+    value
+    & opt cls_conv Apps.Params.W
+    & info [ "c"; "class" ] ~docv:"CLS" ~doc:"Problem class (S, W, A, B, C).")
+
+let net_arg =
+  Arg.(
+    value
+    & opt net_conv Mpisim.Netmodel.bluegene_l
+    & info [ "net" ] ~docv:"MODEL" ~doc:"Network model: bgl or ethernet.")
+
+let app_arg =
+  let apps = List.map (fun (a : Apps.Registry.app) -> a.name) Apps.Registry.all in
+  Arg.(
+    required
+    & pos 0 (some (enum (List.map (fun n -> (n, n)) apps))) None
+    & info [] ~docv:"APP" ~doc:"Application name (see `benchgen list`).")
+
+let resolve_app name wanted =
+  let app = Option.get (Apps.Registry.find name) in
+  let nranks = Apps.Registry.fit_nranks app ~wanted in
+  if nranks <> wanted then
+    Printf.eprintf "note: %s does not support %d ranks; using %d\n%!" name wanted nranks;
+  (app, nranks)
+
+let list_cmd =
+  let doc = "List the traceable applications." in
+  Cmd.v (Cmd.info "list" ~doc)
+    Term.(
+      const (fun () ->
+          List.iter
+            (fun (a : Apps.Registry.app) -> Printf.printf "%-8s %s\n" a.name a.description)
+            Apps.Registry.all)
+      $ const ())
+
+let trace_cmd =
+  let doc = "Trace an application; print the trace or save it to a file." in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Save the trace to $(docv).")
+  in
+  let run name wanted cls net out =
+    let app, nranks = resolve_app name wanted in
+    let trace, outcome =
+      Scalatrace.Tracer.trace_run ~net ~nranks (app.program ~cls ())
+    in
+    (match out with
+    | Some path ->
+        Scalatrace.Trace_io.save trace ~path;
+        Printf.printf "wrote %s\n" path
+    | None -> Format.printf "%a@." Scalatrace.Trace.pp trace);
+    Printf.printf
+      "run: %.3f virtual seconds; trace: %d RSDs for %d MPI events (%s serialized)\n"
+      outcome.elapsed (Scalatrace.Trace.rsd_count trace)
+      (Scalatrace.Trace.event_count trace)
+      (Util.Table.fbytes (Scalatrace.Trace.text_size trace))
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ app_arg $ nranks_arg $ cls_arg $ net_arg $ out_arg)
+
+let generate_from_trace_cmd =
+  let doc = "Generate a coNCePTuaL benchmark from a saved trace file." in
+  let file_arg =
+    Arg.(
+      required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the benchmark to $(docv).")
+  in
+  let run file out =
+    let trace = Scalatrace.Trace_io.load ~path:file in
+    let report = Benchgen.generate ~name:file trace in
+    match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc report.text;
+        close_out oc;
+        Printf.printf "wrote %s (%d statements)\n" path report.statements
+    | None -> print_string report.text
+  in
+  Cmd.v (Cmd.info "generate-from-trace" ~doc) Term.(const run $ file_arg $ out_arg)
+
+let replay_cmd =
+  let doc = "Replay a saved trace on the simulator (ScalaReplay)." in
+  let file_arg =
+    Arg.(
+      required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
+  in
+  let run file net =
+    let trace = Scalatrace.Trace_io.load ~path:file in
+    let r = Replay.run ~net trace in
+    Printf.printf "replayed %d MPI events in %.6f virtual seconds\n"
+      (Scalatrace.Trace.event_count trace) r.outcome.elapsed
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg $ net_arg)
+
+let generate_cmd =
+  let doc = "Generate a benchmark (coNCePTuaL or C+MPI) from a trace." in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the benchmark to $(docv).")
+  in
+  let lang_arg =
+    Arg.(
+      value
+      & opt (enum [ ("conceptual", `Conceptual); ("c", `C) ]) `Conceptual
+      & info [ "lang" ] ~docv:"LANG" ~doc:"Target language: conceptual or c.")
+  in
+  let run name wanted cls net out lang =
+    let app, nranks = resolve_app name wanted in
+    let report, _ =
+      Benchgen.from_app ~name ~net ~nranks (app.program ~cls ())
+    in
+    let text =
+      match lang with
+      | `Conceptual -> report.Benchgen.text
+      | `C ->
+          (* regenerate via the C backend from the same rewritten trace *)
+          let trace, _ =
+            Scalatrace.Tracer.trace_run ~net ~nranks (app.program ~cls ())
+          in
+          let trace, _ = Benchgen.Align.align_if_needed trace in
+          let trace, _ = Benchgen.Wildcard.resolve_if_needed trace in
+          Benchgen.Cgen.program ~name trace
+    in
+    (match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Printf.printf "wrote %s (%d statements%s%s)\n" path report.statements
+          (if report.aligned then "; collectives aligned" else "")
+          (if report.resolved then "; wildcards resolved" else "")
+    | None -> print_string text)
+  in
+  Cmd.v (Cmd.info "generate" ~doc)
+    Term.(const run $ app_arg $ nranks_arg $ cls_arg $ net_arg $ out_arg $ lang_arg)
+
+let run_cmd =
+  let doc = "Execute a .ncptl benchmark on the simulator." in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Benchmark source.")
+  in
+  let scale_arg =
+    Arg.(
+      value
+      & opt float 1.0
+      & info [ "compute-scale" ] ~docv:"F"
+          ~doc:"Multiply all COMPUTE durations by $(docv) (what-if studies).")
+  in
+  let run file wanted net scale =
+    let text = In_channel.with_open_text file In_channel.input_all in
+    let program = Conceptual.Parse.program text in
+    let program =
+      if scale = 1.0 then program else Conceptual.Edit.scale_compute scale program
+    in
+    let res = Conceptual.Lower.run ~net ~nranks:wanted program in
+    Printf.printf "total time: %.6f s  (%d messages, %s)\n" res.outcome.elapsed
+      res.outcome.messages
+      (Util.Table.fbytes res.outcome.p2p_bytes);
+    List.iter
+      (fun (label, vals) ->
+        Printf.printf "log %S:" label;
+        List.iter (fun (r, v) -> Printf.printf " [%d]=%.1fus" r v) vals;
+        print_newline ())
+      res.logs
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ file_arg $ nranks_arg $ net_arg $ scale_arg)
+
+let stats_cmd =
+  let doc = "Communication statistics of an application (or trace file)." in
+  let file_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "trace" ] ~docv:"FILE" ~doc:"Analyze a saved trace instead of tracing APP.")
+  in
+  let app_opt =
+    let apps = List.map (fun (a : Apps.Registry.app) -> a.name) Apps.Registry.all in
+    Arg.(
+      value
+      & pos 0 (some (enum (List.map (fun n -> (n, n)) apps))) None
+      & info [] ~docv:"APP" ~doc:"Application name (omit when using --trace).")
+  in
+  let run app_name wanted cls net file =
+    let trace =
+      match (file, app_name) with
+      | Some path, _ -> Scalatrace.Trace_io.load ~path
+      | None, Some name ->
+          let app, nranks = resolve_app name wanted in
+          fst (Scalatrace.Tracer.trace_run ~net ~nranks (app.program ~cls ()))
+      | None, None ->
+          prerr_endline "either APP or --trace FILE is required";
+          exit 1
+    in
+    Printf.printf "ranks: %d; RSDs: %d; MPI events: %d; total compute: %s\n\n"
+      (Scalatrace.Trace.nranks trace)
+      (Scalatrace.Trace.rsd_count trace)
+      (Scalatrace.Trace.event_count trace)
+      (Util.Table.fsec (Scalatrace.Analysis.total_compute trace));
+    List.iter
+      (fun (name, calls, bytes) ->
+        Printf.printf "%-20s %10d calls %14s\n" name calls (Util.Table.fbytes bytes))
+      (Scalatrace.Analysis.op_totals trace);
+    print_newline ();
+    if Scalatrace.Trace.nranks trace <= 32 then
+      print_string
+        (Scalatrace.Analysis.matrix_to_string (Scalatrace.Analysis.comm_matrix trace))
+    else print_endline "(communication matrix omitted for > 32 ranks)"
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const run $ app_opt $ nranks_arg $ cls_arg $ net_arg $ file_arg)
+
+let compare_cmd =
+  let doc = "Trace, generate, and compare original vs generated benchmark." in
+  let run name wanted cls net =
+    let app, nranks = resolve_app name wanted in
+    let report, orig =
+      Benchgen.from_app ~name ~net ~nranks (app.program ~cls ())
+    in
+    let prof_o = Mpip.create () and prof_g = Mpip.create () in
+    ignore (Mpisim.Mpi.run ~hooks:[ Mpip.hook prof_o ] ~net ~nranks (app.program ~cls ()));
+    let res =
+      Conceptual.Lower.run ~hooks:[ Mpip.hook prof_g ] ~net ~nranks report.program
+    in
+    Printf.printf "original:  %.6f s\ngenerated: %.6f s\nerror:     %+.2f%%\n"
+      orig.elapsed res.outcome.elapsed
+      (100. *. (res.outcome.elapsed -. orig.elapsed) /. orig.elapsed);
+    Printf.printf "passes:    align=%b wildcard=%b; %d statements from %d RSDs\n"
+      report.aligned report.resolved report.statements report.final_rsds;
+    let diffs = Mpip.diff prof_o prof_g in
+    if diffs = [] then print_endline "mpiP:      identical per-operation statistics"
+    else begin
+      print_endline "mpiP differences (Table 1 substitutions and AWAIT rewrites):";
+      List.iter (fun d -> print_endline ("  " ^ d)) diffs
+    end
+  in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const run $ app_arg $ nranks_arg $ cls_arg $ net_arg)
+
+let extrapolate_cmd =
+  let doc =
+    "Extrapolate traces from small rank counts and generate a benchmark for \
+     a larger machine (paper Sec 6 / ScalaExtrap)."
+  in
+  let from_arg =
+    Arg.(
+      value
+      & opt (list int) [ 4; 8; 16 ]
+      & info [ "from" ] ~docv:"P1,P2,.." ~doc:"Rank counts to trace (>= 2).")
+  in
+  let target_arg =
+    Arg.(
+      value & opt int 64 & info [ "target" ] ~docv:"P" ~doc:"Target rank count.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the benchmark to $(docv).")
+  in
+  let run name cls net froms target out =
+    let app = Option.get (Apps.Registry.find name) in
+    let inputs =
+      List.map
+        (fun p ->
+          let p = Apps.Registry.fit_nranks app ~wanted:p in
+          fst (Scalatrace.Tracer.trace_run ~net ~nranks:p (app.program ~cls ())))
+        froms
+    in
+    match Benchgen.Extrap.extrapolate inputs ~target with
+    | exception Benchgen.Extrap.Extrap_error msg ->
+        Printf.eprintf "cannot extrapolate %s: %s\n" name msg;
+        exit 1
+    | trace -> (
+        let report =
+          Benchgen.generate ~name:(Printf.sprintf "%s (extrapolated to %d)" name target)
+            trace
+        in
+        match out with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc report.text;
+            close_out oc;
+            Printf.printf "wrote %s (%d statements for %d tasks)\n" path
+              report.statements target
+        | None -> print_string report.text)
+  in
+  Cmd.v (Cmd.info "extrapolate" ~doc)
+    Term.(const run $ app_arg $ cls_arg $ net_arg $ from_arg $ target_arg $ out_arg)
+
+let () =
+  let doc = "automatic generation of executable communication specifications" in
+  let info = Cmd.info "benchgen" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [
+          list_cmd; trace_cmd; generate_cmd; generate_from_trace_cmd; run_cmd;
+          replay_cmd; compare_cmd; extrapolate_cmd; stats_cmd;
+        ]))

@@ -1,0 +1,1 @@
+examples/decomposition_study.ml: Apps Benchgen Conceptual List Mpisim Option Printf Util

@@ -1,0 +1,1 @@
+examples/decomposition_study.mli:

@@ -1,0 +1,1 @@
+examples/proprietary_release.ml: Apps Benchgen Conceptual List Mpisim Option Printf String Util

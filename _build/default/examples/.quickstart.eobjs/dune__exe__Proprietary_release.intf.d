@@ -1,0 +1,1 @@
+examples/proprietary_release.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Benchgen Call Conceptual Mpi Mpisim Printf Scalatrace Util

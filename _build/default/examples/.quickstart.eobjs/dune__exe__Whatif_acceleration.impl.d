@@ -1,0 +1,1 @@
+examples/whatif_acceleration.ml: Apps Benchgen Conceptual List Mpisim Option Printf Util

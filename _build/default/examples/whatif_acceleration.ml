@@ -1,0 +1,40 @@
+(* What-if acceleration study (paper Section 5.4, Figure 7).
+ *
+ *   dune exec examples/whatif_acceleration.exe
+ *
+ * Generate a benchmark from NPB BT, then ask: "how much faster would the
+ * application run if its computation were accelerated k-fold (e.g. by
+ * GPUs)?"  Because the generated benchmark mimics computation with timed
+ * delays, the study is a one-line AST rewrite per point — no porting of
+ * the original application required. *)
+
+let () =
+  let nranks = 64 in
+  let net = Mpisim.Netmodel.ethernet_cluster in
+  let bt = Option.get (Apps.Registry.find "bt") in
+
+  Printf.printf "tracing BT class C on %d ranks and generating its benchmark...\n%!" nranks;
+  let report, _ =
+    Benchgen.from_app ~name:"bt" ~net ~nranks (bt.program ~cls:Apps.Params.C ())
+  in
+
+  (* Calibrate the baseline to an ARC-like cluster where communication
+     dominates (see EXPERIMENTS.md), then sweep the compute scale. *)
+  let baseline = Conceptual.Edit.scale_compute 0.00028 report.program in
+  Printf.printf "%8s  %12s  %10s\n" "compute" "total time" "speedup";
+  let t100 = ref 0. in
+  List.iter
+    (fun pct ->
+      let variant =
+        Conceptual.Edit.scale_compute (float_of_int pct /. 100.) baseline
+      in
+      let res = Conceptual.Lower.run ~net ~nranks variant in
+      if pct = 100 then t100 := res.outcome.elapsed;
+      Printf.printf "%7d%%  %12s  %9.2fx\n%!" pct
+        (Util.Table.fsec res.outcome.elapsed)
+        (!t100 /. res.outcome.elapsed))
+    [ 100; 90; 80; 70; 60; 50; 40; 30; 20; 10; 0 ];
+  print_endline
+    "\nNote the Amdahl ceiling: accelerating computation 3.3x (the 30% row)\n\
+     buys only ~20% of total time, and beyond that the curve flattens —\n\
+     the communication subsystem sets the floor."

@@ -1,0 +1,1 @@
+lib/apps/npb_cg.ml: Call Decomp Mpi Mpisim Params

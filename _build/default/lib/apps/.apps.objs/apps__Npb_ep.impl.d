@@ -1,0 +1,1 @@
+lib/apps/npb_ep.ml: Mpi Mpisim Params Util

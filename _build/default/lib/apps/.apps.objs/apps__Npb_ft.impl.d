@@ -1,0 +1,1 @@
+lib/apps/npb_ft.ml: Decomp Mpi Mpisim Params

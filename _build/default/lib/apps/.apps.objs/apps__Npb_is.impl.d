@@ -1,0 +1,1 @@
+lib/apps/npb_is.ml: Array Decomp Mpi Mpisim Params

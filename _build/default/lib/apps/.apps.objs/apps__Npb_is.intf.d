@@ -1,0 +1,1 @@
+lib/apps/npb_is.mli: Mpisim Params

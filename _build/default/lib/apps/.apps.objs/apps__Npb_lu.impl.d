@@ -1,0 +1,1 @@
+lib/apps/npb_lu.ml: Call Decomp Fun List Mpi Mpisim Params

@@ -1,0 +1,1 @@
+lib/apps/npb_lu.mli: Mpisim Params

@@ -1,0 +1,1 @@
+lib/apps/npb_mg.ml: Call Decomp List Mpi Mpisim Params

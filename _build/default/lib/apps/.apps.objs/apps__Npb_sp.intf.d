@@ -1,0 +1,1 @@
+lib/apps/npb_sp.mli: Mpisim Params

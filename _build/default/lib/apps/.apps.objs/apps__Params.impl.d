@@ -1,0 +1,1 @@
+lib/apps/params.ml: Hashtbl Mpisim Util

@@ -1,0 +1,1 @@
+lib/apps/params.mli: Mpisim Util

@@ -1,0 +1,1 @@
+lib/apps/registry.ml: List Mpisim Npb_bt Npb_cg Npb_ep Npb_ft Npb_is Npb_lu Npb_mg Npb_sp Params Sweep3d Synthetic

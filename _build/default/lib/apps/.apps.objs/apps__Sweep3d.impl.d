@@ -1,0 +1,1 @@
+lib/apps/sweep3d.ml: Call Decomp List Mpi Mpisim Params

@@ -1,0 +1,1 @@
+lib/apps/sweep3d.mli: Mpisim Params

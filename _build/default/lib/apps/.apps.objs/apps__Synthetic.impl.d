@@ -1,0 +1,1 @@
+lib/apps/synthetic.ml: Call Decomp List Mpi Mpisim Params

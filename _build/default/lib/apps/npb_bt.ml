@@ -1,0 +1,84 @@
+(* BT — block-tridiagonal solver skeleton.
+
+   Multi-partition decomposition on a square process grid (p must be a
+   perfect square).  Each iteration exchanges cell faces with the four
+   torus neighbors (large asynchronous messages), then performs the x-, y-
+   and z-line solves, each a forward and a backward pipeline sweep along
+   one grid dimension with computation between hops.  Collectives appear
+   only at startup and shutdown, matching the paper's description of BT as
+   almost exclusively asynchronous point-to-point. *)
+
+open Mpisim
+
+let name = "bt"
+let supports p = Decomp.is_square p && p >= 4
+
+let s_init = Mpi.site ~label:"bt_init" __POS__
+let s_face_r = Mpi.site ~label:"copy_faces_recv" __POS__
+let s_face_s = Mpi.site ~label:"copy_faces_send" __POS__
+let s_face_w = Mpi.site ~label:"copy_faces_wait" __POS__
+let s_fwd_r = Mpi.site ~label:"solve_fwd_recv" __POS__
+let s_fwd_s = Mpi.site ~label:"solve_fwd_send" __POS__
+let s_bwd_r = Mpi.site ~label:"solve_bwd_recv" __POS__
+let s_bwd_s = Mpi.site ~label:"solve_bwd_send" __POS__
+let s_resid = Mpi.site ~label:"residual" __POS__
+let s_fin = Mpi.site ~label:"finalize" __POS__
+
+(* Pipeline sweep along one axis of the process grid.  [coord]/[extent]
+   position this rank on the axis; [peer d] is the rank [d] steps along. *)
+let line_solve ctx rng ~coord ~extent ~peer ~bytes ~work =
+  (* forward elimination *)
+  if coord > 0 then ignore (Mpi.recv ~site:s_fwd_r ctx ~src:(Call.Rank (peer (-1))) ~bytes);
+  Params.compute rng ~mean:work ctx;
+  if coord < extent - 1 then Mpi.send ~site:s_fwd_s ctx ~dst:(peer 1) ~bytes;
+  (* back substitution *)
+  if coord < extent - 1 then
+    ignore (Mpi.recv ~site:s_bwd_r ctx ~src:(Call.Rank (peer 1)) ~bytes);
+  Params.compute rng ~mean:work ctx;
+  if coord > 0 then Mpi.send ~site:s_bwd_s ctx ~dst:(peer (-1)) ~bytes
+
+let program ?(cls = Params.C) ?(seed = 42) () (ctx : Mpi.ctx) =
+  let p = ctx.nranks in
+  let sq = int_of_float (sqrt (float_of_int p) +. 0.5) in
+  let x, y = Decomp.coords2 ~px:sq ctx.rank in
+  let rng = Params.rng_for ~app:name ~seed ~rank:ctx.rank in
+  let niter = max 1 (int_of_float (15. *. Params.iter_scale cls)) in
+  let sz = Params.size_scale cls in
+  let face_bytes = max 64 (int_of_float (sz *. 2.5e6 /. float_of_int p)) in
+  let line_bytes = max 64 (face_bytes / 5) in
+  (* total compute calibrated to ~1000 virtual seconds at 16 ranks, class C *)
+  let total_compute = Params.compute_scale cls *. 1000. *. 16. /. float_of_int p in
+  let per_iter = total_compute /. float_of_int niter in
+  let rhs_work = 0.4 *. per_iter in
+  let solve_work = 0.6 *. per_iter /. (3. *. 2. *. float_of_int sq) in
+  let wrap v = ((v mod sq) + sq) mod sq in
+  let torus dx dy = Decomp.rank2 ~px:sq ~x:(wrap (x + dx)) ~y:(wrap (y + dy)) in
+  Mpi.bcast ~site:s_init ctx ~root:0 ~bytes:64;
+  for _ = 1 to niter do
+    (* compute_rhs *)
+    Params.compute rng ~mean:rhs_work ctx;
+    (* copy_faces: exchange with the four torus neighbors *)
+    let neighbors = [ torus (-1) 0; torus 1 0; torus 0 (-1); torus 0 1 ] in
+    let recvs =
+      List.map
+        (fun nb -> Mpi.irecv ~site:s_face_r ctx ~src:(Call.Rank nb) ~bytes:face_bytes)
+        neighbors
+    in
+    let sends =
+      List.map (fun nb -> Mpi.isend ~site:s_face_s ctx ~dst:nb ~bytes:face_bytes) neighbors
+    in
+    ignore (Mpi.waitall ~site:s_face_w ctx (recvs @ sends));
+    (* x, y and z solves: pipelines along the grid rows and columns (the
+       z sweep reuses the x axis, as in the multi-partition scheme) *)
+    line_solve ctx rng ~coord:x ~extent:sq
+      ~peer:(fun d -> Decomp.rank2 ~px:sq ~x:(x + d) ~y)
+      ~bytes:line_bytes ~work:solve_work;
+    line_solve ctx rng ~coord:y ~extent:sq
+      ~peer:(fun d -> Decomp.rank2 ~px:sq ~x ~y:(y + d))
+      ~bytes:line_bytes ~work:solve_work;
+    line_solve ctx rng ~coord:x ~extent:sq
+      ~peer:(fun d -> Decomp.rank2 ~px:sq ~x:(x + d) ~y)
+      ~bytes:line_bytes ~work:solve_work
+  done;
+  Mpi.allreduce ~site:s_resid ctx ~bytes:40;
+  Mpi.finalize ~site:s_fin ctx

@@ -1,0 +1,12 @@
+(** NPB BT: block-tridiagonal solver skeleton (square process grid;
+    torus face exchanges + x/y/z line-solve pipelines). *)
+
+val name : string
+
+(** Valid rank counts. *)
+val supports : int -> bool
+
+(** The simulator program; [cls] scales sizes/iterations/compute (default
+    class C), [seed] drives the deterministic compute-time jitter. *)
+val program :
+  ?cls:Params.cls -> ?seed:int -> unit -> Mpisim.Mpi.ctx -> unit

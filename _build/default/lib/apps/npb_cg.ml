@@ -1,0 +1,72 @@
+(* CG — conjugate-gradient skeleton.
+
+   Processes form a 2-D grid.  Each CG iteration exchanges a partition
+   boundary with the transpose partner and then runs a recursive-halving
+   reduction across the process row for the two inner products, with a
+   global residual allreduce closing the iteration — the communication
+   structure of NPB CG's sparse matrix-vector product. *)
+
+open Mpisim
+
+let name = "cg"
+let supports p = Decomp.is_power_of_two p && p >= 2
+
+let s_init = Mpi.site ~label:"cg_init" __POS__
+let s_tr_r = Mpi.site ~label:"transpose_recv" __POS__
+let s_tr_s = Mpi.site ~label:"transpose_send" __POS__
+let s_tr_w = Mpi.site ~label:"transpose_wait" __POS__
+let s_red_r = Mpi.site ~label:"rowsum_recv" __POS__
+let s_red_s = Mpi.site ~label:"rowsum_send" __POS__
+let s_norm = Mpi.site ~label:"norm_allreduce" __POS__
+let s_fin = Mpi.site ~label:"finalize" __POS__
+
+let program ?(cls = Params.C) ?(seed = 42) () (ctx : Mpi.ctx) =
+  let p = ctx.nranks in
+  let px, py = Decomp.near_square p in
+  let x, y = Decomp.coords2 ~px ctx.rank in
+  let rng = Params.rng_for ~app:name ~seed ~rank:ctx.rank in
+  let niter = max 1 (int_of_float (15. *. Params.iter_scale cls)) in
+  let inner = 8 in
+  let sz = Params.size_scale cls in
+  let boundary_bytes = max 64 (int_of_float (sz *. 1.2e6 /. float_of_int px)) in
+  let total_compute = Params.compute_scale cls *. 150. *. 16. /. float_of_int p in
+  let work = total_compute /. float_of_int (niter * inner) in
+  (* transpose partner: mirrored coordinates (exact when the grid is
+     square; reversal otherwise) *)
+  let partner =
+    if px = py then Decomp.rank2 ~px ~x:y ~y:x else p - 1 - ctx.rank
+  in
+  let log2 n =
+    let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
+    go 0 n
+  in
+  Mpi.bcast ~site:s_init ctx ~root:0 ~bytes:64;
+  for _ = 1 to niter do
+    for _ = 1 to inner do
+      Params.compute rng ~mean:work ctx;
+      (* boundary exchange with the transpose partner *)
+      if partner <> ctx.rank then begin
+        let r = Mpi.irecv ~site:s_tr_r ctx ~src:(Call.Rank partner) ~bytes:boundary_bytes in
+        let s = Mpi.isend ~site:s_tr_s ctx ~dst:partner ~bytes:boundary_bytes in
+        ignore (Mpi.waitall ~site:s_tr_w ctx [ r; s ])
+      end;
+      (* recursive halving across the process row for the inner product *)
+      for stage = 0 to log2 px - 1 do
+        let mask = 1 lsl stage in
+        let peer_x = x lxor mask in
+        if peer_x < px then begin
+          let peer = Decomp.rank2 ~px ~x:peer_x ~y in
+          if x land mask = 0 then begin
+            ignore (Mpi.recv ~site:s_red_r ctx ~src:(Call.Rank peer) ~bytes:16);
+            Mpi.send ~site:s_red_s ctx ~dst:peer ~bytes:16
+          end
+          else begin
+            Mpi.send ~site:s_red_s ctx ~dst:peer ~bytes:16;
+            ignore (Mpi.recv ~site:s_red_r ctx ~src:(Call.Rank peer) ~bytes:16)
+          end
+        end
+      done
+    done;
+    Mpi.allreduce ~site:s_norm ctx ~bytes:8
+  done;
+  Mpi.finalize ~site:s_fin ctx

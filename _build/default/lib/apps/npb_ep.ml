@@ -1,0 +1,31 @@
+(* EP — embarrassingly parallel skeleton.
+
+   Long independent Gaussian-pair generation (modelled as compute chunks
+   with mild load imbalance) followed by three small allreduces combining
+   the counts and sums.  The most compute-bound code in the suite. *)
+
+open Mpisim
+
+let name = "ep"
+let supports p = p >= 1
+
+let s_sx = Mpi.site ~label:"sum_sx" __POS__
+let s_sy = Mpi.site ~label:"sum_sy" __POS__
+let s_q = Mpi.site ~label:"sum_counts" __POS__
+let s_fin = Mpi.site ~label:"finalize" __POS__
+
+let program ?(cls = Params.C) ?(seed = 42) () (ctx : Mpi.ctx) =
+  let p = ctx.nranks in
+  let rng = Params.rng_for ~app:name ~seed ~rank:ctx.rank in
+  let chunks = 16 in
+  let total_compute = Params.compute_scale cls *. 100. *. 16. /. float_of_int p in
+  (* +-2% static imbalance across ranks, deterministic *)
+  let imbalance = 1.0 +. (0.02 *. (Util.Rng.float rng -. 0.5) *. 2.) in
+  let work = total_compute *. imbalance /. float_of_int chunks in
+  for _ = 1 to chunks do
+    Params.compute rng ~mean:work ctx
+  done;
+  Mpi.allreduce ~site:s_sx ctx ~bytes:8;
+  Mpi.allreduce ~site:s_sy ctx ~bytes:8;
+  Mpi.allreduce ~site:s_q ctx ~bytes:80;
+  Mpi.finalize ~site:s_fin ctx

@@ -1,0 +1,12 @@
+(** NPB EP: embarrassingly parallel skeleton (any rank count; compute
+    chunks with mild static imbalance + three small allreduces). *)
+
+val name : string
+
+(** Valid rank counts. *)
+val supports : int -> bool
+
+(** The simulator program; [cls] scales sizes/iterations/compute (default
+    class C), [seed] drives the deterministic compute-time jitter. *)
+val program :
+  ?cls:Params.cls -> ?seed:int -> unit -> Mpisim.Mpi.ctx -> unit

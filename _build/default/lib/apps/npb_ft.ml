@@ -1,0 +1,38 @@
+(* FT — 3-D FFT skeleton.
+
+   1-D (slab) decomposition: each iteration evolves the spectrum locally
+   and performs the global transpose as an all-to-all over the full
+   communicator, followed by a checksum allreduce — the classic
+   alltoall-dominated NPB code. *)
+
+open Mpisim
+
+let name = "ft"
+let supports p = Decomp.is_power_of_two p && p >= 2
+
+let s_init = Mpi.site ~label:"ft_init" __POS__
+let s_warm = Mpi.site ~label:"warmup_transpose" __POS__
+let s_tr = Mpi.site ~label:"transpose" __POS__
+let s_ck = Mpi.site ~label:"checksum" __POS__
+let s_fin = Mpi.site ~label:"finalize" __POS__
+
+let program ?(cls = Params.C) ?(seed = 42) () (ctx : Mpi.ctx) =
+  let p = ctx.nranks in
+  let rng = Params.rng_for ~app:name ~seed ~rank:ctx.rank in
+  let niter = max 1 (int_of_float (20. *. Params.iter_scale cls)) in
+  let sz = Params.size_scale cls in
+  let pair_bytes =
+    max 256 (int_of_float (sz *. 6.4e7 /. float_of_int (p * p)))
+  in
+  let total_compute = Params.compute_scale cls *. 80. *. 16. /. float_of_int p in
+  let work = total_compute /. float_of_int (niter + 1) in
+  Mpi.bcast ~site:s_init ctx ~root:0 ~bytes:64;
+  (* initial forward FFT with its transpose *)
+  Params.compute rng ~mean:work ctx;
+  Mpi.alltoall ~site:s_warm ctx ~bytes_per_pair:pair_bytes;
+  for _ = 1 to niter do
+    Params.compute rng ~mean:work ctx;
+    Mpi.alltoall ~site:s_tr ctx ~bytes_per_pair:pair_bytes;
+    Mpi.allreduce ~site:s_ck ctx ~bytes:16
+  done;
+  Mpi.finalize ~site:s_fin ctx

@@ -1,0 +1,12 @@
+(** NPB FT: 3-D FFT skeleton (power-of-two ranks; global transposes as
+    world alltoalls + checksum allreduce per iteration). *)
+
+val name : string
+
+(** Valid rank counts. *)
+val supports : int -> bool
+
+(** The simulator program; [cls] scales sizes/iterations/compute (default
+    class C), [seed] drives the deterministic compute-time jitter. *)
+val program :
+  ?cls:Params.cls -> ?seed:int -> unit -> Mpisim.Mpi.ctx -> unit

@@ -1,0 +1,12 @@
+(** NPB IS: integer-sort skeleton (power-of-two ranks; bucket-size
+    allreduce, boundary alltoall, skewed-row alltoallv key exchange). *)
+
+val name : string
+
+(** Valid rank counts. *)
+val supports : int -> bool
+
+(** The simulator program; [cls] scales sizes/iterations/compute (default
+    class C), [seed] drives the deterministic compute-time jitter. *)
+val program :
+  ?cls:Params.cls -> ?seed:int -> unit -> Mpisim.Mpi.ctx -> unit

@@ -1,0 +1,89 @@
+(* LU — SSOR solver skeleton.
+
+   2-D pencil decomposition.  Each pseudo-time iteration runs a lower-
+   triangular and an upper-triangular wavefront sweep over the k-planes:
+   a rank receives its inflow faces from the two upstream neighbors using
+   MPI_ANY_SOURCE — the messages arrive in arbitrary order, exactly the
+   nondeterminism Section 4.4 targets — computes the plane, and pushes
+   outflow faces downstream with blocking sends.  A boundary exchange and
+   periodic residual allreduces complete the iteration. *)
+
+open Mpisim
+
+let name = "lu"
+let supports p = p >= 4 && fst (Decomp.near_square p) > 1
+
+let s_low_r = Mpi.site ~label:"blts_recv_any" __POS__
+let s_low_s = Mpi.site ~label:"blts_send" __POS__
+let s_up_r = Mpi.site ~label:"buts_recv_any" __POS__
+let s_up_s = Mpi.site ~label:"buts_send" __POS__
+let s_ex3_r = Mpi.site ~label:"exchange3_recv" __POS__
+let s_ex3_s = Mpi.site ~label:"exchange3_send" __POS__
+let s_ex3_w = Mpi.site ~label:"exchange3_wait" __POS__
+let s_resid = Mpi.site ~label:"residual" __POS__
+let s_init = Mpi.site ~label:"lu_init" __POS__
+let s_fin = Mpi.site ~label:"finalize" __POS__
+
+let program ?(cls = Params.C) ?(seed = 42) () (ctx : Mpi.ctx) =
+  let p = ctx.nranks in
+  let px, py = Decomp.near_square p in
+  let rng = Params.rng_for ~app:name ~seed ~rank:ctx.rank in
+  let niter = max 1 (int_of_float (12. *. Params.iter_scale cls)) in
+  let nz = 8 in
+  let sz = Params.size_scale cls in
+  let face_bytes = max 64 (int_of_float (sz *. 1.6e5 /. float_of_int px)) in
+  let ex3_bytes = max 64 (int_of_float (sz *. 6.4e5 /. float_of_int px)) in
+  let total_compute = Params.compute_scale cls *. 300. *. 16. /. float_of_int p in
+  let work = total_compute /. float_of_int (niter * 2 * nz) in
+  let nb dx dy = Decomp.neighbor2 ~px ~py ~rank:ctx.rank ~dx ~dy in
+  (* wavefront sweep from one corner: receive the inflow faces in
+     whatever order they arrive, compute, send outflow downstream *)
+  let sweep ~recv_site ~send_site ~upstream ~downstream =
+    for _ = 1 to nz do
+      List.iter
+        (fun nbr ->
+          match nbr with
+          | Some _ ->
+              ignore
+                (Mpi.recv ~site:recv_site ctx ~src:Call.Any_source
+                   ~tag:(Call.Tag 10) ~bytes:face_bytes)
+          | None -> ())
+        upstream;
+      Params.compute rng ~mean:work ctx;
+      List.iter
+        (fun nbr ->
+          match nbr with
+          | Some d -> Mpi.send ~site:send_site ctx ~dst:d ~tag:10 ~bytes:face_bytes
+          | None -> ())
+        downstream
+    done
+  in
+  Mpi.bcast ~site:s_init ctx ~root:0 ~bytes:64;
+  for it = 1 to niter do
+    (* lower-triangular: wavefront from the (0,0) corner *)
+    sweep ~recv_site:s_low_r ~send_site:s_low_s
+      ~upstream:[ nb (-1) 0; nb 0 (-1) ]
+      ~downstream:[ nb 1 0; nb 0 1 ];
+    (* upper-triangular: wavefront from the opposite corner *)
+    sweep ~recv_site:s_up_r ~send_site:s_up_s
+      ~upstream:[ nb 1 0; nb 0 1 ]
+      ~downstream:[ nb (-1) 0; nb 0 (-1) ];
+    (* exchange_3: boundary data with all existing neighbors *)
+    let neighbors = List.filter_map Fun.id [ nb (-1) 0; nb 1 0; nb 0 (-1); nb 0 1 ] in
+    let recvs =
+      List.map
+        (fun nbr ->
+          Mpi.irecv ~site:s_ex3_r ctx ~src:(Call.Rank nbr) ~tag:(Call.Tag 20)
+            ~bytes:ex3_bytes)
+        neighbors
+    in
+    let sends =
+      List.map
+        (fun nbr -> Mpi.isend ~site:s_ex3_s ctx ~dst:nbr ~tag:20 ~bytes:ex3_bytes)
+        neighbors
+    in
+    ignore (Mpi.waitall ~site:s_ex3_w ctx (recvs @ sends));
+    if it mod 5 = 0 then Mpi.allreduce ~site:s_resid ctx ~bytes:40
+  done;
+  Mpi.allreduce ~site:s_resid ctx ~bytes:40;
+  Mpi.finalize ~site:s_fin ctx

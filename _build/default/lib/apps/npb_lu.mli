@@ -1,0 +1,13 @@
+(** NPB LU: SSOR solver skeleton (2-D grid; lower/upper wavefront sweeps
+    receiving inflow with MPI_ANY_SOURCE, boundary exchange, residual
+    allreduces).  The suite's Algorithm 2 workload. *)
+
+val name : string
+
+(** Valid rank counts. *)
+val supports : int -> bool
+
+(** The simulator program; [cls] scales sizes/iterations/compute (default
+    class C), [seed] drives the deterministic compute-time jitter. *)
+val program :
+  ?cls:Params.cls -> ?seed:int -> unit -> Mpisim.Mpi.ctx -> unit

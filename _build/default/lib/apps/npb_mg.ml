@@ -1,0 +1,71 @@
+(* MG — multigrid V-cycle skeleton.
+
+   3-D periodic decomposition.  Each iteration descends the grid
+   hierarchy (restriction) and climbs back (prolongation + smoothing);
+   at every level each rank exchanges halo faces with its six neighbors,
+   with face sizes shrinking 4x per coarser level, and a residual-norm
+   allreduce closes the iteration. *)
+
+open Mpisim
+
+let name = "mg"
+let supports p = Decomp.is_power_of_two p && p >= 2
+
+let s_init = Mpi.site ~label:"mg_init" __POS__
+let s_halo_r = Mpi.site ~label:"halo_recv" __POS__
+let s_halo_s = Mpi.site ~label:"halo_send" __POS__
+let s_halo_w = Mpi.site ~label:"halo_wait" __POS__
+let s_norm = Mpi.site ~label:"norm" __POS__
+let s_fin = Mpi.site ~label:"finalize" __POS__
+
+let program ?(cls = Params.C) ?(seed = 42) () (ctx : Mpi.ctx) =
+  let p = ctx.nranks in
+  let px, py, pz = Decomp.factor3 p in
+  let rng = Params.rng_for ~app:name ~seed ~rank:ctx.rank in
+  let niter = max 1 (int_of_float (15. *. Params.iter_scale cls)) in
+  let levels = 4 in
+  let sz = Params.size_scale cls in
+  let top_face = max 64 (int_of_float (sz *. 5.2e5 /. float_of_int p)) in
+  let total_compute = Params.compute_scale cls *. 55. *. 16. /. float_of_int p in
+  (* work per level halves with coarsening; normalize so the sum of all
+     level visits over an iteration equals per_iter *)
+  let per_iter = total_compute /. float_of_int niter in
+  let weight l = 1.0 /. float_of_int (1 lsl (2 * (levels - l))) in
+  let weight_sum =
+    2.0 *. List.fold_left ( +. ) 0. (List.init levels (fun i -> weight (i + 1)))
+  in
+  let level_work l = per_iter *. weight l /. weight_sum in
+  let halo ~bytes =
+    let dirs =
+      [ (-1, 0, 0); (1, 0, 0); (0, -1, 0); (0, 1, 0); (0, 0, -1); (0, 0, 1) ]
+    in
+    let neighbors =
+      List.filter_map
+        (fun (dx, dy, dz) ->
+          let nb = Decomp.neighbor3_periodic ~px ~py ~pz ~rank:ctx.rank ~dx ~dy ~dz in
+          if nb = ctx.rank then None else Some nb)
+        dirs
+      |> List.sort_uniq compare
+    in
+    let recvs =
+      List.map (fun nb -> Mpi.irecv ~site:s_halo_r ctx ~src:(Call.Rank nb) ~bytes) neighbors
+    in
+    let sends = List.map (fun nb -> Mpi.isend ~site:s_halo_s ctx ~dst:nb ~bytes) neighbors in
+    ignore (Mpi.waitall ~site:s_halo_w ctx (recvs @ sends))
+  in
+  let face_at l = max 64 (top_face / (1 lsl (2 * (levels - l)))) in
+  Mpi.bcast ~site:s_init ctx ~root:0 ~bytes:64;
+  for _ = 1 to niter do
+    (* down-sweep: restrict to coarser grids *)
+    for l = levels downto 1 do
+      Params.compute rng ~mean:(level_work l) ctx;
+      halo ~bytes:(face_at l)
+    done;
+    (* up-sweep: prolongate and smooth *)
+    for l = 1 to levels do
+      Params.compute rng ~mean:(level_work l) ctx;
+      halo ~bytes:(face_at l)
+    done;
+    Mpi.allreduce ~site:s_norm ctx ~bytes:8
+  done;
+  Mpi.finalize ~site:s_fin ctx

@@ -1,0 +1,12 @@
+(** NPB MG: multigrid V-cycle skeleton (power-of-two ranks; 3-D periodic
+    halo exchanges with level-dependent face sizes + norm allreduce). *)
+
+val name : string
+
+(** Valid rank counts. *)
+val supports : int -> bool
+
+(** The simulator program; [cls] scales sizes/iterations/compute (default
+    class C), [seed] drives the deterministic compute-time jitter. *)
+val program :
+  ?cls:Params.cls -> ?seed:int -> unit -> Mpisim.Mpi.ctx -> unit

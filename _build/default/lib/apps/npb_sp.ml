@@ -1,0 +1,79 @@
+(* SP — scalar pentadiagonal solver skeleton.
+
+   Same multi-partition structure as BT but with more, smaller pipeline
+   messages per solve (the pentadiagonal factorization exchanges two
+   bands) and a different compute/communication balance. *)
+
+open Mpisim
+
+let name = "sp"
+let supports p = Decomp.is_square p && p >= 4
+
+let s_init = Mpi.site ~label:"sp_init" __POS__
+let s_face_r = Mpi.site ~label:"copy_faces_recv" __POS__
+let s_face_s = Mpi.site ~label:"copy_faces_send" __POS__
+let s_face_w = Mpi.site ~label:"copy_faces_wait" __POS__
+let s_fwd_r1 = Mpi.site ~label:"solve_fwd_recv1" __POS__
+let s_fwd_r2 = Mpi.site ~label:"solve_fwd_recv2" __POS__
+let s_fwd_s1 = Mpi.site ~label:"solve_fwd_send1" __POS__
+let s_fwd_s2 = Mpi.site ~label:"solve_fwd_send2" __POS__
+let s_bwd_r = Mpi.site ~label:"solve_bwd_recv" __POS__
+let s_bwd_s = Mpi.site ~label:"solve_bwd_send" __POS__
+let s_resid = Mpi.site ~label:"residual" __POS__
+let s_fin = Mpi.site ~label:"finalize" __POS__
+
+let line_solve ctx rng ~coord ~extent ~peer ~bytes ~work =
+  if coord > 0 then begin
+    ignore (Mpi.recv ~site:s_fwd_r1 ctx ~src:(Call.Rank (peer (-1))) ~bytes ~tag:(Call.Tag 1));
+    ignore (Mpi.recv ~site:s_fwd_r2 ctx ~src:(Call.Rank (peer (-1))) ~bytes ~tag:(Call.Tag 2))
+  end;
+  Params.compute rng ~mean:work ctx;
+  if coord < extent - 1 then begin
+    Mpi.send ~site:s_fwd_s1 ctx ~dst:(peer 1) ~bytes ~tag:1;
+    Mpi.send ~site:s_fwd_s2 ctx ~dst:(peer 1) ~bytes ~tag:2
+  end;
+  if coord < extent - 1 then
+    ignore (Mpi.recv ~site:s_bwd_r ctx ~src:(Call.Rank (peer 1)) ~bytes ~tag:(Call.Tag 3));
+  Params.compute rng ~mean:work ctx;
+  if coord > 0 then Mpi.send ~site:s_bwd_s ctx ~dst:(peer (-1)) ~bytes ~tag:3
+
+let program ?(cls = Params.C) ?(seed = 42) () (ctx : Mpi.ctx) =
+  let p = ctx.nranks in
+  let sq = int_of_float (sqrt (float_of_int p) +. 0.5) in
+  let x, y = Decomp.coords2 ~px:sq ctx.rank in
+  let rng = Params.rng_for ~app:name ~seed ~rank:ctx.rank in
+  let niter = max 1 (int_of_float (20. *. Params.iter_scale cls)) in
+  let sz = Params.size_scale cls in
+  let face_bytes = max 64 (int_of_float (sz *. 2.0e6 /. float_of_int p)) in
+  let line_bytes = max 64 (face_bytes / 8) in
+  let total_compute = Params.compute_scale cls *. 1100. *. 16. /. float_of_int p in
+  let per_iter = total_compute /. float_of_int niter in
+  let rhs_work = 0.35 *. per_iter in
+  let solve_work = 0.65 *. per_iter /. (3. *. 2. *. float_of_int sq) in
+  let wrap v = ((v mod sq) + sq) mod sq in
+  let torus dx dy = Decomp.rank2 ~px:sq ~x:(wrap (x + dx)) ~y:(wrap (y + dy)) in
+  Mpi.bcast ~site:s_init ctx ~root:0 ~bytes:64;
+  for _ = 1 to niter do
+    Params.compute rng ~mean:rhs_work ctx;
+    let neighbors = [ torus (-1) 0; torus 1 0; torus 0 (-1); torus 0 1 ] in
+    let recvs =
+      List.map
+        (fun nb -> Mpi.irecv ~site:s_face_r ctx ~src:(Call.Rank nb) ~bytes:face_bytes)
+        neighbors
+    in
+    let sends =
+      List.map (fun nb -> Mpi.isend ~site:s_face_s ctx ~dst:nb ~bytes:face_bytes) neighbors
+    in
+    ignore (Mpi.waitall ~site:s_face_w ctx (recvs @ sends));
+    line_solve ctx rng ~coord:x ~extent:sq
+      ~peer:(fun d -> Decomp.rank2 ~px:sq ~x:(x + d) ~y)
+      ~bytes:line_bytes ~work:solve_work;
+    line_solve ctx rng ~coord:y ~extent:sq
+      ~peer:(fun d -> Decomp.rank2 ~px:sq ~x ~y:(y + d))
+      ~bytes:line_bytes ~work:solve_work;
+    line_solve ctx rng ~coord:y ~extent:sq
+      ~peer:(fun d -> Decomp.rank2 ~px:sq ~x ~y:(y + d))
+      ~bytes:line_bytes ~work:solve_work
+  done;
+  Mpi.allreduce ~site:s_resid ctx ~bytes:40;
+  Mpi.finalize ~site:s_fin ctx

@@ -1,0 +1,12 @@
+(** NPB SP: scalar-pentadiagonal solver skeleton (square grid; BT-like
+    structure with two forward bands per line solve). *)
+
+val name : string
+
+(** Valid rank counts. *)
+val supports : int -> bool
+
+(** The simulator program; [cls] scales sizes/iterations/compute (default
+    class C), [seed] drives the deterministic compute-time jitter. *)
+val program :
+  ?cls:Params.cls -> ?seed:int -> unit -> Mpisim.Mpi.ctx -> unit

@@ -1,0 +1,44 @@
+type cls = S | W | A | B | C
+
+let cls_of_string = function
+  | "S" | "s" -> Some S
+  | "W" | "w" -> Some W
+  | "A" | "a" -> Some A
+  | "B" | "b" -> Some B
+  | "C" | "c" -> Some C
+  | _ -> None
+
+let cls_to_string = function S -> "S" | W -> "W" | A -> "A" | B -> "B" | C -> "C"
+
+let iter_scale = function
+  | S -> 0.1
+  | W -> 0.2
+  | A -> 0.4
+  | B -> 0.7
+  | C -> 1.0
+
+let size_scale = function
+  | S -> 0.0625
+  | W -> 0.125
+  | A -> 0.25
+  | B -> 0.5
+  | C -> 1.0
+
+let compute_scale = function
+  | S -> 0.01
+  | W -> 0.05
+  | A -> 0.2
+  | B -> 0.5
+  | C -> 1.0
+
+let compute rng ~mean ctx =
+  if mean > 0. then begin
+    let t =
+      Util.Rng.gaussian rng ~truncate_at_zero:true ~mean ~stddev:(0.015 *. mean) ()
+    in
+    if t > 0. then Mpisim.Mpi.compute ctx t
+  end
+
+let rng_for ~app ~seed ~rank =
+  let h = Hashtbl.hash (app, seed) in
+  Util.Rng.split (Util.Rng.create ~seed:h) ~index:rank

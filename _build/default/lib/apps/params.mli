@@ -1,0 +1,31 @@
+(** Problem classes and timing calibration for the application suite.
+
+    The NPB classes are preserved in spirit: message sizes and iteration
+    counts scale with the class, and per-phase computation times are
+    calibrated so that whole-application virtual run times at 16–64 ranks
+    have the same order of magnitude as the paper's Figure 6.  Problem
+    sizes are scaled down from the real class C so every simulation
+    completes in seconds of wall-clock time; the benchmark generator is
+    size-agnostic, so this does not affect any claim being reproduced. *)
+
+type cls = S | W | A | B | C
+
+val cls_of_string : string -> cls option
+val cls_to_string : cls -> string
+
+(** Multiplier applied to iteration counts (1.0 at class C). *)
+val iter_scale : cls -> float
+
+(** Multiplier applied to message sizes (1.0 at class C). *)
+val size_scale : cls -> float
+
+(** Multiplier applied to compute phases (1.0 at class C). *)
+val compute_scale : cls -> float
+
+(** [compute rng ~mean ctx] — advance the rank's clock by a jittered
+    compute phase (~1.5% gaussian noise, deterministic via [rng]).  Zero and
+    negative means are skipped. *)
+val compute : Util.Rng.t -> mean:float -> Mpisim.Mpi.ctx -> unit
+
+(** Deterministic per-rank RNG for an application run. *)
+val rng_for : app:string -> seed:int -> rank:int -> Util.Rng.t

@@ -1,0 +1,90 @@
+type app = {
+  name : string;
+  description : string;
+  supports : int -> bool;
+  program : ?cls:Params.cls -> ?seed:int -> unit -> Mpisim.Mpi.ctx -> unit;
+}
+
+let all =
+  [
+    {
+      name = Npb_bt.name;
+      description = "block-tridiagonal solver (3-D stencil pipelines, square grid)";
+      supports = Npb_bt.supports;
+      program = Npb_bt.program;
+    };
+    {
+      name = Npb_cg.name;
+      description = "conjugate gradient (transpose exchange + row reductions)";
+      supports = Npb_cg.supports;
+      program = Npb_cg.program;
+    };
+    {
+      name = Npb_ep.name;
+      description = "embarrassingly parallel (compute + tiny allreduces)";
+      supports = Npb_ep.supports;
+      program = Npb_ep.program;
+    };
+    {
+      name = Npb_ft.name;
+      description = "3-D FFT (global transposes via alltoall)";
+      supports = Npb_ft.supports;
+      program = Npb_ft.program;
+    };
+    {
+      name = Npb_is.name;
+      description = "integer sort (allreduce + alltoall(v) key exchange)";
+      supports = Npb_is.supports;
+      program = Npb_is.program;
+    };
+    {
+      name = Npb_lu.name;
+      description = "SSOR solver (2-D wavefronts with MPI_ANY_SOURCE)";
+      supports = Npb_lu.supports;
+      program = Npb_lu.program;
+    };
+    {
+      name = Npb_mg.name;
+      description = "multigrid V-cycle (3-D halos across grid levels)";
+      supports = Npb_mg.supports;
+      program = Npb_mg.program;
+    };
+    {
+      name = Npb_sp.name;
+      description = "scalar pentadiagonal solver (BT-like, smaller messages)";
+      supports = Npb_sp.supports;
+      program = Npb_sp.program;
+    };
+    {
+      name = Sweep3d.name;
+      description = "KBA wavefront transport (rank-conditional collectives)";
+      supports = Sweep3d.supports;
+      program = Sweep3d.program;
+    };
+    {
+      name = Synthetic.ring_name;
+      description = "synthetic: the paper's Figure 2 nearest-neighbour ring";
+      supports = Synthetic.ring_supports;
+      program = Synthetic.ring_program;
+    };
+    {
+      name = Synthetic.stencil_name;
+      description = "synthetic: 2-D periodic halo stencil (square grid)";
+      supports = Synthetic.stencil_supports;
+      program = Synthetic.stencil_program;
+    };
+    {
+      name = Synthetic.butterfly_name;
+      description = "synthetic: log2(p)-stage XOR butterfly exchange";
+      supports = Synthetic.butterfly_supports;
+      program = Synthetic.butterfly_program;
+    };
+  ]
+
+let paper_suite = List.filteri (fun i _ -> i < 9) all
+
+let find name = List.find_opt (fun a -> a.name = name) all
+
+let fit_nranks app ~wanted =
+  let rec go n = if app.supports n then n else go (n + 1) in
+  go (max 1 wanted)

@@ -1,0 +1,21 @@
+(** The application suite: NPB 3.3 communication skeletons plus Sweep3D —
+    the test programs of the paper's Section 5. *)
+
+type app = {
+  name : string;
+  description : string;
+  supports : int -> bool;  (** valid rank counts *)
+  program : ?cls:Params.cls -> ?seed:int -> unit -> Mpisim.Mpi.ctx -> unit;
+}
+
+(** The paper's nine codes (BT CG EP FT IS LU MG SP, Sweep3D) followed by
+    three synthetic microbenchmarks (ring, stencil2d, butterfly). *)
+val all : app list
+
+(** The paper's evaluation suite only (first nine). *)
+val paper_suite : app list
+
+val find : string -> app option
+
+(** The smallest supported rank count >= [wanted]. *)
+val fit_nranks : app -> wanted:int -> int

@@ -1,0 +1,68 @@
+(* Sweep3D — the KBA wavefront neutron-transport kernel.
+
+   2-D process grid; for each of the 8 octants the sweep processes
+   k-blocks in wavefront order: receive inflow from the two upstream
+   neighbors, compute the block, send outflow downstream.  The octant
+   direction determines which neighbors are up- and downstream.
+
+   After each outer iteration every rank joins a global convergence
+   allreduce — but corner/edge ranks reach it from a different source
+   line than interior ranks (mirroring the rank-conditional collective
+   calls of Figure 3), so the trace contains per-call-site partial
+   collectives and exercises Algorithm 1. *)
+
+open Mpisim
+
+let name = "sweep3d"
+let supports p = p >= 4
+
+let s_rx = Mpi.site ~label:"sweep_recv_x" __POS__
+let s_ry = Mpi.site ~label:"sweep_recv_y" __POS__
+let s_sx = Mpi.site ~label:"sweep_send_x" __POS__
+let s_sy = Mpi.site ~label:"sweep_send_y" __POS__
+let s_conv_edge = Mpi.site ~label:"converge_edge" __POS__
+let s_conv_inner = Mpi.site ~label:"converge_inner" __POS__
+let s_init = Mpi.site ~label:"sweep_init" __POS__
+let s_flux = Mpi.site ~label:"flux_sum" __POS__
+let s_fin = Mpi.site ~label:"finalize" __POS__
+
+let program ?(cls = Params.C) ?(seed = 42) () (ctx : Mpi.ctx) =
+  let p = ctx.nranks in
+  let px, py = Decomp.near_square p in
+  let x, y = Decomp.coords2 ~px ctx.rank in
+  let rng = Params.rng_for ~app:name ~seed ~rank:ctx.rank in
+  let niter = max 1 (int_of_float (4. *. Params.iter_scale cls)) in
+  let kblocks = 6 in
+  let sz = Params.size_scale cls in
+  let angle_bytes = max 64 (int_of_float (sz *. 1.2e5 /. float_of_int px)) in
+  let total_compute = Params.compute_scale cls *. 200. *. 16. /. float_of_int p in
+  let work = total_compute /. float_of_int (niter * 8 * kblocks) in
+  let octants = [ (1, 1); (1, -1); (-1, 1); (-1, -1); (1, 1); (1, -1); (-1, 1); (-1, -1) ] in
+  let nb dx dy = Decomp.neighbor2 ~px ~py ~rank:ctx.rank ~dx ~dy in
+  let on_edge = x = 0 || x = px - 1 || y = 0 || y = py - 1 in
+  Mpi.bcast ~site:s_init ctx ~root:0 ~bytes:128;
+  for _ = 1 to niter do
+    List.iter
+      (fun (dx, dy) ->
+        for _ = 1 to kblocks do
+          (match nb (-dx) 0 with
+          | Some up -> ignore (Mpi.recv ~site:s_rx ctx ~src:(Call.Rank up) ~bytes:angle_bytes)
+          | None -> ());
+          (match nb 0 (-dy) with
+          | Some up -> ignore (Mpi.recv ~site:s_ry ctx ~src:(Call.Rank up) ~bytes:angle_bytes)
+          | None -> ());
+          Params.compute rng ~mean:work ctx;
+          (match nb dx 0 with
+          | Some down -> Mpi.send ~site:s_sx ctx ~dst:down ~bytes:angle_bytes
+          | None -> ());
+          match nb 0 dy with
+          | Some down -> Mpi.send ~site:s_sy ctx ~dst:down ~bytes:angle_bytes
+          | None -> ()
+        done)
+      octants;
+    (* rank-conditional call sites for the same global collective *)
+    if on_edge then Mpi.allreduce ~site:s_conv_edge ctx ~bytes:8
+    else Mpi.allreduce ~site:s_conv_inner ctx ~bytes:8
+  done;
+  Mpi.reduce ~site:s_flux ctx ~root:0 ~bytes:64;
+  Mpi.finalize ~site:s_fin ctx

@@ -1,0 +1,14 @@
+(** Sweep3D: KBA wavefront transport kernel (2-D grid; 8 octant sweeps
+    over k-blocks, plus a convergence allreduce invoked from different
+    call sites on edge vs. interior ranks).  The suite's Algorithm 1
+    workload. *)
+
+val name : string
+
+(** Valid rank counts. *)
+val supports : int -> bool
+
+(** The simulator program; [cls] scales sizes/iterations/compute (default
+    class C), [seed] drives the deterministic compute-time jitter. *)
+val program :
+  ?cls:Params.cls -> ?seed:int -> unit -> Mpisim.Mpi.ctx -> unit

@@ -1,0 +1,85 @@
+(* Synthetic microbenchmarks.
+
+   Not part of the paper's evaluation suite, but first-class apps so the
+   CLI, tests, and the scaling/extrapolation experiments can drive them:
+   the paper's own Figure 2 ring, a 2-D periodic halo stencil (whose
+   column-neighbour offset scales as sqrt p, exercising extrapolation),
+   and a butterfly (log2 p stages of XOR partners — a trace whose shape
+   legitimately varies with p). *)
+
+open Mpisim
+
+let ring_name = "ring"
+let ring_supports p = p >= 2
+
+let r_recv = Mpi.site ~label:"ring_recv" __POS__
+let r_send = Mpi.site ~label:"ring_send" __POS__
+let r_wait = Mpi.site ~label:"ring_wait" __POS__
+let r_fin = Mpi.site ~label:"finalize" __POS__
+
+let ring_program ?(cls = Params.C) ?(seed = 42) () (ctx : Mpi.ctx) =
+  let rng = Params.rng_for ~app:ring_name ~seed ~rank:ctx.rank in
+  let n = ctx.nranks in
+  let iters = max 1 (int_of_float (1000. *. Params.iter_scale cls)) in
+  let bytes = max 64 (int_of_float (Params.size_scale cls *. 16384.)) in
+  for _ = 1 to iters do
+    let r = Mpi.irecv ~site:r_recv ctx ~src:(Call.Rank ((ctx.rank + n - 1) mod n)) ~bytes in
+    let s = Mpi.isend ~site:r_send ctx ~dst:((ctx.rank + 1) mod n) ~bytes in
+    ignore (Mpi.waitall ~site:r_wait ctx [ r; s ]);
+    Params.compute rng ~mean:1e-5 ctx
+  done;
+  Mpi.finalize ~site:r_fin ctx
+
+let stencil_name = "stencil2d"
+let stencil_supports p = Decomp.is_square p && p >= 4
+
+let s_recv = Mpi.site ~label:"halo_recv" __POS__
+let s_send = Mpi.site ~label:"halo_send" __POS__
+let s_wait = Mpi.site ~label:"halo_wait" __POS__
+let s_norm = Mpi.site ~label:"norm" __POS__
+let s_fin = Mpi.site ~label:"finalize" __POS__
+
+let stencil_program ?(cls = Params.C) ?(seed = 42) () (ctx : Mpi.ctx) =
+  let rng = Params.rng_for ~app:stencil_name ~seed ~rank:ctx.rank in
+  let n = ctx.nranks in
+  let px = int_of_float (sqrt (float_of_int n) +. 0.5) in
+  let iters = max 1 (int_of_float (100. *. Params.iter_scale cls)) in
+  let bytes = max 64 (int_of_float (Params.size_scale cls *. 65536. /. float_of_int px)) in
+  for _ = 1 to iters do
+    let nbrs =
+      [ (ctx.rank + 1) mod n; (ctx.rank + n - 1) mod n;
+        (ctx.rank + px) mod n; (ctx.rank + n - px) mod n ]
+    in
+    let rs = List.map (fun s -> Mpi.irecv ~site:s_recv ctx ~src:(Call.Rank s) ~bytes) nbrs in
+    let ss = List.map (fun d -> Mpi.isend ~site:s_send ctx ~dst:d ~bytes) nbrs in
+    ignore (Mpi.waitall ~site:s_wait ctx (rs @ ss));
+    Params.compute rng ~mean:5e-5 ctx;
+    Mpi.allreduce ~site:s_norm ctx ~bytes:8
+  done;
+  Mpi.finalize ~site:s_fin ctx
+
+let butterfly_name = "butterfly"
+let butterfly_supports p = Decomp.is_power_of_two p && p >= 2
+
+let b_ex = Mpi.site ~label:"butterfly_exchange" __POS__
+let b_fin = Mpi.site ~label:"finalize" __POS__
+
+let butterfly_program ?(cls = Params.C) ?(seed = 42) () (ctx : Mpi.ctx) =
+  let rng = Params.rng_for ~app:butterfly_name ~seed ~rank:ctx.rank in
+  let n = ctx.nranks in
+  let iters = max 1 (int_of_float (50. *. Params.iter_scale cls)) in
+  let bytes = max 64 (int_of_float (Params.size_scale cls *. 32768.)) in
+  let stages =
+    let rec go acc v = if v >= n then acc else go (acc + 1) (2 * v) in
+    go 0 1
+  in
+  for _ = 1 to iters do
+    for stage = 0 to stages - 1 do
+      let partner = ctx.rank lxor (1 lsl stage) in
+      ignore
+        (Mpi.sendrecv ~site:b_ex ctx ~dst:partner ~send_bytes:bytes
+           ~src:(Call.Rank partner) ~recv_bytes:bytes);
+      Params.compute rng ~mean:2e-5 ctx
+    done
+  done;
+  Mpi.finalize ~site:b_fin ctx

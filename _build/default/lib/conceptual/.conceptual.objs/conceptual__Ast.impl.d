@@ -1,0 +1,1 @@
+lib/conceptual/ast.ml: Float Fun List Util

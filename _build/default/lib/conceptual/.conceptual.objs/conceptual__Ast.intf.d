@@ -1,0 +1,1 @@
+lib/conceptual/ast.mli: Util

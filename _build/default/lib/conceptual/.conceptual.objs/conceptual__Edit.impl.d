@@ -1,0 +1,1 @@
+lib/conceptual/edit.ml: Ast Float List

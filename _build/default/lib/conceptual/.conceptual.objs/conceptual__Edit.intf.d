@@ -1,0 +1,1 @@
+lib/conceptual/edit.mli: Ast

@@ -1,0 +1,1 @@
+lib/conceptual/lower.ml: Ast Float Fun Hashtbl List Mpisim Printf Util

@@ -1,0 +1,1 @@
+lib/conceptual/lower.mli: Ast Mpisim

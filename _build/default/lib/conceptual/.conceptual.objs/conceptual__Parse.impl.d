@@ -1,0 +1,1 @@
+lib/conceptual/parse.ml: Array Ast List Option Printf String

@@ -1,0 +1,1 @@
+lib/conceptual/parse.mli: Ast

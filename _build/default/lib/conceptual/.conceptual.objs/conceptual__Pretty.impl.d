@@ -1,0 +1,1 @@
+lib/conceptual/pretty.ml: Ast Buffer Format List Printf String

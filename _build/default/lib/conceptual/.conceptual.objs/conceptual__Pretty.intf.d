@@ -1,0 +1,1 @@
+lib/conceptual/pretty.mli: Ast Format

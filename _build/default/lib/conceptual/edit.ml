@@ -1,0 +1,53 @@
+open Ast
+
+let scale_expr_float factor e =
+  match e with
+  | Float f -> Float (f *. factor)
+  | Int n -> Float (float_of_int n *. factor)
+  | e -> Bin (Mul, e, Float factor)
+
+let scale_expr_bytes factor e =
+  match e with
+  | Int n ->
+      let scaled = int_of_float (Float.round (float_of_int n *. factor)) in
+      Int (if n > 0 then max 1 scaled else scaled)
+  | e -> Bin (Mul, e, Float factor)
+
+let scale_compute factor p =
+  if factor < 0. then invalid_arg "Edit.scale_compute: negative factor";
+  map_stmts
+    (function
+      | Compute r -> Compute { r with usecs = scale_expr_float factor r.usecs }
+      | s -> s)
+    p
+
+let scale_messages factor p =
+  if factor < 0. then invalid_arg "Edit.scale_messages: negative factor";
+  map_stmts
+    (function
+      | Send r -> Send { r with bytes = scale_expr_bytes factor r.bytes }
+      | Receive r -> Receive { r with bytes = scale_expr_bytes factor r.bytes }
+      | Multicast r -> Multicast { r with bytes = scale_expr_bytes factor r.bytes }
+      | Reduce r -> Reduce { r with bytes = scale_expr_bytes factor r.bytes }
+      | Alltoall r -> Alltoall { r with bytes = scale_expr_bytes factor r.bytes }
+      | s -> s)
+    p
+
+let rec stmt_usecs = function
+  | Compute { usecs; _ } -> ( try eval_float [] usecs with Eval_error _ -> 0.)
+  | For { count; body } ->
+      let n = try eval_int [] count with Eval_error _ -> 0 in
+      float_of_int n *. body_usecs body
+  | For_each { first; last; body; _ } -> (
+      try
+        let a = eval_int [] first and b = eval_int [] last in
+        float_of_int (max 0 (b - a + 1)) *. body_usecs body
+      with Eval_error _ -> 0.)
+  | If { then_; else_; _ } -> Float.max (body_usecs then_) (body_usecs else_)
+  | Send _ | Receive _ | Await _ | Sync _ | Multicast _ | Reduce _ | Alltoall _
+  | Log _ | Reset _ ->
+      0.
+
+and body_usecs body = List.fold_left (fun acc s -> acc +. stmt_usecs s) 0. body
+
+let static_compute_usecs (p : program) = body_usecs p.body

@@ -1,0 +1,17 @@
+(** Programmatic what-if edits of generated benchmarks (Section 5.4).
+
+    Because generated benchmarks are plain coNCePTuaL ASTs, experiments
+    like "how fast would the application run if computation were 3x
+    faster?" are single AST rewrites followed by a re-run. *)
+
+(** Multiply every COMPUTE duration by a non-negative factor (0 models an
+    infinitely fast processor). *)
+val scale_compute : float -> Ast.program -> Ast.program
+
+(** Multiply every message/collective payload by a factor (rounding to
+    whole bytes, minimum 1 when the original was positive). *)
+val scale_messages : float -> Ast.program -> Ast.program
+
+(** Total microseconds of COMPUTE statements, loops expanded (constant
+    trip counts only), for reporting. *)
+val static_compute_usecs : Ast.program -> float

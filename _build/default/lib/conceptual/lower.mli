@@ -1,0 +1,30 @@
+(** Compilation of coNCePTuaL programs to executable simulator programs —
+    the analogue of the real coNCePTuaL compiler's C+MPI backend.
+
+    Task groups appearing in collective statements are realized as MPI
+    communicators created once at startup ([MPI_Comm_split] over the
+    world), after which the program body runs with all peers expressed as
+    absolute ranks.  Group predicates used by collectives must therefore
+    not reference loop variables. *)
+
+type result = {
+  outcome : Mpisim.Engine.outcome;
+  logs : (string * (int * float) list) list;
+      (** label -> per-rank logged values (elapsed microseconds), in rank
+          order *)
+}
+
+exception Lower_error of string
+
+(** [compile ~nranks p] — the simulator program for one rank.  Fails fast
+    (before running) on statically detectable errors such as a [Multicast]
+    whose source selects several tasks. *)
+val compile : nranks:int -> Ast.program -> Mpisim.Mpi.ctx -> unit
+
+(** [run ?net ?hooks ~nranks p] — compile and simulate, collecting logs. *)
+val run :
+  ?net:Mpisim.Netmodel.t ->
+  ?hooks:Mpisim.Hooks.t list ->
+  nranks:int ->
+  Ast.program ->
+  result

@@ -1,0 +1,485 @@
+exception Parse_error of string
+
+type token =
+  | KW of string (* uppercase keyword *)
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | SYM of string (* punctuation and operators *)
+  | ELLIPSIS
+
+let token_to_string = function
+  | KW s | IDENT s | SYM s -> s
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | STRING s -> "\"" ^ s ^ "\""
+  | ELLIPSIS -> "..."
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+
+let is_digit c = c >= '0' && c <= '9'
+let is_upper c = c >= 'A' && c <= 'Z'
+let is_lower c = (c >= 'a' && c <= 'z') || c = '_'
+let is_word c = is_upper c || is_lower c || is_digit c
+
+let lex input =
+  let n = String.length input in
+  let tokens = ref [] and lines = ref [] in
+  let line = ref 1 in
+  let emit t = tokens := t :: !tokens; lines := !line :: !lines in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then begin
+      (* comment to end of line *)
+      while !i < n && input.[!i] <> '\n' do incr i done
+    end
+    else if c = '.' && !i + 2 < n && input.[!i + 1] = '.' && input.[!i + 2] = '.'
+    then begin
+      emit ELLIPSIS;
+      i := !i + 3
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit input.[!i] do incr i done;
+      let is_float = ref false in
+      if !i < n && input.[!i] = '.' && not (!i + 1 < n && input.[!i + 1] = '.')
+      then begin
+        is_float := true;
+        incr i;
+        while !i < n && is_digit input.[!i] do incr i done
+      end;
+      if !i < n && (input.[!i] = 'e' || input.[!i] = 'E') then begin
+        is_float := true;
+        incr i;
+        if !i < n && (input.[!i] = '+' || input.[!i] = '-') then incr i;
+        while !i < n && is_digit input.[!i] do incr i done
+      end;
+      let s = String.sub input start (!i - start) in
+      if !is_float then emit (FLOAT (float_of_string s))
+      else emit (INT (int_of_string s))
+    end
+    else if is_upper c then begin
+      let start = !i in
+      while !i < n && is_word input.[!i] do incr i done;
+      emit (KW (String.sub input start (!i - start)))
+    end
+    else if is_lower c then begin
+      let start = !i in
+      while !i < n && is_word input.[!i] do incr i done;
+      emit (IDENT (String.sub input start (!i - start)))
+    end
+    else if c = '"' then begin
+      incr i;
+      let start = !i in
+      while !i < n && input.[!i] <> '"' do incr i done;
+      if !i >= n then raise (Parse_error "unterminated string literal");
+      emit (STRING (String.sub input start (!i - start)));
+      incr i
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub input !i 2 else "" in
+      match two with
+      | "<=" | ">=" | "<>" ->
+          emit (SYM two);
+          i := !i + 2
+      | _ -> (
+          match c with
+          | '{' | '}' | '(' | ')' | ',' | '+' | '-' | '*' | '/' | '=' | '<' | '>' ->
+              emit (SYM (String.make 1 c));
+              incr i
+          | _ ->
+              raise
+                (Parse_error
+                   (Printf.sprintf "line %d: unexpected character %C" !line c)))
+    end
+  done;
+  (Array.of_list (List.rev !tokens), Array.of_list (List.rev !lines))
+
+(* ------------------------------------------------------------------ *)
+(* Parser state: token array with explicit cursor (allows backtracking) *)
+
+type st = { toks : token array; lns : int array; mutable pos : int }
+
+let peek st = if st.pos < Array.length st.toks then Some st.toks.(st.pos) else None
+
+let error st msg =
+  let where =
+    if st.pos < Array.length st.toks then
+      Printf.sprintf "line %d near %s" st.lns.(st.pos)
+        (token_to_string st.toks.(st.pos))
+    else "at end of input"
+  in
+  raise (Parse_error (Printf.sprintf "%s (%s)" msg where))
+
+let advance st = st.pos <- st.pos + 1
+
+let accept st t =
+  match peek st with
+  | Some tok when tok = t ->
+      advance st;
+      true
+  | _ -> false
+
+let expect st t =
+  if not (accept st t) then error st ("expected " ^ token_to_string t)
+
+let accept_kw st names =
+  match peek st with
+  | Some (KW k) when List.mem k names ->
+      advance st;
+      true
+  | _ -> false
+
+(* Verbs come in both numbers: SEND / SENDS. *)
+let verb_kw base = [ base; base ^ "S" ]
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+
+open Ast
+
+let rec parse_expr st = parse_additive st
+
+and parse_additive st =
+  let lhs = ref (parse_multiplicative st) in
+  let continue = ref true in
+  while !continue do
+    if accept st (SYM "+") then lhs := Bin (Add, !lhs, parse_multiplicative st)
+    else if accept st (SYM "-") then lhs := Bin (Sub, !lhs, parse_multiplicative st)
+    else continue := false
+  done;
+  !lhs
+
+and parse_multiplicative st =
+  let lhs = ref (parse_atom st) in
+  let continue = ref true in
+  while !continue do
+    if accept st (SYM "*") then lhs := Bin (Mul, !lhs, parse_atom st)
+    else if accept st (SYM "/") then lhs := Bin (Div, !lhs, parse_atom st)
+    else if accept st (KW "MOD") then lhs := Bin (Mod, !lhs, parse_atom st)
+    else continue := false
+  done;
+  !lhs
+
+and parse_atom st =
+  match peek st with
+  | Some (INT n) ->
+      advance st;
+      Int n
+  | Some (FLOAT f) ->
+      advance st;
+      Float f
+  | Some (IDENT v) ->
+      advance st;
+      Var v
+  | Some (SYM "(") ->
+      advance st;
+      let e = parse_expr st in
+      expect st (SYM ")");
+      e
+  | Some (SYM "-") ->
+      advance st;
+      (match parse_atom st with
+      | Int n -> Int (-n)
+      | Float f -> Float (-.f)
+      | e -> Bin (Sub, Int 0, e))
+  | _ -> error st "expected expression"
+
+(* ------------------------------------------------------------------ *)
+(* Predicates                                                          *)
+
+let cmp_of_sym = function
+  | "=" -> Some Eq
+  | "<>" -> Some Ne
+  | "<" -> Some Lt
+  | "<=" -> Some Le
+  | ">" -> Some Gt
+  | ">=" -> Some Ge
+  | _ -> None
+
+let rec parse_pred st = parse_or st
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while accept st (KW "OR") do
+    lhs := Or (!lhs, parse_and st)
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_not st) in
+  while accept st (KW "AND") do
+    lhs := And (!lhs, parse_not st)
+  done;
+  !lhs
+
+and parse_not st =
+  if accept st (KW "NOT") then Not (parse_not st) else parse_pred_atom st
+
+and parse_pred_atom st =
+  match peek st with
+  | Some (KW "TRUE") ->
+      advance st;
+      True
+  | Some (KW "FALSE") ->
+      advance st;
+      False
+  | Some (SYM "(") -> (
+      (* Could be a parenthesized predicate or a parenthesized expression
+         beginning a comparison; try predicate first and backtrack. *)
+      let saved = st.pos in
+      advance st;
+      match (try Some (parse_pred st) with Parse_error _ -> None) with
+      | Some p
+        when accept st (SYM ")")
+             && (match peek st with
+                | Some (SYM s) -> cmp_of_sym s = None
+                | Some (KW ("MOD" | "DIVIDES")) -> false
+                | _ -> true) ->
+          p
+      | _ ->
+          st.pos <- saved;
+          parse_comparison st)
+  | _ -> parse_comparison st
+
+and parse_comparison st =
+  let lhs = parse_expr st in
+  match peek st with
+  | Some (SYM s) when cmp_of_sym s <> None ->
+      advance st;
+      let op = Option.get (cmp_of_sym s) in
+      Cmp (op, lhs, parse_expr st)
+  | Some (KW "DIVIDES") ->
+      advance st;
+      Divides (lhs, parse_expr st)
+  | _ -> error st "expected comparison operator"
+
+(* ------------------------------------------------------------------ *)
+(* Task sets                                                           *)
+
+let parse_tasks st =
+  if accept st (KW "ALL") then begin
+    expect st (KW "TASKS");
+    match peek st with
+    | Some (IDENT v) ->
+        advance st;
+        All (Some v)
+    | _ -> All None
+  end
+  else if accept st (KW "TASKS") then begin
+    match peek st with
+    | Some (IDENT v) ->
+        advance st;
+        expect st (KW "SUCH");
+        expect st (KW "THAT");
+        Group { var = v; pred = parse_pred st }
+    | _ -> error st "expected task variable after TASKS"
+  end
+  else if accept st (KW "TASK") then Single (parse_expr st)
+  else error st "expected task set"
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+let rec parse_stmt st =
+  match peek st with
+  | Some (KW "FOR") ->
+      advance st;
+      if accept st (KW "EACH") then begin
+        let var =
+          match peek st with
+          | Some (IDENT v) ->
+              advance st;
+              v
+          | _ -> error st "expected loop variable"
+        in
+        expect st (KW "IN");
+        expect st (SYM "{");
+        let first = parse_expr st in
+        expect st (SYM ",");
+        expect st ELLIPSIS;
+        expect st (SYM ",");
+        let last = parse_expr st in
+        expect st (SYM "}");
+        let body = parse_block st in
+        For_each { var; first; last; body }
+      end
+      else begin
+        let count = parse_expr st in
+        expect st (KW "REPETITIONS");
+        let body = parse_block st in
+        For { count; body }
+      end
+  | Some (KW "IF") ->
+      advance st;
+      let cond = parse_pred st in
+      expect st (KW "THEN");
+      let then_ = parse_block st in
+      let else_ = if accept st (KW "ELSE") then parse_block st else [] in
+      If { cond; then_; else_ }
+  | _ -> parse_task_stmt st
+
+and parse_block st =
+  expect st (SYM "{");
+  let body = parse_seq st in
+  expect st (SYM "}");
+  body
+
+and parse_seq st =
+  let first = parse_stmt st in
+  let rec more acc =
+    if accept st (KW "THEN") then more (parse_stmt st :: acc) else List.rev acc
+  in
+  more [ first ]
+
+and parse_tag st =
+  if accept st (KW "USING") then
+    if accept st (KW "ANY") then begin
+      expect st (KW "TAG");
+      -1
+    end
+    else begin
+      expect st (KW "TAG");
+      match peek st with
+      | Some (INT n) ->
+          advance st;
+          n
+      | _ -> error st "expected tag number"
+    end
+  else 0
+
+and parse_task_stmt st =
+  let subject = parse_tasks st in
+  let async = accept_kw st [ "ASYNCHRONOUSLY" ] in
+  if accept_kw st (verb_kw "SEND") then begin
+    expect st (KW "A");
+    let bytes = parse_expr st in
+    expect st (KW "BYTE");
+    expect st (KW "MESSAGE");
+    expect st (KW "TO");
+    if accept st (KW "ALL") then begin
+      expect st (KW "OTHER");
+      expect st (KW "TASKS");
+      if async then error st "all-to-all exchange cannot be asynchronous";
+      Alltoall { tasks = subject; bytes }
+    end
+    else begin
+      expect st (KW "TASK");
+      let dst = parse_expr st in
+      let tag = parse_tag st in
+      let implicit_recv =
+        if accept st (KW "WITH") then begin
+          expect st (KW "NO");
+          expect st (KW "IMPLICIT");
+          expect st (KW "RECEIVE");
+          false
+        end
+        else true
+      in
+      Send { src = subject; async; bytes; dst; tag; implicit_recv }
+    end
+  end
+  else if accept_kw st (verb_kw "RECEIVE") then begin
+    expect st (KW "A");
+    let bytes = parse_expr st in
+    expect st (KW "BYTE");
+    expect st (KW "MESSAGE");
+    expect st (KW "FROM");
+    expect st (KW "TASK");
+    let src = parse_expr st in
+    let tag = parse_tag st in
+    Receive { dst = subject; async; bytes; src; tag }
+  end
+  else if async then error st "ASYNCHRONOUSLY must precede SEND or RECEIVE"
+  else if accept_kw st (verb_kw "AWAIT") then begin
+    expect st (KW "COMPLETION");
+    Await subject
+  end
+  else if accept_kw st (verb_kw "SYNCHRONIZE") then Sync subject
+  else if accept_kw st (verb_kw "MULTICAST") then begin
+    expect st (KW "A");
+    let bytes = parse_expr st in
+    expect st (KW "BYTE");
+    expect st (KW "MESSAGE");
+    expect st (KW "TO");
+    let dst = parse_tasks st in
+    Multicast { src = subject; bytes; dst }
+  end
+  else if accept_kw st (verb_kw "REDUCE") then begin
+    expect st (KW "A");
+    let bytes = parse_expr st in
+    expect st (KW "BYTE");
+    expect st (KW "MESSAGE");
+    expect st (KW "TO");
+    let dst = parse_tasks st in
+    Reduce { src = subject; bytes; dst }
+  end
+  else if accept_kw st (verb_kw "COMPUTE") then begin
+    expect st (KW "FOR");
+    let usecs = parse_expr st in
+    expect st (KW "MICROSECONDS");
+    Compute { tasks = subject; usecs }
+  end
+  else if accept_kw st (verb_kw "LOG") then begin
+    let agg =
+      if accept st (KW "THE") then begin
+        let a =
+          match peek st with
+          | Some (KW "MEAN") -> Mean
+          | Some (KW "MEDIAN") -> Median
+          | Some (KW "MINIMUM") -> Minimum
+          | Some (KW "MAXIMUM") -> Maximum
+          | _ -> error st "expected MEAN, MEDIAN, MINIMUM or MAXIMUM"
+        in
+        advance st;
+        expect st (KW "OF");
+        Some a
+      end
+      else None
+    in
+    (match peek st with
+    | Some (IDENT "elapsed_usecs") -> advance st
+    | _ -> error st "expected elapsed_usecs");
+    expect st (KW "AS");
+    match peek st with
+    | Some (STRING label) ->
+        advance st;
+        Log { tasks = subject; agg; label }
+    | _ -> error st "expected string label"
+  end
+  else if accept_kw st (verb_kw "RESET") then begin
+    expect st (KW "THEIR");
+    expect st (KW "COUNTERS");
+    Reset subject
+  end
+  else error st "expected a verb (SEND, RECEIVE, AWAIT, SYNCHRONIZE, ...)"
+
+let make_state input =
+  let toks, lns = lex input in
+  { toks; lns; pos = 0 }
+
+let stmts input =
+  let st = make_state input in
+  if Array.length st.toks = 0 then []
+  else begin
+    let body = parse_seq st in
+    if st.pos < Array.length st.toks then error st "trailing input";
+    body
+  end
+
+(* Comments are stripped by the lexer; recover them textually so that
+   program round-trips preserve headers. *)
+let comments_of input =
+  String.split_on_char '\n' input
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if String.length line > 0 && line.[0] = '#' then
+           Some (String.trim (String.sub line 1 (String.length line - 1)))
+         else None)
+
+let program input = { comments = comments_of input; body = stmts input }

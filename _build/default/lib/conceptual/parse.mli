@@ -1,0 +1,15 @@
+(** Parser for the concrete syntax emitted by {!Pretty}.
+
+    [Parse.program (Pretty.program p)] is structurally equal to [p] — the
+    round-trip property the test suite checks — so generated .ncptl files
+    are first-class, editable sources: what-if studies can edit the text
+    and re-run it. *)
+
+exception Parse_error of string
+(** Message includes line number and the offending token. *)
+
+val program : string -> Ast.program
+
+(** Parse a single statement sequence (no comments), for tests and
+    interactive use. *)
+val stmts : string -> Ast.stmt list

@@ -1,0 +1,1 @@
+lib/core/benchgen.ml: Align Cgen Codegen Collective_map Conceptual Extrap Scalatrace Traversal Wildcard

@@ -1,0 +1,1 @@
+lib/core/benchgen.mli: Align Cgen Codegen Collective_map Conceptual Extrap Mpisim Scalatrace Traversal Wildcard

@@ -1,0 +1,1 @@
+lib/core/align.ml: Array Event Hashtbl List Option Printf Scalatrace Trace Traversal Util

@@ -1,0 +1,1 @@
+lib/core/cgen.ml: Buffer Codegen Event Hashtbl List Printf Scalatrace String Trace Util

@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Array Collective_map Conceptual Event Float List Option Printf Scalatrace Tnode Trace Util

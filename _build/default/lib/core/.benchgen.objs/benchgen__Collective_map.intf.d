@@ -1,0 +1,1 @@
+lib/core/collective_map.mli: Scalatrace

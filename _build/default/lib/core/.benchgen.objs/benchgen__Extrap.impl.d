@@ -1,0 +1,1 @@
+lib/core/extrap.ml: Event Float List Printf Scalatrace String Tnode Trace Util

@@ -1,0 +1,1 @@
+lib/core/extrap.mli: Scalatrace

@@ -1,0 +1,1 @@
+lib/core/traversal.ml: Array Compress Event List Merge Scalatrace Tnode Trace Util

@@ -1,0 +1,1 @@
+lib/core/wildcard.ml: Array Buffer Compress Event Hashtbl List Mpisim Option Printf Replay Scalatrace Tnode Trace Traversal Util

@@ -1,0 +1,1 @@
+lib/core/wildcard.mli: Mpisim Scalatrace

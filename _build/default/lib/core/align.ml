@@ -1,0 +1,204 @@
+open Scalatrace
+
+exception Align_error of string
+
+type node_state = {
+  rank : int;
+  mutable cursor : Traversal.cursor;
+  mutable finished : bool;
+  mutable blocked : (int * int) option; (* collective key (comm, slot) *)
+  coll_seq : (int, int) Hashtbl.t; (* comm id -> next slot *)
+}
+
+type coll_wait = {
+  members : Util.Rank_set.t;
+  mutable arrivals : (int * Event.t * Traversal.cursor) list;
+      (* rank, event, cursor past the event *)
+}
+
+(* One RSD for the complete participant set, hoisted to a single call
+   point (the smallest rank's site). *)
+let merge_collective key arrivals members =
+  let arrivals = List.sort (fun (a, _, _) (b, _, _) -> compare a b) arrivals in
+  match arrivals with
+  | [] -> assert false
+  | (_, first, _) :: rest ->
+      List.iter
+        (fun (r, (e : Event.t), _) ->
+          if e.Event.kind <> first.Event.kind then
+            raise
+              (Align_error
+                 (Printf.sprintf
+                    "collective mismatch on communicator %d (slot %d): rank %d \
+                     calls %s but rank 0 of the group calls %s"
+                    (fst key) (snd key) r (Event.kind_name e.kind)
+                    (Event.kind_name first.kind)));
+          if Event.is_p2p e.kind then
+            raise (Align_error "internal: p2p event in collective merge"))
+        rest;
+      let n = List.length arrivals in
+      let all_bytes = List.map (fun (_, (e : Event.t), _) -> e.bytes) arrivals in
+      let bytes =
+        if List.for_all (fun b -> b = first.bytes) all_bytes then first.bytes
+        else List.fold_left ( + ) 0 all_bytes / n
+      in
+      let vec =
+        if
+          List.for_all
+            (fun (_, (e : Event.t), _) -> e.vec = first.vec)
+            arrivals
+        then Option.map Array.copy first.vec
+        else None
+      in
+      let peer =
+        (* rooted collectives must agree on the root *)
+        match first.peer with
+        | Event.P_abs root ->
+            List.iter
+              (fun (r, (e : Event.t), _) ->
+                match e.peer with
+                | Event.P_abs root' when root' = root -> ()
+                | Event.P_map _ when e.kind = Event.E_comm_split -> ()
+                | _ ->
+                    if e.kind <> Event.E_comm_split then
+                      raise
+                        (Align_error
+                           (Printf.sprintf
+                              "root mismatch in %s on communicator %d (rank %d)"
+                              (Event.kind_name e.kind) (fst key) r)))
+              arrivals;
+            first.peer
+        | p -> p
+      in
+      let dtime = Util.Histogram.create () in
+      List.iter
+        (fun (_, (e : Event.t), _) -> Util.Histogram.merge_into dtime e.dtime)
+        arrivals;
+      {
+        Event.site = first.site;
+        kind = first.kind;
+        peer;
+        bytes;
+        vec;
+        tag = first.tag;
+        comm = first.comm;
+        dtime;
+        ranks = members;
+      }
+
+let run (trace : Trace.t) =
+  let nranks = Trace.nranks trace in
+  let comms = Trace.comms trace in
+  let members_of cid =
+    match List.assoc_opt cid comms with
+    | Some m -> m
+    | None -> raise (Align_error (Printf.sprintf "unknown communicator %d" cid))
+  in
+  let states =
+    Array.init nranks (fun rank ->
+        {
+          rank;
+          cursor = Traversal.start (Trace.project trace ~rank);
+          finished = false;
+          blocked = None;
+          coll_seq = Hashtbl.create 8;
+        })
+  in
+  let waits : (int * int, coll_wait) Hashtbl.t = Hashtbl.create 64 in
+  let rebuild = Traversal.rebuild_create ~nranks ~comms in
+  let next_unfinished from =
+    let rec go i tried =
+      if tried >= nranks then None
+      else
+        let r = (from + i) mod nranks in
+        if not states.(r).finished then Some r else go (i + 1) (tried + 1)
+    in
+    go 0 0
+  in
+  (* Next group member that has not yet arrived at the collective. *)
+  let next_missing key =
+    let w = Hashtbl.find waits key in
+    let arrived = List.map (fun (r, _, _) -> r) w.arrivals in
+    match
+      Util.Rank_set.to_list w.members
+      |> List.find_opt (fun r -> not (List.mem r arrived))
+    with
+    | Some r -> r
+    | None -> assert false
+  in
+  (* Jump over nodes blocked on other collectives, detecting cycles. *)
+  let resolve_runnable start =
+    let rec go r seen =
+      match states.(r).blocked with
+      | None -> r
+      | Some key ->
+          if List.mem r seen then
+            raise
+              (Align_error
+                 "cyclic collective dependency across communicators (mismatched \
+                  collective ordering in the application)")
+          else go (next_missing key) (r :: seen)
+    in
+    go start []
+  in
+  let finish_collective key =
+    let w = Hashtbl.find waits key in
+    Hashtbl.remove waits key;
+    let merged = merge_collective key w.arrivals w.members in
+    Traversal.emit_group rebuild ~ranks:w.members merged;
+    List.iter
+      (fun (r, _, after) ->
+        states.(r).blocked <- None;
+        states.(r).cursor <- after)
+      w.arrivals;
+    (* resume at the first (smallest) node blocked on this collective *)
+    List.fold_left (fun acc (r, _, _) -> min acc r) max_int w.arrivals
+  in
+  let current = ref (Some 0) in
+  while !current <> None do
+    let r = Option.get !current in
+    let s = states.(r) in
+    match Traversal.peek s.cursor with
+    | None ->
+        s.finished <- true;
+        current :=
+          Option.map resolve_runnable (next_unfinished r)
+    | Some (e, after) ->
+        if not (Event.is_collective e.kind) then begin
+          Traversal.emit_single rebuild ~rank:r e;
+          s.cursor <- after
+        end
+        else begin
+          let slot =
+            Option.value ~default:0 (Hashtbl.find_opt s.coll_seq e.comm)
+          in
+          Hashtbl.replace s.coll_seq e.comm (slot + 1);
+          let key = (e.comm, slot) in
+          let w =
+            match Hashtbl.find_opt waits key with
+            | Some w -> w
+            | None ->
+                let w = { members = members_of e.comm; arrivals = [] } in
+                Hashtbl.replace waits key w;
+                w
+          in
+          w.arrivals <- (r, e, after) :: w.arrivals;
+          if List.length w.arrivals = Util.Rank_set.cardinal w.members then
+            current := Some (finish_collective key)
+          else begin
+            s.blocked <- Some key;
+            current := Some (resolve_runnable (next_missing key))
+          end
+        end
+  done;
+  (match next_unfinished 0 with
+  | Some r ->
+      raise
+        (Align_error
+           (Printf.sprintf "rank %d never reached MPI_Finalize during alignment" r))
+  | None -> ());
+  Traversal.rebuild_finish rebuild
+
+let align_if_needed trace =
+  if Trace.has_unaligned_collectives trace then (run trace, true)
+  else (trace, false)

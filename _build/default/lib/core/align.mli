@@ -1,0 +1,24 @@
+(** Algorithm 1 — aligning collective operations (paper Section 4.3).
+
+    MPI lets different source lines issue what is dynamically one
+    collective operation; ScalaTrace then records one partial-participant
+    RSD per call site.  This pass walks the trace on behalf of every rank,
+    parking each rank at each collective until all other members of the
+    communicator arrive, then re-emits a single RSD covering the full
+    participant set — the trace-level equivalent of hoisting the collective
+    out of rank conditionals.  Point-to-point events pass through
+    unchanged; per-rank event order is preserved; the output is
+    recompressed.  Complexity O(p·e); use {!Scalatrace.Trace.has_unaligned_collectives}
+    (O(r)) to decide whether the pass is needed. *)
+
+exception Align_error of string
+(** Collective mismatch: members of one communicator reach different
+    collective operations at the same logical slot, or their parameters
+    disagree on the root. *)
+
+val run : Scalatrace.Trace.t -> Scalatrace.Trace.t
+
+(** [align_if_needed t] runs the O(r) pre-check and the pass only when
+    required; returns the (possibly unchanged) trace and whether the pass
+    ran. *)
+val align_if_needed : Scalatrace.Trace.t -> Scalatrace.Trace.t * bool

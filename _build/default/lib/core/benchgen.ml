@@ -1,0 +1,40 @@
+module Traversal = Traversal
+module Align = Align
+module Wildcard = Wildcard
+module Collective_map = Collective_map
+module Codegen = Codegen
+module Cgen = Cgen
+module Extrap = Extrap
+
+type report = {
+  program : Conceptual.Ast.program;
+  text : string;
+  aligned : bool;
+  resolved : bool;
+  input_rsds : int;
+  final_rsds : int;
+  statements : int;
+}
+
+let generate ?name ?compute_floor_usecs trace =
+  let input_rsds = Scalatrace.Trace.rsd_count trace in
+  let trace, aligned = Align.align_if_needed trace in
+  let trace, resolved = Wildcard.resolve_if_needed trace in
+  let program = Codegen.program ?name ?compute_floor_usecs trace in
+  let text = Conceptual.Pretty.program program in
+  {
+    program;
+    text;
+    aligned;
+    resolved;
+    input_rsds;
+    final_rsds = Scalatrace.Trace.rsd_count trace;
+    statements = Conceptual.Ast.size program;
+  }
+
+let generate_text ?name ?compute_floor_usecs trace =
+  (generate ?name ?compute_floor_usecs trace).text
+
+let from_app ?name ?net ?compute_floor_usecs ~nranks app =
+  let trace, outcome = Scalatrace.Tracer.trace_run ?net ~nranks app in
+  (generate ?name ?compute_floor_usecs trace, outcome)

@@ -1,0 +1,47 @@
+(** End-to-end benchmark generation pipeline (paper Figure 1, right half).
+
+    trace → \[collective alignment if needed\] → \[wildcard resolution if
+    needed\] → coNCePTuaL code generation.  Both trace-rewriting passes are
+    gated by their O(r) pre-checks. *)
+
+(** Re-exported pipeline stages. *)
+
+module Traversal = Traversal
+module Align = Align
+module Wildcard = Wildcard
+module Collective_map = Collective_map
+module Codegen = Codegen
+module Cgen = Cgen
+module Extrap = Extrap
+
+type report = {
+  program : Conceptual.Ast.program;
+  text : string;  (** pretty-printed .ncptl source *)
+  aligned : bool;  (** Algorithm 1 ran *)
+  resolved : bool;  (** Algorithm 2 ran *)
+  input_rsds : int;
+  final_rsds : int;  (** RSDs after the rewriting passes *)
+  statements : int;  (** statements in the generated program *)
+}
+
+(** @raise Wildcard.Potential_deadlock when the input application can
+    deadlock (paper Figure 5) — reported rather than generating a hanging
+    benchmark.
+    @raise Align.Align_error on collective misuse in the trace. *)
+val generate :
+  ?name:string -> ?compute_floor_usecs:float -> Scalatrace.Trace.t -> report
+
+(** [generate_text] — just the .ncptl source. *)
+val generate_text :
+  ?name:string -> ?compute_floor_usecs:float -> Scalatrace.Trace.t -> string
+
+(** Convenience: trace an application under the given network model and
+    generate its benchmark in one call.  Returns the report plus the
+    original run's outcome (for timing-fidelity comparisons). *)
+val from_app :
+  ?name:string ->
+  ?net:Mpisim.Netmodel.t ->
+  ?compute_floor_usecs:float ->
+  nranks:int ->
+  (Mpisim.Mpi.ctx -> unit) ->
+  report * Mpisim.Engine.outcome

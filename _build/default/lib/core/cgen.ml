@@ -1,0 +1,158 @@
+open Scalatrace
+
+(* Statements are plain strings here; indentation is applied when the
+   final unit is assembled. *)
+type frag = { depth : int; line : string }
+
+let fragment depth line = { depth; line }
+
+(* Guard expression for "does my rank belong to this RSD's participants":
+   renders the strided intervals of the rank set. *)
+let rank_guard ~nranks set =
+  if Util.Rank_set.equal set (Util.Rank_set.all nranks) then None
+  else
+    match Util.Rank_set.to_list set with
+    | [ r ] -> Some (Printf.sprintf "rank == %d" r)
+    | _ ->
+        let clause (first, last, stride) =
+          if first = last then Printf.sprintf "rank == %d" first
+          else if stride = 1 then
+            Printf.sprintf "(rank >= %d && rank <= %d)" first last
+          else
+            Printf.sprintf "(rank >= %d && rank <= %d && (rank - %d) %% %d == 0)"
+              first last first stride
+        in
+        Some (String.concat " || " (List.map clause (Util.Rank_set.intervals set)))
+
+let peer_expr ~nranks (e : Event.t) =
+  match e.peer with
+  | Event.P_abs a -> string_of_int a
+  | Event.P_rel d ->
+      if d <= nranks / 2 then Printf.sprintf "(rank + %d) %% %d" d nranks
+      else Printf.sprintf "(rank + %d - %d) %% %d" nranks (nranks - d) nranks
+  | Event.P_map m ->
+      (* expressed as a lookup table in real output; abbreviated here *)
+      Printf.sprintf "peer_table_%d[rank]" (Hashtbl.hash m land 0xffff)
+  | Event.P_any -> "MPI_ANY_SOURCE"
+  | Event.P_none -> "/*none*/0"
+
+let leaf_lines ~nranks depth (e : Event.t) =
+  let peer = peer_expr ~nranks e in
+  let tag = max 0 e.tag in
+  let gap = Util.Histogram.mean e.dtime in
+  let compute =
+    if gap *. 1e6 >= 0.05 then
+      [ fragment depth (Printf.sprintf "spin_for_usecs(%.3f);" (gap *. 1e6)) ]
+    else []
+  in
+  let body =
+    match e.kind with
+    | Event.E_send ->
+        [ Printf.sprintf
+            "MPI_Send(buf, %d, MPI_BYTE, %s, %d, MPI_COMM_WORLD);" e.bytes peer tag ]
+    | Event.E_isend ->
+        [ Printf.sprintf
+            "MPI_Isend(buf, %d, MPI_BYTE, %s, %d, MPI_COMM_WORLD, &req[nreq++]);"
+            e.bytes peer tag ]
+    | Event.E_recv ->
+        [ Printf.sprintf
+            "MPI_Recv(buf, %d, MPI_BYTE, %s, %d, MPI_COMM_WORLD, MPI_STATUS_IGNORE);"
+            e.bytes peer tag ]
+    | Event.E_irecv ->
+        [ Printf.sprintf
+            "MPI_Irecv(buf, %d, MPI_BYTE, %s, %d, MPI_COMM_WORLD, &req[nreq++]);"
+            e.bytes peer tag ]
+    | Event.E_wait -> [ "MPI_Wait(&req[--nreq], MPI_STATUS_IGNORE);" ]
+    | Event.E_waitall _ ->
+        [ "MPI_Waitall(nreq, req, MPI_STATUSES_IGNORE); nreq = 0;" ]
+    | Event.E_barrier -> [ "MPI_Barrier(MPI_COMM_WORLD);" ]
+    | Event.E_bcast ->
+        [ Printf.sprintf "MPI_Bcast(buf, %d, MPI_BYTE, %s, MPI_COMM_WORLD);" e.bytes peer ]
+    | Event.E_reduce ->
+        [ Printf.sprintf
+            "MPI_Reduce(buf, buf2, %d, MPI_BYTE, MPI_BOR, %s, MPI_COMM_WORLD);" e.bytes peer ]
+    | Event.E_allreduce ->
+        [ Printf.sprintf
+            "MPI_Allreduce(buf, buf2, %d, MPI_BYTE, MPI_BOR, MPI_COMM_WORLD);" e.bytes ]
+    | Event.E_gather ->
+        [ Printf.sprintf
+            "MPI_Gather(buf, %d, MPI_BYTE, buf2, %d, MPI_BYTE, %s, MPI_COMM_WORLD);"
+            e.bytes e.bytes peer ]
+    | Event.E_gatherv -> [ Printf.sprintf "MPI_Gatherv(/* %d bytes total */);" e.bytes ]
+    | Event.E_allgather ->
+        [ Printf.sprintf
+            "MPI_Allgather(buf, %d, MPI_BYTE, buf2, %d, MPI_BYTE, MPI_COMM_WORLD);"
+            e.bytes e.bytes ]
+    | Event.E_allgatherv ->
+        [ Printf.sprintf "MPI_Allgatherv(/* %d bytes total */);" e.bytes ]
+    | Event.E_scatter ->
+        [ Printf.sprintf
+            "MPI_Scatter(buf, %d, MPI_BYTE, buf2, %d, MPI_BYTE, %s, MPI_COMM_WORLD);"
+            e.bytes e.bytes peer ]
+    | Event.E_scatterv -> [ Printf.sprintf "MPI_Scatterv(/* %d bytes total */);" e.bytes ]
+    | Event.E_alltoall ->
+        [ Printf.sprintf
+            "MPI_Alltoall(buf, %d, MPI_BYTE, buf2, %d, MPI_BYTE, MPI_COMM_WORLD);"
+            e.bytes e.bytes ]
+    | Event.E_alltoallv -> [ Printf.sprintf "MPI_Alltoallv(/* %d bytes total */);" e.bytes ]
+    | Event.E_reduce_scatter ->
+        [ Printf.sprintf "MPI_Reduce_scatter(/* %d bytes total */);" e.bytes ]
+    | Event.E_comm_split -> [ "/* communicator creation elided */" ]
+    | Event.E_comm_dup -> [ "/* communicator duplication elided */" ]
+    | Event.E_finalize -> [ "/* MPI_Finalize emitted in epilogue */" ]
+  in
+  match rank_guard ~nranks e.ranks with
+  | None -> compute @ List.map (fragment depth) body
+  | Some guard ->
+      compute
+      @ [ fragment depth (Printf.sprintf "if (%s) {" guard) ]
+      @ List.map (fragment (depth + 1)) body
+      @ [ fragment depth "}" ]
+
+let program ?(name = "trace") trace =
+  let nranks = Trace.nranks trace in
+  (* The same language-independent walk that drives the coNCePTuaL backend
+     drives this one; fragments carry relative depth, and each enclosing
+     loop indents its body by one level. *)
+  let generator : frag Codegen.generator =
+    {
+      gen_rsd = (fun e -> leaf_lines ~nranks 0 e);
+      gen_loop =
+        (fun ~count body ->
+          [ fragment 0 (Printf.sprintf "for (int it = 0; it < %d; it++) {" count) ]
+          @ List.map (fun f -> { f with depth = f.depth + 1 }) body
+          @ [ fragment 0 "}" ]);
+    }
+  in
+  let body =
+    List.map (fun f -> { f with depth = f.depth + 1 }) (Codegen.walk trace generator)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "/* C+MPI benchmark generated from %s (%d tasks).\n\
+       \ * Produced by the pluggable-generator interface for contrast with\n\
+       \ * the coNCePTuaL backend; see DESIGN.md. */\n\
+        #include <mpi.h>\n\
+        #include <stdlib.h>\n\n\
+        static char buf[1 << 24], buf2[1 << 24];\n\
+        static MPI_Request req[4096];\n\
+        static int nreq;\n\n\
+        static void spin_for_usecs(double us) {\n\
+       \  double t0 = MPI_Wtime();\n\
+       \  while ((MPI_Wtime() - t0) * 1e6 < us) ;\n\
+        }\n\n\
+        int main(int argc, char **argv) {\n\
+       \  int rank, size;\n\
+       \  MPI_Init(&argc, &argv);\n\
+       \  MPI_Comm_rank(MPI_COMM_WORLD, &rank);\n\
+       \  MPI_Comm_size(MPI_COMM_WORLD, &size);  /* expects size == %d */\n"
+       name nranks nranks);
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (String.make (2 * f.depth) ' ');
+      Buffer.add_string buf f.line;
+      Buffer.add_char buf '\n')
+    body;
+  Buffer.add_string buf "  MPI_Finalize();\n  return 0;\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** A second code-generation backend: C + MPI.
+
+    The paper's trace-traversal framework "invokes a language-dependent
+    code generator for each RSD and PRSD … by implementing a generator for
+    a different target language, we can easily generate code for languages
+    other than coNCePTuaL".  This module is that demonstration: the same
+    {!Codegen.walk} drives a generator that emits compilable-looking
+    C + MPI source instead of coNCePTuaL.
+
+    The output is for human consumption and for contrast with the
+    coNCePTuaL backend (the paper's §2 argues trace-size-proportional C is
+    what *other* systems produce); it is not executed by this repository. *)
+
+(** [program ?name trace] — a complete C translation unit: includes,
+    helpers, and a [main] whose body mirrors the trace structure. *)
+val program : ?name:string -> Scalatrace.Trace.t -> string

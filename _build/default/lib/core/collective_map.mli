@@ -1,0 +1,33 @@
+(** Table 1 — mapping MPI collectives onto coNCePTuaL collectives.
+
+    coNCePTuaL offers SYNCHRONIZE, REDUCE, and MULTICAST (plus native
+    all-to-all exchange); MPI collectives without a direct counterpart are
+    substituted by combinations that preserve the fan-in/fan-out shape and
+    the data volume, averaging per-rank sizes for the v-variants — exactly
+    the paper's Table 1. *)
+
+(** The coNCePTuaL statements a collective maps to. *)
+type target =
+  | T_sync  (** SYNCHRONIZE *)
+  | T_multicast of { root : int; bytes : int }
+  | T_reduce of { root : int; bytes : int }
+  | T_reduce_all of { bytes : int }  (** REDUCE to all members *)
+  | T_alltoall of { bytes : int }
+  | T_reduce_multicast of { root : int; reduce_bytes : int; multicast_bytes : int }
+  | T_reduce_per_member of { bytes_per_member : int array }
+      (** n many-to-one REDUCEs with different roots/sizes (Reduce_scatter) *)
+  | T_skip  (** communicator management: not part of the benchmark *)
+
+exception Unmappable of string
+(** The event is not a collective, or a wildcard/malformed field remains. *)
+
+(** [map ~p event] — [p] is the participant count; roots in the result are
+    world-absolute ranks taken from the event. *)
+val map : p:int -> Scalatrace.Event.t -> target
+
+(** Human-readable right-hand column of Table 1 for documentation and the
+    bench harness. *)
+val describe : Scalatrace.Event.kind -> string
+
+(** The rows of Table 1, as (MPI collective, coNCePTuaL implementation). *)
+val table : (string * string) list

@@ -1,0 +1,342 @@
+open Scalatrace
+
+exception Extrap_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Extrap_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Scaling-model fitting                                                *)
+
+(* Candidate features, most specific constant first.  A model is
+   v(p) = a * f(p) + b; two samples determine (a, b), the rest verify. *)
+let features =
+  [
+    ("p", fun p -> float_of_int p);
+    ("sqrt(p)", fun p -> sqrt (float_of_int p));
+    ("log2(p)", fun p -> log (float_of_int p) /. log 2.);
+    ("1/p", fun p -> 1. /. float_of_int p);
+    ("1/sqrt(p)", fun p -> 1. /. sqrt (float_of_int p));
+    ("1/p^2", fun p -> 1. /. float_of_int (p * p));
+    ("p^2", fun p -> float_of_int (p * p));
+  ]
+
+let fit samples =
+  match samples with
+  | [] | [ _ ] -> None
+  | (p1, v1) :: rest ->
+      let tolerance v = 1e-6 +. (1e-9 *. Float.abs v) in
+      if List.for_all (fun (_, v) -> Float.abs (v -. v1) <= tolerance v1) rest then
+        Some ((fun _ -> v1), Printf.sprintf "%g" v1)
+      else
+        let p2, v2 = List.hd rest in
+        let try_feature (fname, f) =
+          let f1 = f p1 and f2 = f p2 in
+          if Float.abs (f2 -. f1) < 1e-12 then None
+          else
+            let a = (v2 -. v1) /. (f2 -. f1) in
+            let b = v1 -. (a *. f1) in
+            let predict p = (a *. f p) +. b in
+            if
+              List.for_all
+                (fun (p, v) -> Float.abs (v -. predict p) <= tolerance v)
+                samples
+            then
+              let form =
+                if Float.abs b <= 1e-9 then Printf.sprintf "%g*%s" a fname
+                else Printf.sprintf "%g*%s%+g" a fname b
+              in
+              Some (predict, form)
+            else None
+        in
+        List.find_map try_feature features
+
+let fit_int ~what samples ~target =
+  let samples_f = List.map (fun (p, v) -> (p, float_of_int v)) samples in
+  match fit samples_f with
+  | Some (predict, form) ->
+      let v = Float.round (predict target) in
+      if Float.is_finite v && v >= 0. then (int_of_float v, form)
+      else fail "%s extrapolates to an invalid value (%g) at p=%d" what v target
+  | None ->
+      fail "%s values %s fit no scaling model" what
+        (String.concat ", "
+           (List.map (fun (p, v) -> Printf.sprintf "%d@p%d" v p) samples))
+
+(* Computation times are statistical; accept the best model within 25%. *)
+let fit_float_loose samples ~target =
+  match samples with
+  | [] -> 0.
+  | (_, v1) :: _ -> (
+      match fit samples with
+      | Some (predict, _) -> Float.max 0. (predict target)
+      | None ->
+          (* fall back to the best of the candidates by worst-case error *)
+          let best = ref None in
+          let consider predict =
+            let err =
+              List.fold_left
+                (fun acc (p, v) ->
+                  let d =
+                    Float.abs (v -. predict p) /. Float.max 1e-12 (Float.abs v)
+                  in
+                  Float.max acc d)
+                0. samples
+            in
+            match !best with
+            | Some (e, _) when e <= err -> ()
+            | _ -> best := Some (err, predict)
+          in
+          consider (fun _ -> v1);
+          List.iter
+            (fun (_, f) ->
+              match samples with
+              | (p1, w1) :: (p2, w2) :: _ when Float.abs (f p2 -. f p1) > 1e-12 ->
+                  let a = (w2 -. w1) /. (f p2 -. f p1) in
+                  let b = w1 -. (a *. f p1) in
+                  consider (fun p -> (a *. f p) +. b)
+              | _ -> ())
+            features;
+          (match !best with
+          | Some (err, predict) when err <= 0.25 -> Float.max 0. (predict target)
+          | _ ->
+              (* no stable model: keep the largest-p observation *)
+              Float.max 0. (snd (List.nth samples (List.length samples - 1)))))
+
+(* ------------------------------------------------------------------ *)
+(* Rank-set extrapolation: per-interval bounds and strides are fitted.  *)
+
+let extrap_rank_set ~what samples ~target =
+  (* samples : (p, Rank_set.t) list *)
+  let interval_lists = List.map (fun (p, s) -> (p, Util.Rank_set.intervals s)) samples in
+  let n_intervals =
+    match interval_lists with (_, l) :: _ -> List.length l | [] -> 0
+  in
+  List.iter
+    (fun (p, l) ->
+      if List.length l <> n_intervals then
+        fail "%s: participant sets have different interval structure at p=%d" what p)
+    interval_lists;
+  let nth_components i =
+    List.map
+      (fun (p, l) ->
+        let f, t, s = List.nth l i in
+        (p, f, t, s))
+      interval_lists
+  in
+  let intervals =
+    List.init n_intervals (fun i ->
+        let comps = nth_components i in
+        let firsts = List.map (fun (p, f, _, _) -> (p, f)) comps in
+        let lasts = List.map (fun (p, _, t, _) -> (p, t)) comps in
+        let strides = List.map (fun (p, _, _, s) -> (p, s)) comps in
+        let first, _ = fit_int ~what:(what ^ " interval start") firsts ~target in
+        let last, _ = fit_int ~what:(what ^ " interval end") lasts ~target in
+        let stride, _ = fit_int ~what:(what ^ " interval stride") strides ~target in
+        if stride < 1 || last < first then
+          fail "%s: extrapolated interval [%d..%d:%d] is malformed" what first last
+            stride;
+        Util.Rank_set.range ~stride first last)
+  in
+  List.fold_left Util.Rank_set.union Util.Rank_set.empty intervals
+
+(* ------------------------------------------------------------------ *)
+(* Peer extrapolation                                                   *)
+
+let extrap_peer ~what samples ~target =
+  (* all inputs must agree on the peer *form* *)
+  let forms =
+    List.map
+      (fun (p, peer) ->
+        match (peer : Event.peer) with
+        | Event.P_none -> `None
+        | Event.P_any -> `Any
+        | Event.P_abs a -> `Abs (p, a)
+        | Event.P_rel d -> `Rel (p, d)
+        | Event.P_map _ -> `Map)
+      samples
+  in
+  match forms with
+  | `None :: rest when List.for_all (( = ) `None) rest -> Event.P_none
+  | `Any :: rest when List.for_all (( = ) `Any) rest -> Event.P_any
+  | `Abs _ :: _ ->
+      let vals =
+        List.map
+          (function `Abs (p, a) -> (p, a) | _ -> fail "%s: mixed peer forms" what)
+          forms
+      in
+      let a, _ = fit_int ~what:(what ^ " peer") vals ~target in
+      Event.P_abs a
+  | `Rel _ :: _ ->
+      (* offsets are modular: fit both the raw offset and its negative
+         complement, preferring whichever is rank-count invariant *)
+      let vals =
+        List.map
+          (function `Rel (p, d) -> (p, d) | _ -> fail "%s: mixed peer forms" what)
+          forms
+      in
+      let neg = List.map (fun (p, d) -> (p, d - p)) vals in
+      let candidates = [ vals; neg ] in
+      let fitted =
+        List.find_map
+          (fun s ->
+            match fit (List.map (fun (p, v) -> (p, float_of_int v)) s) with
+            | Some (predict, _) ->
+                Some (int_of_float (Float.round (predict target)))
+            | None -> None)
+          candidates
+      in
+      (match fitted with
+      | Some d -> Event.P_rel (((d mod target) + target) mod target)
+      | None -> fail "%s: relative peer offsets fit no model" what)
+  | `Map :: _ -> fail "%s: explicit per-rank peer maps are not extrapolable" what
+  | [] -> fail "%s: no peer samples" what
+  | (`None | `Any) :: _ -> fail "%s: mixed peer forms" what
+
+(* ------------------------------------------------------------------ *)
+(* Structural alignment                                                 *)
+
+let kind_skeleton (k : Event.kind) =
+  (* E_waitall's width is a fitted quantity, not part of the skeleton *)
+  match k with Event.E_waitall _ -> Event.E_waitall 0 | k -> k
+
+let extrap_event ~target (samples : (int * Event.t) list) =
+  let _, e0 = List.hd samples in
+  let what = Event.kind_name e0.Event.kind in
+  List.iter
+    (fun (p, (e : Event.t)) ->
+      if not (Util.Callsite.equal e.site e0.Event.site) then
+        fail "call sites diverge at p=%d near %s" p what;
+      if kind_skeleton e.kind <> kind_skeleton e0.Event.kind then
+        fail "operation kinds diverge at p=%d near %s" p what;
+      if e.tag <> e0.Event.tag then fail "tags diverge at p=%d near %s" p what;
+      if e.comm <> e0.Event.comm then
+        fail "communicators diverge at p=%d near %s" p what)
+    samples;
+  let kind =
+    match e0.Event.kind with
+    | Event.E_waitall _ ->
+        let widths =
+          List.map
+            (fun (p, (e : Event.t)) ->
+              match e.Event.kind with
+              | Event.E_waitall k -> (p, k)
+              | _ -> assert false)
+            samples
+        in
+        let k, _ = fit_int ~what:"waitall width" widths ~target in
+        Event.E_waitall k
+    | k -> k
+  in
+  let bytes, _ =
+    fit_int ~what:(what ^ " size")
+      (List.map (fun (p, (e : Event.t)) -> (p, e.Event.bytes)) samples)
+      ~target
+  in
+  let ranks =
+    extrap_rank_set ~what:(what ^ " participants")
+      (List.map (fun (p, (e : Event.t)) -> (p, e.Event.ranks)) samples)
+      ~target
+  in
+  let peer =
+    extrap_peer ~what
+      (List.map (fun (p, (e : Event.t)) -> (p, e.Event.peer)) samples)
+      ~target
+  in
+  let mean =
+    fit_float_loose
+      (List.map
+         (fun (p, (e : Event.t)) -> (p, Util.Histogram.mean e.Event.dtime))
+         samples)
+      ~target
+  in
+  let dtime = Util.Histogram.create () in
+  Util.Histogram.add dtime mean;
+  (* per-rank size vectors have length p and cannot be carried over; the
+     averaged total in [bytes] subsumes them *)
+  { e0 with Event.kind; bytes; ranks; peer; dtime; vec = None }
+
+let rec extrap_nodes ~target (samples : (int * Tnode.t list) list) =
+  let lengths = List.map (fun (p, l) -> (p, List.length l)) samples in
+  (match lengths with
+  | (_, n0) :: rest ->
+      List.iter
+        (fun (p, n) ->
+          if n <> n0 then
+            fail
+              "trace structure varies with rank count (%d vs %d top-level nodes \
+               at p=%d): this code is outside the extrapolable (SPMD-uniform) \
+               class"
+              n0 n p)
+        rest
+  | [] -> ());
+  match samples with
+  | (_, []) :: _ -> []
+  | _ ->
+      let heads = List.map (fun (p, l) -> (p, List.hd l)) samples in
+      let tails = List.map (fun (p, l) -> (p, List.tl l)) samples in
+      let node =
+        match heads with
+        | (_, Tnode.Leaf _) :: _ ->
+            let events =
+              List.map
+                (fun (p, n) ->
+                  match n with
+                  | Tnode.Leaf e -> (p, e)
+                  | Tnode.Loop _ -> fail "node shapes diverge (leaf vs loop) at p=%d" p)
+                heads
+            in
+            Tnode.Leaf (extrap_event ~target events)
+        | (_, Tnode.Loop _) :: _ ->
+            let loops =
+              List.map
+                (fun (p, n) ->
+                  match n with
+                  | Tnode.Loop { count; body } -> (p, count, body)
+                  | Tnode.Leaf _ -> fail "node shapes diverge (loop vs leaf) at p=%d" p)
+                heads
+            in
+            let count, _ =
+              fit_int ~what:"loop count"
+                (List.map (fun (p, c, _) -> (p, c)) loops)
+                ~target
+            in
+            let body =
+              extrap_nodes ~target (List.map (fun (p, _, b) -> (p, b)) loops)
+            in
+            Tnode.Loop { count; body }
+        | [] -> assert false
+      in
+      node :: extrap_nodes ~target tails
+
+let extrapolate traces ~target =
+  let traces =
+    List.sort_uniq (fun a b -> compare (Trace.nranks a) (Trace.nranks b)) traces
+  in
+  if List.length traces < 2 then
+    fail "extrapolation needs at least two traces at distinct rank counts";
+  let largest = Trace.nranks (List.nth traces (List.length traces - 1)) in
+  if target <= largest then
+    fail "target rank count %d must exceed the largest traced count %d" target
+      largest;
+  let samples = List.map (fun t -> (Trace.nranks t, Trace.nodes t)) traces in
+  let nodes = extrap_nodes ~target samples in
+  (* communicator table: extrapolate each membership like a rank set *)
+  let comm_ids =
+    List.sort_uniq compare
+      (List.concat_map (fun t -> List.map fst (Trace.comms t)) traces)
+  in
+  let comms =
+    List.map
+      (fun cid ->
+        let membership =
+          List.map
+            (fun t ->
+              match List.assoc_opt cid (Trace.comms t) with
+              | Some m -> (Trace.nranks t, m)
+              | None -> fail "communicator %d missing from one input trace" cid)
+            traces
+        in
+        (cid, extrap_rank_set ~what:(Printf.sprintf "comm %d" cid) membership ~target))
+      comm_ids
+  in
+  Trace.make ~nranks:target ~comms ~nodes

@@ -1,0 +1,31 @@
+(** Trace extrapolation across rank counts (the paper's Section 6 future
+    work, after Wu & Mueller's ScalaExtrap \[26\]).
+
+    Given traces of the *same* application at several small rank counts,
+    synthesize the trace of a larger run — and therefore a benchmark for a
+    machine size never actually traced.  The inputs are aligned
+    structurally (same RSD/PRSD shape at every position); every varying
+    quantity — loop counts, message sizes, wait widths, rank-set interval
+    bounds, relative-peer offsets, computation times — is fitted against a
+    small family of scaling models (constant, p, sqrt p, log2 p, 1/p,
+    1/sqrt p, 1/p^2, p^2) and evaluated at the target rank count.
+
+    Like ScalaExtrap, this works for SPMD codes whose trace *structure* is
+    rank-count invariant (stencils, rings, alltoall codes).  Codes whose
+    shape changes with p — e.g. log2(p) unrolled butterfly stages, or
+    process-grid boundary classes that appear and disappear — are detected
+    and rejected with {!Extrap_error} rather than extrapolated wrongly. *)
+
+exception Extrap_error of string
+
+(** [extrapolate traces ~target] — [traces] must contain at least two
+    traces of the same program at distinct rank counts, in any order.
+    @raise Extrap_error when the traces disagree structurally, a quantity
+    fits none of the scaling models, or [target] is not larger than the
+    largest input. *)
+val extrapolate : Scalatrace.Trace.t list -> target:int -> Scalatrace.Trace.t
+
+(** The fitted model for a sequence of [(rank count, value)] samples, for
+    diagnostics and tests: returns a closure evaluating the model and its
+    human-readable form (e.g. ["32768/p"]). *)
+val fit : (int * float) list -> ((int -> float) * string) option

@@ -1,0 +1,1 @@
+lib/mpisim/call.ml: Array Comm Format List Util

@@ -1,0 +1,1 @@
+lib/mpisim/call.mli: Comm Format Util

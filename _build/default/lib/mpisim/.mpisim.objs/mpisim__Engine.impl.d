@@ -1,0 +1,1 @@
+lib/mpisim/engine.ml: Array Buffer Call Comm Effect Float Format Hashtbl Hooks List Netmodel Option Printf Util

@@ -1,0 +1,1 @@
+lib/mpisim/hooks.ml: Call

@@ -1,0 +1,1 @@
+lib/mpisim/mpi.ml: Call Comm Engine Option Printf Util

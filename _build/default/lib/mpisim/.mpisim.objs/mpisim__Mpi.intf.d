@@ -1,0 +1,1 @@
+lib/mpisim/mpi.mli: Call Comm Engine Hooks Netmodel Util

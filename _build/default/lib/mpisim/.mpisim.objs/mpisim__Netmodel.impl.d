@@ -1,0 +1,1 @@
+lib/mpisim/netmodel.ml: Format

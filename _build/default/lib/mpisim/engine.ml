@@ -1,0 +1,779 @@
+exception Deadlock of string
+exception Mpi_error of string
+
+type ctx = { rank : int; nranks : int; world : Comm.t }
+
+type outcome = {
+  elapsed : float;
+  finish_times : float array;
+  events : int;
+  messages : int;
+  p2p_bytes : int;
+  unexpected : int;
+  flow_stalls : int;
+}
+
+type _ Effect.t += Mpi_call : Call.t -> Call.value Effect.t
+
+let perform call =
+  try Effect.perform (Mpi_call call)
+  with Effect.Unhandled _ ->
+    raise (Mpi_error "MPI call performed outside Engine.run")
+
+(* ------------------------------------------------------------------ *)
+(* Internal state                                                      *)
+
+type fiber = (Call.value, unit) Effect.Deep.continuation
+
+type protocol = Eager | Rendezvous
+
+type msg = {
+  m_src : int; (* world ranks *)
+  m_dst : int;
+  m_tag : int;
+  m_bytes : int;
+  m_comm : int;
+  m_protocol : protocol;
+  m_arrival : float; (* eager: data arrival; rendezvous: RTS arrival *)
+  m_send_req : int;
+  mutable m_reserved : bool; (* counted against dst's unexpected buffer *)
+}
+
+type posted = {
+  p_req : int;
+  p_src : int option; (* world rank; None = MPI_ANY_SOURCE *)
+  p_tag : int option; (* None = MPI_ANY_TAG *)
+  p_comm : int;
+  p_time : float;
+}
+
+(* An eager send whose injection is stalled by receiver flow control. *)
+type parked = {
+  q_src : int;
+  q_tag : int;
+  q_bytes : int;
+  q_comm : int;
+  q_call_time : float;
+  q_send_req : int;
+}
+
+type wait_shape = W_send | W_recv | W_wait | W_waitall
+
+type req_state = {
+  r_id : int;
+  r_kind : [ `Send | `Recv ];
+  mutable r_done : float option;
+  mutable r_status : Call.status option;
+  mutable r_waiter : waiter option;
+}
+
+and waiter = {
+  w_rank : int;
+  w_reqs : int array;
+  mutable w_remaining : int;
+  mutable w_latest : float;
+  w_block_time : float;
+  w_shape : wait_shape;
+}
+
+type rank_state = {
+  rs_rank : int;
+  mutable rs_clock : float;
+  mutable rs_finished : bool;
+  mutable rs_finalized : bool;
+  mutable rs_current : Call.t option;
+  mutable rs_posted : posted list; (* post order *)
+  mutable rs_unexpected : msg list; (* arrival order *)
+  mutable rs_buffered : int; (* bytes of reserved unexpected eager data *)
+  mutable rs_parked : parked list; (* FIFO *)
+  mutable rs_proc_free : float;
+      (* when the rank's message-progress engine is next available;
+         arriving messages are processed serially *)
+  mutable rs_nic_free : float;
+      (* when the rank's inbound link is next free: transfers into one
+         receiver serialize on the wire, so message bursts queue *)
+}
+
+type coll_state = {
+  c_comm : Comm.t;
+  c_name : string;
+  mutable c_arrivals : (int * float * Call.op) list;
+}
+
+type event = E_start of int | E_resume of int * Call.value | E_deliver of msg
+
+type state = {
+  net : Netmodel.t;
+  nranks : int;
+  ranks : rank_state array;
+  events : event Util.Pqueue.t;
+  reqs : (int, req_state) Hashtbl.t;
+  mutable next_req : int;
+  mutable next_comm : int;
+  comms : (int, Comm.t) Hashtbl.t;
+  colls : (int * int, coll_state) Hashtbl.t;
+  coll_seq : (int * int, int) Hashtbl.t;
+  hooks : Hooks.t list;
+  fibers : fiber option array;
+  mutable now : float;
+  mutable n_events : int;
+  mutable n_msgs : int;
+  mutable n_bytes : int;
+  mutable n_unexpected : int;
+  mutable n_stalls : int;
+}
+
+let schedule st ~time ev = Util.Pqueue.add st.events ~time ev
+
+let fire_enter st rank call =
+  let time = st.ranks.(rank).rs_clock in
+  List.iter (fun (h : Hooks.t) -> h.on_enter ~world_rank:rank ~time call) st.hooks
+
+let fire_return st rank time call v =
+  List.iter (fun (h : Hooks.t) -> h.on_return ~world_rank:rank ~time call v) st.hooks
+
+let comm_of st cid =
+  match Hashtbl.find_opt st.comms cid with
+  | Some c -> c
+  | None -> raise (Mpi_error (Printf.sprintf "unknown communicator id %d" cid))
+
+let new_req st kind =
+  let id = st.next_req in
+  st.next_req <- id + 1;
+  let r = { r_id = id; r_kind = kind; r_done = None; r_status = None; r_waiter = None } in
+  Hashtbl.replace st.reqs id r;
+  r
+
+let find_req st id =
+  match Hashtbl.find_opt st.reqs id with
+  | Some r -> r
+  | None -> raise (Mpi_error (Printf.sprintf "unknown or freed request %d" id))
+
+let dummy_status : Call.status =
+  { actual_source = -1; actual_tag = -1; received_bytes = 0 }
+
+let status_of_req st id =
+  match (find_req st id).r_status with Some s -> s | None -> dummy_status
+
+(* Resume value owed to a blocked Wait/Send/Recv once its requests finish. *)
+let waiter_value st (w : waiter) : Call.value =
+  match w.w_shape with
+  | W_send -> V_unit
+  | W_recv | W_wait -> V_status (status_of_req st w.w_reqs.(0))
+  | W_waitall -> V_statuses (Array.map (fun id -> status_of_req st id) w.w_reqs)
+
+let waiter_done st (w : waiter) =
+  schedule st ~time:(Float.max w.w_block_time w.w_latest)
+    (E_resume (w.w_rank, waiter_value st w))
+
+let complete_req st (r : req_state) ~time ?status () =
+  assert (r.r_done = None);
+  r.r_done <- Some time;
+  (match status with Some _ -> r.r_status <- status | None -> ());
+  match r.r_waiter with
+  | None -> ()
+  | Some w ->
+      w.w_remaining <- w.w_remaining - 1;
+      w.w_latest <- Float.max w.w_latest time;
+      if w.w_remaining = 0 then waiter_done st w
+
+(* Block [rank]'s fiber until every request in [reqs] completes. *)
+let block_on_reqs st rank shape reqs =
+  let rs = st.ranks.(rank) in
+  let w =
+    {
+      w_rank = rank;
+      w_reqs = Array.of_list reqs;
+      w_remaining = 0;
+      w_latest = rs.rs_clock;
+      w_block_time = rs.rs_clock;
+      w_shape = shape;
+    }
+  in
+  let pending =
+    List.fold_left
+      (fun pending id ->
+        let r = find_req st id in
+        match r.r_done with
+        | Some t ->
+            w.w_latest <- Float.max w.w_latest t;
+            pending
+        | None ->
+            if r.r_waiter <> None then
+              raise (Mpi_error (Printf.sprintf "request %d waited on twice" id));
+            r.r_waiter <- Some w;
+            pending + 1)
+      0 reqs
+  in
+  w.w_remaining <- pending;
+  if pending = 0 then waiter_done st w
+
+(* ------------------------------------------------------------------ *)
+(* Message matching                                                    *)
+
+let msg_matches_posted (m : msg) (p : posted) =
+  m.m_comm = p.p_comm
+  && (match p.p_src with None -> true | Some s -> s = m.m_src)
+  && match p.p_tag with None -> true | Some t -> t = m.m_tag
+
+(* Remove the first element satisfying [pred]; None if absent. *)
+let take_first pred lst =
+  let rec go acc = function
+    | [] -> None
+    | x :: rest ->
+        if pred x then Some (x, List.rev_append acc rest) else go (x :: acc) rest
+  in
+  go [] lst
+
+(* Inbound transfers serialize on the receiver's link. *)
+let wire_arrival st (d : rank_state) ~depart ~bytes =
+  let net = st.net in
+  let start = Float.max (depart +. net.latency) d.rs_nic_free in
+  let arrival = start +. (float_of_int bytes *. net.byte_time) in
+  d.rs_nic_free <- arrival;
+  arrival
+
+(* Drain flow-controlled senders after [bytes] were released at [time]. *)
+let rec release_buffer st (d : rank_state) ~bytes ~time =
+  d.rs_buffered <- d.rs_buffered - bytes;
+  drain_parked st d ~time
+
+and drain_parked st (d : rank_state) ~time =
+  match d.rs_parked with
+  | [] -> ()
+  | q :: rest ->
+      if d.rs_buffered + q.q_bytes <= st.net.unexpected_buffer_bytes then begin
+        d.rs_parked <- rest;
+        d.rs_buffered <- d.rs_buffered + q.q_bytes;
+        inject_parked st d q ~time ~reserved:true;
+        drain_parked st d ~time
+      end
+
+and inject_parked st (d : rank_state) (q : parked) ~time ~reserved =
+  let net = st.net in
+  let ti =
+    Float.max time (q.q_call_time +. net.overhead) +. net.resume_latency
+  in
+  let arrival = wire_arrival st d ~depart:ti ~bytes:q.q_bytes in
+  schedule st ~time:arrival
+    (E_deliver
+       {
+         m_src = q.q_src;
+         m_dst = d.rs_rank;
+         m_tag = q.q_tag;
+         m_bytes = q.q_bytes;
+         m_comm = q.q_comm;
+         m_protocol = Eager;
+         m_arrival = arrival;
+         m_send_req = q.q_send_req;
+         m_reserved = reserved;
+       });
+  complete_req st (find_req st q.q_send_req) ~time:ti ()
+
+(* Message processing occupies the receiver's progress engine serially:
+   completion = max(ready, proc_free) + overhead + bytes * rx_copy
+   (+ the extra unexpected-queue copy when applicable). *)
+let rx_complete st (d : rank_state) ~ready ~bytes ~unexpected =
+  let net = st.net in
+  let cost =
+    net.overhead
+    +. (float_of_int bytes *. net.rx_copy_per_byte)
+    +. (if unexpected then float_of_int bytes *. net.unexpected_copy_per_byte
+        else 0.)
+  in
+  let tc = Float.max ready d.rs_proc_free +. cost in
+  d.rs_proc_free <- tc;
+  tc
+
+(* Status seen by the receiver, with the source translated back into the
+   receiving communicator's local numbering. *)
+let recv_status st (m : msg) : Call.status =
+  let comm = comm_of st m.m_comm in
+  let local =
+    match Comm.local_of_world comm m.m_src with
+    | Some l -> l
+    | None ->
+        raise
+          (Mpi_error
+             (Printf.sprintf "sender %d not a member of communicator %d"
+                m.m_src m.m_comm))
+  in
+  { actual_source = local; actual_tag = m.m_tag; received_bytes = m.m_bytes }
+
+(* A message has physically arrived at its destination. *)
+let deliver st (m : msg) =
+  let d = st.ranks.(m.m_dst) in
+  let ta = m.m_arrival in
+  match take_first (msg_matches_posted m) d.rs_posted with
+  | Some (p, rest) -> (
+      d.rs_posted <- rest;
+      let recv_req = find_req st p.p_req in
+      match m.m_protocol with
+      | Eager ->
+          let tc = rx_complete st d ~ready:ta ~bytes:m.m_bytes ~unexpected:false in
+          (* the receive buffer holds the payload until it is processed *)
+          if m.m_reserved then release_buffer st d ~bytes:m.m_bytes ~time:tc;
+          complete_req st recv_req ~time:tc ~status:(recv_status st m) ()
+      | Rendezvous ->
+          (* Handshake completes on RTS arrival; then the payload moves. *)
+          let data_arrival = wire_arrival st d ~depart:ta ~bytes:m.m_bytes in
+          complete_req st (find_req st m.m_send_req) ~time:data_arrival ();
+          let tc =
+            rx_complete st d ~ready:data_arrival ~bytes:m.m_bytes ~unexpected:false
+          in
+          complete_req st recv_req ~time:tc ~status:(recv_status st m) ())
+  | None ->
+      d.rs_unexpected <- d.rs_unexpected @ [ m ];
+      st.n_unexpected <- st.n_unexpected + 1
+
+let parked_matches_posted (q : parked) (p : posted) =
+  q.q_comm = p.p_comm
+  && (match p.p_src with None -> true | Some s -> s = q.q_src)
+  && match p.p_tag with None -> true | Some t -> t = q.q_tag
+
+(* The receiver posts a receive: match the unexpected queue in arrival
+   order (the simulator's deterministic wildcard policy), or un-stall a
+   flow-controlled sender whose message this receive will consume. *)
+let post_recv st rank (p : posted) =
+  let d = st.ranks.(rank) in
+  match take_first (fun m -> msg_matches_posted m p) d.rs_unexpected with
+  | Some (m, rest) -> (
+      d.rs_unexpected <- rest;
+      let recv_req = find_req st p.p_req in
+      match m.m_protocol with
+      | Eager ->
+          let tc =
+            rx_complete st d ~ready:p.p_time ~bytes:m.m_bytes ~unexpected:true
+          in
+          if m.m_reserved then release_buffer st d ~bytes:m.m_bytes ~time:tc;
+          complete_req st recv_req ~time:tc ~status:(recv_status st m) ()
+      | Rendezvous ->
+          let data_arrival = wire_arrival st d ~depart:p.p_time ~bytes:m.m_bytes in
+          complete_req st (find_req st m.m_send_req) ~time:data_arrival ();
+          let tc =
+            rx_complete st d ~ready:data_arrival ~bytes:m.m_bytes ~unexpected:false
+          in
+          complete_req st recv_req ~time:tc ~status:(recv_status st m) ())
+  | None -> (
+      d.rs_posted <- d.rs_posted @ [ p ];
+      (* Liveness: if the message this receive is waiting for is parked at
+         a flow-controlled sender, force its injection past the full
+         buffer — it will match the posted receive, not the buffer. *)
+      match take_first (fun q -> parked_matches_posted q p) d.rs_parked with
+      | Some (q, rest) ->
+          d.rs_parked <- rest;
+          inject_parked st d q ~time:p.p_time ~reserved:false
+      | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Point-to-point calls                                                *)
+
+let do_send st rank (call : Call.t) ~blocking ~dst ~bytes ~tag =
+  let net = st.net in
+  let comm = call.comm in
+  let dst_world = Comm.world_of_local comm dst in
+  if dst_world = rank then
+    raise (Mpi_error (Printf.sprintf "rank %d sending to itself" rank));
+  let rs = st.ranks.(rank) in
+  let t0 = rs.rs_clock in
+  let req = new_req st `Send in
+  st.n_msgs <- st.n_msgs + 1;
+  st.n_bytes <- st.n_bytes + bytes;
+  let return_at time =
+    if blocking then block_on_reqs st rank W_send [ req.r_id ]
+    else schedule st ~time (E_resume (rank, V_request req.r_id))
+  in
+  if Netmodel.is_eager net ~bytes then begin
+    let d = st.ranks.(dst_world) in
+    let earlier_parked = List.exists (fun q -> q.q_src = rank) d.rs_parked in
+    (* a message that can never fit the buffer is admitted anyway once a
+       matching receive is posted (it drains straight into the
+       application); liveness depends on this *)
+    let oversize = bytes > net.unexpected_buffer_bytes in
+    let has_posted =
+      List.exists
+        (fun p ->
+          msg_matches_posted
+            {
+              m_src = rank; m_dst = dst_world; m_tag = tag; m_bytes = bytes;
+              m_comm = Comm.id comm; m_protocol = Eager; m_arrival = 0.;
+              m_send_req = req.r_id; m_reserved = false;
+            }
+            p)
+        d.rs_posted
+    in
+    if
+      (not earlier_parked)
+      && ((has_posted && oversize)
+         || d.rs_buffered + bytes <= net.unexpected_buffer_bytes)
+    then begin
+      (* every eager payload occupies the receiver's buffer from injection
+         until the receiver has processed it *)
+      let reserved = true in
+      d.rs_buffered <- d.rs_buffered + bytes;
+      let ti = t0 +. net.overhead in
+      let arrival = wire_arrival st d ~depart:ti ~bytes in
+      schedule st ~time:arrival
+        (E_deliver
+           {
+             m_src = rank; m_dst = dst_world; m_tag = tag; m_bytes = bytes;
+             m_comm = Comm.id comm; m_protocol = Eager; m_arrival = arrival;
+             m_send_req = req.r_id; m_reserved = reserved;
+           });
+      complete_req st req ~time:ti ();
+      return_at ti
+    end
+    else begin
+      (* Receiver's unexpected buffer is full (or ordering requires queueing
+         behind an earlier stalled message): flow control stalls this send. *)
+      st.n_stalls <- st.n_stalls + 1;
+      d.rs_parked <-
+        d.rs_parked
+        @ [
+            {
+              q_src = rank; q_tag = tag; q_bytes = bytes;
+              q_comm = Comm.id comm; q_call_time = t0; q_send_req = req.r_id;
+            };
+          ];
+      return_at (t0 +. net.overhead)
+    end
+  end
+  else begin
+    (* Rendezvous: only the RTS travels now. *)
+    let rts_arrival = t0 +. net.overhead +. net.latency in
+    schedule st ~time:rts_arrival
+      (E_deliver
+         {
+           m_src = rank; m_dst = dst_world; m_tag = tag; m_bytes = bytes;
+           m_comm = Comm.id comm; m_protocol = Rendezvous;
+           m_arrival = rts_arrival; m_send_req = req.r_id; m_reserved = false;
+         });
+    return_at (t0 +. net.overhead)
+  end
+
+let do_recv st rank (call : Call.t) ~blocking ~src ~bytes:_ ~tag =
+  let comm = call.comm in
+  let rs = st.ranks.(rank) in
+  let t0 = rs.rs_clock in
+  let req = new_req st `Recv in
+  let p_src =
+    match (src : Call.source) with
+    | Any_source -> None
+    | Rank r ->
+        let w = Comm.world_of_local comm r in
+        if w = rank then
+          raise (Mpi_error (Printf.sprintf "rank %d receiving from itself" rank));
+        Some w
+  in
+  let p_tag = match (tag : Call.tag_match) with Any_tag -> None | Tag t -> Some t in
+  let p =
+    {
+      p_req = req.r_id; p_src; p_tag; p_comm = Comm.id comm;
+      p_time = t0 +. st.net.overhead;
+    }
+  in
+  post_recv st rank p;
+  if blocking then block_on_reqs st rank W_recv [ req.r_id ]
+  else schedule st ~time:(t0 +. st.net.overhead) (E_resume (rank, V_request req.r_id))
+
+(* ------------------------------------------------------------------ *)
+(* Collectives                                                         *)
+
+let coll_cost st (c : coll_state) =
+  let net = st.net in
+  let p = Comm.size c.c_comm in
+  let sum = Array.fold_left ( + ) 0 in
+  (* Representative op: the root's where rooted sizes matter, else any. *)
+  let op_of_rank want_root =
+    let found =
+      List.find_opt (fun (w, _, _) ->
+          match Comm.local_of_world c.c_comm w with
+          | Some l -> l = want_root
+          | None -> false)
+        c.c_arrivals
+    in
+    match found with Some (_, _, op) -> op | None -> let (_, _, op) = List.hd c.c_arrivals in op
+  in
+  let (_, _, any_op) = List.hd c.c_arrivals in
+  match any_op with
+  | Barrier -> Netmodel.barrier_cost net ~p
+  | Bcast { root; _ } -> (
+      match op_of_rank root with
+      | Bcast { bytes; _ } -> Netmodel.bcast_cost net ~p ~bytes
+      | _ -> assert false)
+  | Reduce { root; _ } -> (
+      match op_of_rank root with
+      | Reduce { bytes; _ } -> Netmodel.reduce_cost net ~p ~bytes
+      | _ -> assert false)
+  | Allreduce { bytes } -> Netmodel.allreduce_cost net ~p ~bytes
+  | Gather { root; _ } -> (
+      match op_of_rank root with
+      | Gather { bytes_per_rank; _ } ->
+          Netmodel.gather_cost net ~p ~total:((p - 1) * bytes_per_rank)
+      | _ -> assert false)
+  | Gatherv { root; _ } -> (
+      match op_of_rank root with
+      | Gatherv { bytes_from; _ } -> Netmodel.gather_cost net ~p ~total:(sum bytes_from)
+      | _ -> assert false)
+  | Scatter { root; _ } -> (
+      match op_of_rank root with
+      | Scatter { bytes_per_rank; _ } ->
+          Netmodel.gather_cost net ~p ~total:((p - 1) * bytes_per_rank)
+      | _ -> assert false)
+  | Scatterv { root; _ } -> (
+      match op_of_rank root with
+      | Scatterv { bytes_to; _ } -> Netmodel.gather_cost net ~p ~total:(sum bytes_to)
+      | _ -> assert false)
+  | Allgather { bytes_per_rank } ->
+      Netmodel.allgather_cost net ~p ~total:(p * bytes_per_rank)
+  | Allgatherv { bytes_from } -> Netmodel.allgather_cost net ~p ~total:(sum bytes_from)
+  | Alltoall { bytes_per_pair } ->
+      Netmodel.alltoall_cost net ~p ~total:(p * bytes_per_pair)
+  | Alltoallv _ ->
+      (* Bottleneck rank's row determines the cost. *)
+      let worst =
+        List.fold_left
+          (fun acc (_, _, op) ->
+            match op with
+            | Call.Alltoallv { bytes_to } -> max acc (sum bytes_to)
+            | _ -> acc)
+          0 c.c_arrivals
+      in
+      Netmodel.alltoall_cost net ~p ~total:worst
+  | Reduce_scatter { bytes_per_rank } ->
+      Netmodel.reduce_scatter_cost net ~p ~total:(sum bytes_per_rank)
+  | Comm_split _ | Comm_dup | Finalize -> Netmodel.barrier_cost net ~p
+  | Send _ | Isend _ | Recv _ | Irecv _ | Wait _ | Waitall _ | Compute _ | Wtime ->
+      assert false
+
+let split_comms st (c : coll_state) =
+  (* color -> members ordered by (key, world rank) *)
+  let by_color = Hashtbl.create 8 in
+  List.iter
+    (fun (w, _, op) ->
+      match op with
+      | Call.Comm_split { color; key } ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt by_color color) in
+          Hashtbl.replace by_color color ((key, w) :: cur)
+      | _ -> assert false)
+    c.c_arrivals;
+  let colors = Hashtbl.fold (fun color _ acc -> color :: acc) by_color [] in
+  let colors = List.sort compare colors in
+  let assignment = Hashtbl.create 8 in
+  List.iter
+    (fun color ->
+      let members =
+        Hashtbl.find by_color color |> List.sort compare |> List.map snd
+        |> Array.of_list
+      in
+      let id = st.next_comm in
+      st.next_comm <- id + 1;
+      let comm = Comm.make ~id ~members in
+      Hashtbl.replace st.comms id comm;
+      Array.iter (fun w -> Hashtbl.replace assignment w comm) members)
+    colors;
+  fun w -> Hashtbl.find assignment w
+
+let finish_collective st key (c : coll_state) =
+  Hashtbl.remove st.colls key;
+  let t_all =
+    List.fold_left (fun acc (_, t, _) -> Float.max acc t) 0. c.c_arrivals
+  in
+  let done_at = t_all +. coll_cost st c in
+  let (_, _, any_op) = List.hd c.c_arrivals in
+  let value_for =
+    match any_op with
+    | Call.Comm_split _ ->
+        let lookup = split_comms st c in
+        fun w -> Call.V_comm (lookup w)
+    | Call.Comm_dup ->
+        let id = st.next_comm in
+        st.next_comm <- id + 1;
+        let comm = Comm.make ~id ~members:(Comm.members c.c_comm) in
+        Hashtbl.replace st.comms id comm;
+        fun _ -> Call.V_comm comm
+    | Call.Finalize ->
+        fun w ->
+          st.ranks.(w).rs_finalized <- true;
+          Call.V_unit
+    | _ -> fun _ -> Call.V_unit
+  in
+  List.iter
+    (fun (w, _, _) -> schedule st ~time:done_at (E_resume (w, value_for w)))
+    c.c_arrivals
+
+let do_collective st rank (call : Call.t) =
+  let comm = call.comm in
+  if not (Comm.is_member comm ~world:rank) then
+    raise
+      (Mpi_error
+         (Printf.sprintf "rank %d calling %s on communicator %d it is not in"
+            rank (Call.op_name call.op) (Comm.id comm)));
+  let cid = Comm.id comm in
+  let slot = Option.value ~default:0 (Hashtbl.find_opt st.coll_seq (cid, rank)) in
+  Hashtbl.replace st.coll_seq (cid, rank) (slot + 1);
+  let key = (cid, slot) in
+  let c =
+    match Hashtbl.find_opt st.colls key with
+    | Some c -> c
+    | None ->
+        let c = { c_comm = comm; c_name = Call.op_name call.op; c_arrivals = [] } in
+        Hashtbl.replace st.colls key c;
+        c
+  in
+  if c.c_name <> Call.op_name call.op then
+    raise
+      (Mpi_error
+         (Printf.sprintf
+            "collective mismatch on communicator %d: rank %d calls %s at %s \
+             but another rank called %s"
+            cid rank (Call.op_name call.op)
+            (Util.Callsite.to_string call.site)
+            c.c_name));
+  c.c_arrivals <- (rank, st.ranks.(rank).rs_clock, call.op) :: c.c_arrivals;
+  if List.length c.c_arrivals = Comm.size comm then finish_collective st key c
+
+(* ------------------------------------------------------------------ *)
+(* Call dispatch                                                       *)
+
+let handle_call st rank (call : Call.t) (k : fiber) =
+  let rs = st.ranks.(rank) in
+  st.fibers.(rank) <- Some k;
+  rs.rs_current <- Some call;
+  fire_enter st rank call;
+  match call.op with
+  | Send { dst; bytes; tag } -> do_send st rank call ~blocking:true ~dst ~bytes ~tag
+  | Isend { dst; bytes; tag } -> do_send st rank call ~blocking:false ~dst ~bytes ~tag
+  | Recv { src; bytes; tag } -> do_recv st rank call ~blocking:true ~src ~bytes ~tag
+  | Irecv { src; bytes; tag } -> do_recv st rank call ~blocking:false ~src ~bytes ~tag
+  | Wait r -> block_on_reqs st rank W_wait [ r ]
+  | Waitall rs_ -> block_on_reqs st rank W_waitall rs_
+  | Compute d ->
+      if not (Float.is_finite d) || d < 0. then
+        raise (Mpi_error "compute: duration must be finite and non-negative");
+      schedule st ~time:(rs.rs_clock +. d) (E_resume (rank, V_unit))
+  | Wtime -> schedule st ~time:rs.rs_clock (E_resume (rank, V_time rs.rs_clock))
+  | Barrier | Bcast _ | Reduce _ | Allreduce _ | Gather _ | Gatherv _
+  | Allgather _ | Allgatherv _ | Scatter _ | Scatterv _ | Alltoall _
+  | Alltoallv _ | Reduce_scatter _ | Comm_split _ | Comm_dup | Finalize ->
+      do_collective st rank call
+
+(* ------------------------------------------------------------------ *)
+(* Run loop                                                            *)
+
+let deadlock_report st =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "simulation deadlock; stuck ranks:";
+  Array.iter
+    (fun rs ->
+      if not rs.rs_finished then begin
+        let call =
+          match rs.rs_current with
+          | Some c ->
+              Format.asprintf "%a at %a" Call.pp_op c.op Util.Callsite.pp c.site
+          | None -> "<not started>"
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "\n  rank %d at t=%.6fs blocked in %s" rs.rs_rank
+             rs.rs_clock call)
+      end)
+    st.ranks;
+  Buffer.contents buf
+
+let run ?(hooks = []) ?(net = Netmodel.bluegene_l) ~nranks program =
+  if nranks < 1 then raise (Mpi_error "run: nranks must be >= 1");
+  let world = Comm.world nranks in
+  let st =
+    {
+      net;
+      nranks;
+      ranks =
+        Array.init nranks (fun rank ->
+            {
+              rs_rank = rank; rs_clock = 0.; rs_finished = false;
+              rs_finalized = false; rs_current = None; rs_posted = [];
+              rs_unexpected = []; rs_buffered = 0; rs_parked = [];
+              rs_proc_free = 0.; rs_nic_free = 0.;
+            });
+      events = Util.Pqueue.create ();
+      reqs = Hashtbl.create 1024;
+      next_req = 0;
+      next_comm = 1;
+      comms = Hashtbl.create 16;
+      colls = Hashtbl.create 64;
+      coll_seq = Hashtbl.create 64;
+      hooks;
+      fibers = Array.make nranks None;
+      now = 0.;
+      n_events = 0;
+      n_msgs = 0;
+      n_bytes = 0;
+      n_unexpected = 0;
+      n_stalls = 0;
+    }
+  in
+  Hashtbl.replace st.comms 0 world;
+  let start_fiber rank =
+    let body () =
+      program { rank; nranks; world };
+      let rs = st.ranks.(rank) in
+      if not rs.rs_finalized then
+        raise
+          (Mpi_error (Printf.sprintf "rank %d returned without MPI_Finalize" rank));
+      rs.rs_finished <- true
+    in
+    Effect.Deep.match_with body ()
+      {
+        retc = (fun () -> ());
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Mpi_call call ->
+                Some
+                  (fun (k : (a, unit) Effect.Deep.continuation) ->
+                    handle_call st rank call k)
+            | _ -> None);
+      }
+  in
+  let resume rank v =
+    let rs = st.ranks.(rank) in
+    rs.rs_clock <- Float.max rs.rs_clock st.now;
+    (match rs.rs_current with
+    | Some call -> fire_return st rank rs.rs_clock call v
+    | None -> ());
+    rs.rs_current <- None;
+    match st.fibers.(rank) with
+    | None -> raise (Mpi_error (Printf.sprintf "resume of idle rank %d" rank))
+    | Some k ->
+        st.fibers.(rank) <- None;
+        Effect.Deep.continue k v
+  in
+  for rank = 0 to nranks - 1 do
+    schedule st ~time:0. (E_start rank)
+  done;
+  let rec loop () =
+    match Util.Pqueue.pop st.events with
+    | None ->
+        if Array.exists (fun rs -> not rs.rs_finished) st.ranks then
+          raise (Deadlock (deadlock_report st))
+    | Some (t, ev) ->
+        st.now <- t;
+        st.n_events <- st.n_events + 1;
+        (match ev with
+        | E_start rank -> start_fiber rank
+        | E_resume (rank, v) -> resume rank v
+        | E_deliver m -> deliver st m);
+        loop ()
+  in
+  loop ();
+  let finish_times = Array.map (fun rs -> rs.rs_clock) st.ranks in
+  {
+    elapsed = Array.fold_left Float.max 0. finish_times;
+    finish_times;
+    events = st.n_events;
+    messages = st.n_msgs;
+    p2p_bytes = st.n_bytes;
+    unexpected = st.n_unexpected;
+    flow_stalls = st.n_stalls;
+  }

@@ -1,0 +1,45 @@
+(** Deterministic discrete-event simulation of an MPI machine.
+
+    Each rank runs as a cooperative fiber (OCaml effects).  Fibers advance
+    only when the event loop resumes them, and events are processed in
+    strictly increasing virtual-time order (ties broken FIFO), so a whole
+    run is a deterministic function of the program, the rank count, and the
+    {!Netmodel}.  Message semantics follow MPI: tag/source matching with
+    wildcards, non-overtaking per sender/receiver pair, eager vs.
+    rendezvous protocols, unexpected-message queueing with copy cost, and
+    sender flow control when a receiver's unexpected buffer fills.
+
+    Applications do not call this module directly — they use the {!Mpi}
+    wrapper — but tests exercise it through the same entry point. *)
+
+exception Deadlock of string
+(** Raised when no event is pending but some rank has not finished; the
+    message lists each stuck rank with its blocking call. *)
+
+exception Mpi_error of string
+(** Semantic misuse: collective mismatch on a communicator, a rank
+    returning without [MPI_Finalize], invalid arguments. *)
+
+type ctx = { rank : int; nranks : int; world : Comm.t }
+
+(** Cumulative run metrics. *)
+type outcome = {
+  elapsed : float;  (** max over ranks of finish time *)
+  finish_times : float array;
+  events : int;  (** discrete events processed *)
+  messages : int;  (** point-to-point messages injected *)
+  p2p_bytes : int;
+  unexpected : int;  (** messages queued before their receive was posted *)
+  flow_stalls : int;  (** sends delayed by receiver-side flow control *)
+}
+
+(** [run ~nranks program] simulates [program] on every rank.
+
+    @param hooks interposition clients, called in registration order.
+    @param net the network model (default {!Netmodel.bluegene_l}). *)
+val run :
+  ?hooks:Hooks.t list -> ?net:Netmodel.t -> nranks:int -> (ctx -> unit) -> outcome
+
+(** [perform call] — issue an MPI call from inside a running rank fiber.
+    Used by {!Mpi}; calling it outside [run] raises [Mpi_error]. *)
+val perform : Call.t -> Call.value

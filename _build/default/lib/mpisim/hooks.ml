@@ -1,0 +1,10 @@
+type t = {
+  on_enter : world_rank:int -> time:float -> Call.t -> unit;
+  on_return : world_rank:int -> time:float -> Call.t -> Call.value -> unit;
+}
+
+let nil =
+  {
+    on_enter = (fun ~world_rank:_ ~time:_ _ -> ());
+    on_return = (fun ~world_rank:_ ~time:_ _ _ -> ());
+  }

@@ -1,0 +1,16 @@
+(** PMPI-style interposition.
+
+    Clients (the ScalaTrace tracer, the mpiP-like profiler) register hooks
+    that observe every MPI call a rank makes, with virtual timestamps.
+    [on_enter] fires when the application invokes the call; [on_return]
+    fires when the call completes and the application resumes.  [Compute]
+    and [Wtime] pseudo-calls are reported too; clients that only care about
+    MPI events filter them with {!Call.is_compute}. *)
+
+type t = {
+  on_enter : world_rank:int -> time:float -> Call.t -> unit;
+  on_return : world_rank:int -> time:float -> Call.t -> Call.value -> unit;
+}
+
+(** A hook that does nothing; override the fields you need. *)
+val nil : t

@@ -1,0 +1,131 @@
+type ctx = Engine.ctx = { rank : int; nranks : int; world : Comm.t }
+
+let site ?label pos = Util.Callsite.make ?label pos
+
+let run = Engine.run
+
+let call ?(site = Util.Callsite.unknown) ~comm op : Call.value =
+  Engine.perform { op; comm; site }
+
+let bad_value op =
+  raise (Engine.Mpi_error ("unexpected result value for " ^ Call.op_name op))
+
+let unit_call ?site ~comm op =
+  match call ?site ~comm op with V_unit -> () | _ -> bad_value op
+
+let send ?site ?comm ?(tag = 0) (ctx : ctx) ~dst ~bytes =
+  let comm = Option.value ~default:ctx.world comm in
+  unit_call ?site ~comm (Call.Send { dst; bytes; tag })
+
+let isend ?site ?comm ?(tag = 0) (ctx : ctx) ~dst ~bytes =
+  let comm = Option.value ~default:ctx.world comm in
+  let op = Call.Isend { dst; bytes; tag } in
+  match call ?site ~comm op with V_request r -> r | _ -> bad_value op
+
+let recv ?site ?comm ?(tag = Call.Any_tag) (ctx : ctx) ~src ~bytes =
+  let comm = Option.value ~default:ctx.world comm in
+  let op = Call.Recv { src; bytes; tag } in
+  match call ?site ~comm op with V_status s -> s | _ -> bad_value op
+
+let irecv ?site ?comm ?(tag = Call.Any_tag) (ctx : ctx) ~src ~bytes =
+  let comm = Option.value ~default:ctx.world comm in
+  let op = Call.Irecv { src; bytes; tag } in
+  match call ?site ~comm op with V_request r -> r | _ -> bad_value op
+
+let wait ?site (ctx : ctx) req =
+  let op = Call.Wait req in
+  match call ?site ~comm:ctx.world op with V_status s -> s | _ -> bad_value op
+
+let waitall ?site (ctx : ctx) reqs =
+  let op = Call.Waitall reqs in
+  match call ?site ~comm:ctx.world op with
+  | V_statuses s -> s
+  | _ -> bad_value op
+
+let sendrecv ?site ?comm ?(tag = 0) (ctx : ctx) ~dst ~send_bytes ~src ~recv_bytes =
+  let comm = Option.value ~default:ctx.world comm in
+  let r = irecv ?site ~comm ~tag:(Call.Tag tag) ctx ~src ~bytes:recv_bytes in
+  send ?site ~comm ~tag ctx ~dst ~bytes:send_bytes;
+  wait ?site ctx r
+
+let barrier ?site ?comm (ctx : ctx) =
+  let comm = Option.value ~default:ctx.world comm in
+  unit_call ?site ~comm Call.Barrier
+
+let bcast ?site ?comm (ctx : ctx) ~root ~bytes =
+  let comm = Option.value ~default:ctx.world comm in
+  unit_call ?site ~comm (Call.Bcast { root; bytes })
+
+let reduce ?site ?comm (ctx : ctx) ~root ~bytes =
+  let comm = Option.value ~default:ctx.world comm in
+  unit_call ?site ~comm (Call.Reduce { root; bytes })
+
+let allreduce ?site ?comm (ctx : ctx) ~bytes =
+  let comm = Option.value ~default:ctx.world comm in
+  unit_call ?site ~comm (Call.Allreduce { bytes })
+
+let gather ?site ?comm (ctx : ctx) ~root ~bytes_per_rank =
+  let comm = Option.value ~default:ctx.world comm in
+  unit_call ?site ~comm (Call.Gather { root; bytes_per_rank })
+
+let gatherv ?site ?comm (ctx : ctx) ~root ~bytes_from =
+  let comm = Option.value ~default:ctx.world comm in
+  unit_call ?site ~comm (Call.Gatherv { root; bytes_from })
+
+let allgather ?site ?comm (ctx : ctx) ~bytes_per_rank =
+  let comm = Option.value ~default:ctx.world comm in
+  unit_call ?site ~comm (Call.Allgather { bytes_per_rank })
+
+let allgatherv ?site ?comm (ctx : ctx) ~bytes_from =
+  let comm = Option.value ~default:ctx.world comm in
+  unit_call ?site ~comm (Call.Allgatherv { bytes_from })
+
+let scatter ?site ?comm (ctx : ctx) ~root ~bytes_per_rank =
+  let comm = Option.value ~default:ctx.world comm in
+  unit_call ?site ~comm (Call.Scatter { root; bytes_per_rank })
+
+let scatterv ?site ?comm (ctx : ctx) ~root ~bytes_to =
+  let comm = Option.value ~default:ctx.world comm in
+  unit_call ?site ~comm (Call.Scatterv { root; bytes_to })
+
+let alltoall ?site ?comm (ctx : ctx) ~bytes_per_pair =
+  let comm = Option.value ~default:ctx.world comm in
+  unit_call ?site ~comm (Call.Alltoall { bytes_per_pair })
+
+let alltoallv ?site ?comm (ctx : ctx) ~bytes_to =
+  let comm = Option.value ~default:ctx.world comm in
+  unit_call ?site ~comm (Call.Alltoallv { bytes_to })
+
+let reduce_scatter ?site ?comm (ctx : ctx) ~bytes_per_rank =
+  let comm = Option.value ~default:ctx.world comm in
+  unit_call ?site ~comm (Call.Reduce_scatter { bytes_per_rank })
+
+let comm_split ?site ?comm (ctx : ctx) ~color ~key =
+  let comm = Option.value ~default:ctx.world comm in
+  let op = Call.Comm_split { color; key } in
+  match call ?site ~comm op with V_comm c -> c | _ -> bad_value op
+
+let comm_dup ?site ?comm (ctx : ctx) =
+  let comm = Option.value ~default:ctx.world comm in
+  let op = Call.Comm_dup in
+  match call ?site ~comm op with V_comm c -> c | _ -> bad_value op
+
+let compute ?site (ctx : ctx) seconds =
+  unit_call ?site ~comm:ctx.world (Call.Compute seconds)
+
+let wtime (ctx : ctx) =
+  let op = Call.Wtime in
+  match call ~comm:ctx.world op with V_time t -> t | _ -> bad_value op
+
+let finalize ?site (ctx : ctx) = unit_call ?site ~comm:ctx.world Call.Finalize
+
+let comm_rank comm (ctx : ctx) =
+  match Comm.local_of_world comm ctx.rank with
+  | Some l -> l
+  | None ->
+      raise
+        (Engine.Mpi_error
+           (Printf.sprintf "rank %d is not a member of communicator %d" ctx.rank
+              (Comm.id comm)))
+
+let comm_size = Comm.size

@@ -1,0 +1,91 @@
+type t = {
+  latency : float;
+  overhead : float;
+  byte_time : float;
+  rx_copy_per_byte : float;
+  eager_threshold : int;
+  unexpected_copy_per_byte : float;
+  unexpected_buffer_bytes : int;
+  resume_latency : float;
+  collective_dispatch : float;
+}
+
+(* BG/L: ~3 us torus latency, ~150 MB/s per link usable in this era's MPI,
+   generous eager limit and buffering (the network has hardware flow
+   control and deep packet buffers). *)
+let bluegene_l =
+  {
+    latency = 3.0e-6;
+    overhead = 1.0e-6;
+    byte_time = 1.0 /. 150.0e6;
+    rx_copy_per_byte = 0.1e-9;
+    eager_threshold = 65536;
+    unexpected_copy_per_byte = 0.25e-9;
+    unexpected_buffer_bytes = 32 * 1024 * 1024;
+    resume_latency = 10.0e-6;
+    collective_dispatch = 2.0e-6;
+  }
+
+(* Gigabit-Ethernet cluster: ~50 us latency, ~110 MB/s, small socket
+   buffers so unexpected traffic quickly triggers flow control. *)
+let ethernet_cluster =
+  {
+    latency = 50.0e-6;
+    overhead = 5.0e-6;
+    byte_time = 1.0 /. 110.0e6;
+    rx_copy_per_byte = 2.0e-9;
+    eager_threshold = 65536;
+    unexpected_copy_per_byte = 20.0e-9;
+    unexpected_buffer_bytes = 64 * 1024;
+    resume_latency = 1.0e-3;
+    collective_dispatch = 10.0e-6;
+  }
+
+let transfer_time t ~bytes = t.latency +. (float_of_int bytes *. t.byte_time)
+
+let is_eager t ~bytes = bytes <= t.eager_threshold
+
+let log2_ceil p =
+  let rec go acc n = if n >= p then acc else go (acc + 1) (n * 2) in
+  if p <= 1 then 0 else go 0 1
+
+let stage t ~bytes =
+  t.latency +. (2. *. t.overhead) +. (float_of_int bytes *. t.byte_time)
+
+let barrier_cost t ~p =
+  t.collective_dispatch +. (float_of_int (log2_ceil p) *. stage t ~bytes:0)
+
+let bcast_cost t ~p ~bytes =
+  t.collective_dispatch +. (float_of_int (log2_ceil p) *. stage t ~bytes)
+
+let reduce_cost t ~p ~bytes = bcast_cost t ~p ~bytes
+
+let allreduce_cost t ~p ~bytes =
+  t.collective_dispatch +. (2. *. float_of_int (log2_ceil p) *. stage t ~bytes)
+
+(* Root serializes p-1 point-to-point transfers; one wire latency up front. *)
+let gather_cost t ~p ~total =
+  t.collective_dispatch +. t.latency
+  +. (float_of_int (p - 1) *. 2. *. t.overhead)
+  +. (float_of_int total *. t.byte_time)
+
+(* Ring algorithm: p-1 stages, each moving total/p bytes. *)
+let allgather_cost t ~p ~total =
+  let per_stage = if p = 0 then 0 else total / max 1 p in
+  t.collective_dispatch +. (float_of_int (p - 1) *. stage t ~bytes:per_stage)
+
+let alltoall_cost t ~p ~total =
+  let per_stage = if p <= 1 then total else total / (p - 1) in
+  t.collective_dispatch +. (float_of_int (p - 1) *. stage t ~bytes:per_stage)
+
+let reduce_scatter_cost t ~p ~total =
+  (* reduce of the full vector then scatter of the pieces *)
+  reduce_cost t ~p ~bytes:total +. gather_cost t ~p ~total
+
+let pp ppf t =
+  Format.fprintf ppf
+    "net{L=%.2gus o=%.2gus bw=%.0fMB/s eager<=%dB ubuf=%dKiB}"
+    (t.latency *. 1e6) (t.overhead *. 1e6)
+    (1. /. t.byte_time /. 1e6)
+    t.eager_threshold
+    (t.unexpected_buffer_bytes / 1024)

@@ -1,0 +1,65 @@
+(** Network performance model.
+
+    A LogGP-flavoured analytic model extended with the two MPI-library
+    mechanisms the paper's Figure 7 discussion hinges on: an
+    unexpected-message queue with a per-byte copy penalty, and sender-side
+    flow control with a stall/resume cost once a receiver's unexpected
+    buffer fills.  All times are seconds, sizes bytes. *)
+
+type t = {
+  latency : float;  (** wire latency L per message *)
+  overhead : float;  (** CPU overhead o per send/recv call *)
+  byte_time : float;  (** per-byte transfer time G (1/bandwidth) *)
+  rx_copy_per_byte : float;
+      (** receiver-side per-byte processing cost: every arriving message
+          occupies the receiver's progress engine for
+          [overhead + bytes * rx_copy_per_byte], serialized per rank — the
+          "messages arriving faster than they can be processed" mechanism
+          of the paper's Section 5.4 discussion *)
+  eager_threshold : int;
+      (** messages of at most this many bytes use the eager protocol;
+          larger ones rendezvous *)
+  unexpected_copy_per_byte : float;
+      (** extra receiver cost per byte when the matching receive was posted
+          after the (eager) message arrived *)
+  unexpected_buffer_bytes : int;
+      (** per-receiver capacity for buffered unexpected eager data; when
+          exceeded, senders stall until the receiver drains *)
+  resume_latency : float;
+      (** penalty for re-starting a flow-controlled sender *)
+  collective_dispatch : float;
+      (** fixed software cost added to every collective *)
+}
+
+(** Parameters evoking Blue Gene/L's torus+tree interconnect: low latency,
+    high bandwidth, large eager buffers. *)
+val bluegene_l : t
+
+(** Parameters evoking a commodity Ethernet cluster: high latency, modest
+    bandwidth, small unexpected buffers — the Section 5.4 platform where
+    Figure 7's non-monotonic behaviour appears. *)
+val ethernet_cluster : t
+
+(** Point-to-point transfer time for a [bytes]-sized message, excluding
+    queueing effects: [latency + bytes * byte_time]. *)
+val transfer_time : t -> bytes:int -> float
+
+val is_eager : t -> bytes:int -> bool
+
+(** Analytic completion costs of collectives once all participants have
+    arrived, as functions of participant count [p] and payload size. *)
+
+val barrier_cost : t -> p:int -> float
+val bcast_cost : t -> p:int -> bytes:int -> float
+val reduce_cost : t -> p:int -> bytes:int -> float
+val allreduce_cost : t -> p:int -> bytes:int -> float
+
+(** Rooted gather/scatter with possibly per-rank sizes; [total] is the sum
+    over non-root participants. *)
+val gather_cost : t -> p:int -> total:int -> float
+
+val allgather_cost : t -> p:int -> total:int -> float
+val alltoall_cost : t -> p:int -> total:int -> float
+val reduce_scatter_cost : t -> p:int -> total:int -> float
+
+val pp : Format.formatter -> t -> unit

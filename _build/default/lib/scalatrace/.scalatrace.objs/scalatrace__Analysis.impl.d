@@ -1,0 +1,1 @@
+lib/scalatrace/analysis.ml: Array Buffer Event Hashtbl List Option Printf String Tnode Trace Util

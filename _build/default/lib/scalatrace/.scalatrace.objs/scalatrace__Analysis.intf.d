@@ -1,0 +1,1 @@
+lib/scalatrace/analysis.mli: Trace

@@ -1,0 +1,1 @@
+lib/scalatrace/compress.ml: Event List Tnode

@@ -1,0 +1,1 @@
+lib/scalatrace/compress.mli: Event Tnode

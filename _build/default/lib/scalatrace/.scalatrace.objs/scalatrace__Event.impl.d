@@ -1,0 +1,1 @@
+lib/scalatrace/event.ml: Array Float Format List Mpisim Option Util

@@ -1,0 +1,1 @@
+lib/scalatrace/event.mli: Format Mpisim Util

@@ -1,0 +1,1 @@
+lib/scalatrace/merge.ml: Array Compress Event List Tnode Trace

@@ -1,0 +1,1 @@
+lib/scalatrace/merge.mli: Tnode Trace Util

@@ -1,0 +1,1 @@
+lib/scalatrace/tnode.ml: Event Format List Util

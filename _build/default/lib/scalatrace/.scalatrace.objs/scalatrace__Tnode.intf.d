@@ -1,0 +1,1 @@
+lib/scalatrace/tnode.mli: Event Format

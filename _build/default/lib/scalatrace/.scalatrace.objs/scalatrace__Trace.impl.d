@@ -1,0 +1,1 @@
+lib/scalatrace/trace.ml: Event Format List String Tnode Util

@@ -1,0 +1,1 @@
+lib/scalatrace/trace.mli: Format Tnode Util

@@ -1,0 +1,1 @@
+lib/scalatrace/trace_io.ml: Array Buffer Event Fun In_channel List Printf String Tnode Trace Util

@@ -1,0 +1,1 @@
+lib/scalatrace/trace_io.mli: Trace

@@ -1,0 +1,1 @@
+lib/scalatrace/tracer.ml: Array Compress Event List Merge Mpisim Util

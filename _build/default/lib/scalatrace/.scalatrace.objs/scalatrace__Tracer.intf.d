@@ -1,0 +1,1 @@
+lib/scalatrace/tracer.mli: Mpisim Tnode Trace

@@ -1,0 +1,88 @@
+type matrix = { nranks : int; messages : int array array; bytes : int array array }
+
+(* Walk leaves once; expand per (loop multiplicity, participating rank). *)
+let fold_instances trace f init =
+  let rec go mult nodes acc =
+    List.fold_left
+      (fun acc node ->
+        match node with
+        | Tnode.Leaf e -> f acc ~mult e
+        | Tnode.Loop { count; body } -> go (mult * count) body acc)
+      acc nodes
+  in
+  go 1 (Trace.nodes trace) init
+
+let comm_matrix trace =
+  let n = Trace.nranks trace in
+  let m = { nranks = n; messages = Array.make_matrix n n 0; bytes = Array.make_matrix n n 0 } in
+  let record ~mult e =
+    Util.Rank_set.iter
+      (fun rank ->
+        match Event.peer_of e ~rank ~nranks:n with
+        | Some peer when peer >= 0 && peer < n ->
+            let src, dst =
+              match e.Event.kind with
+              | Event.E_send | Event.E_isend -> (rank, peer)
+              | _ -> (peer, rank)
+            in
+            (* receives are counted only when sends cannot be (wildcards
+               resolved to maps cover both sides; avoid double counting by
+               attributing at the send side only *)
+            if e.Event.kind = Event.E_send || e.Event.kind = Event.E_isend then begin
+              m.messages.(src).(dst) <- m.messages.(src).(dst) + mult;
+              m.bytes.(src).(dst) <- m.bytes.(src).(dst) + (mult * e.Event.bytes)
+            end
+        | _ -> ())
+      e.Event.ranks
+  in
+  fold_instances trace
+    (fun () ~mult e ->
+      if Event.is_p2p e.Event.kind then record ~mult e)
+    ();
+  m
+
+let op_totals trace =
+  let tbl = Hashtbl.create 16 in
+  fold_instances trace
+    (fun () ~mult e ->
+      let name = Event.kind_name e.Event.kind in
+      let participants = Util.Rank_set.cardinal e.Event.ranks in
+      let calls, bytes =
+        Option.value ~default:(0, 0) (Hashtbl.find_opt tbl name)
+      in
+      Hashtbl.replace tbl name
+        ( calls + (mult * participants),
+          bytes + (mult * participants * e.Event.bytes) ))
+    ();
+  Hashtbl.fold (fun name (c, b) acc -> (name, c, b) :: acc) tbl []
+  |> List.sort compare
+
+let total_compute trace =
+  let sum = ref 0. in
+  Tnode.iter_leaves
+    (fun e -> sum := !sum +. Util.Histogram.sum e.Event.dtime)
+    (Trace.nodes trace);
+  !sum
+
+let short_bytes b =
+  if b >= 10_000_000 then Printf.sprintf "%dM" (b / 1_000_000)
+  else if b >= 10_000 then Printf.sprintf "%dK" (b / 1_000)
+  else string_of_int b
+
+let matrix_to_string m =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "bytes sent (rows: sender, columns: receiver)\n";
+  let header =
+    "     " :: List.init m.nranks (fun j -> Printf.sprintf "%6d" j)
+  in
+  Buffer.add_string buf (String.concat "" header);
+  Buffer.add_char buf '\n';
+  for i = 0 to m.nranks - 1 do
+    Buffer.add_string buf (Printf.sprintf "%5d" i);
+    for j = 0 to m.nranks - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "%6s" (if m.bytes.(i).(j) = 0 then "." else short_bytes m.bytes.(i).(j)))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

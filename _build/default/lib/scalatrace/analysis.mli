@@ -1,0 +1,22 @@
+(** Trace analysis: aggregate communication statistics.
+
+    Computed from the compressed trace without expanding it per rank pair
+    more than once — the kind of summary the paper's users need to sanity
+    check a generated benchmark against its source application. *)
+
+(** Bytes and messages exchanged between each ordered rank pair
+    (point-to-point only; wildcard receives are attributed by the sender
+    once resolved, and ignored otherwise). *)
+type matrix = { nranks : int; messages : int array array; bytes : int array array }
+
+val comm_matrix : Trace.t -> matrix
+
+(** Totals per operation kind: (name, calls, bytes). *)
+val op_totals : Trace.t -> (string * int * int) list
+
+(** Total computation time across all ranks (sum of dtime sums). *)
+val total_compute : Trace.t -> float
+
+(** Render the matrix as an aligned table (bytes, with K/M suffixes);
+    rows are senders, columns receivers. *)
+val matrix_to_string : matrix -> string

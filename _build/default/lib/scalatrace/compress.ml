@@ -1,0 +1,86 @@
+type t = {
+  window : int;
+  nranks : int;
+  foldable : Event.t -> bool;
+  mutable rev : Tnode.t list; (* most recent node first *)
+}
+
+let create ?(window = 64) ?(foldable = fun _ -> true) ~nranks () =
+  if window < 1 then invalid_arg "Compress.create: window < 1";
+  { window; nranks; foldable; rev = [] }
+
+let rec all_foldable t = function
+  | Tnode.Leaf e -> t.foldable e
+  | Tnode.Loop { body; _ } -> List.for_all (all_foldable t) body
+
+(* [split_at n l] = (first n elements, rest); None if too short. *)
+let split_at n l =
+  let rec go acc n l =
+    if n = 0 then Some (List.rev acc, l)
+    else match l with [] -> None | x :: rest -> go (x :: acc) (n - 1) rest
+  in
+  go [] n l
+
+let equiv_lists a b =
+  List.length a = List.length b && List.for_all2 Tnode.equiv_ranks a b
+
+(* Rule A: the w nodes just appended repeat the body of the PRSD right
+   before them -> bump its iteration count. *)
+let try_extend t w =
+  match split_at w t.rev with
+  | None -> false
+  | Some (tail_rev, rest) -> (
+      match rest with
+      | Tnode.Loop { count; body } :: older when List.length body = w ->
+          let tail = List.rev tail_rev in
+          if equiv_lists body tail && List.for_all (all_foldable t) tail then begin
+            List.iter2 (fun into n -> Tnode.absorb ~nranks:t.nranks ~into n) body tail;
+            t.rev <- Tnode.Loop { count = count + 1; body } :: older;
+            true
+          end
+          else false
+      | _ -> false)
+
+(* Rule B: the last 2w nodes are two equivalent halves -> new 2-iteration
+   PRSD. *)
+let try_fold t w =
+  match split_at (2 * w) t.rev with
+  | None -> false
+  | Some (tail_rev, older) -> (
+      match split_at w tail_rev with
+      | None -> false
+      | Some (newer_rev, earlier_rev) ->
+          let newer = List.rev newer_rev and earlier = List.rev earlier_rev in
+          if
+            equiv_lists earlier newer
+            && List.for_all (all_foldable t) earlier
+            && List.for_all (all_foldable t) newer
+          then begin
+            List.iter2
+              (fun into n -> Tnode.absorb ~nranks:t.nranks ~into n)
+              earlier newer;
+            t.rev <- Tnode.Loop { count = 2; body = earlier } :: older;
+            true
+          end
+          else false)
+
+let rec compress_tail t =
+  let rec try_windows w =
+    if w > t.window then false
+    else if try_extend t w || try_fold t w then true
+    else try_windows (w + 1)
+  in
+  if try_windows 1 then compress_tail t
+
+let push_node t n =
+  t.rev <- n :: t.rev;
+  compress_tail t
+
+let push t e = push_node t (Tnode.Leaf e)
+
+let contents t = List.rev t.rev
+
+let compress_list ?window ?foldable ~nranks nodes =
+  let t = create ?window ?foldable ~nranks () in
+  List.iter (push_node t) nodes;
+  contents t

@@ -1,0 +1,229 @@
+type peer =
+  | P_none
+  | P_abs of int
+  | P_rel of int
+  | P_any
+  | P_map of (int * int) list
+
+type kind =
+  | E_send
+  | E_isend
+  | E_recv
+  | E_irecv
+  | E_wait
+  | E_waitall of int
+  | E_barrier
+  | E_bcast
+  | E_reduce
+  | E_allreduce
+  | E_gather
+  | E_gatherv
+  | E_allgather
+  | E_allgatherv
+  | E_scatter
+  | E_scatterv
+  | E_alltoall
+  | E_alltoallv
+  | E_reduce_scatter
+  | E_comm_split
+  | E_comm_dup
+  | E_finalize
+
+type t = {
+  site : Util.Callsite.t;
+  kind : kind;
+  mutable peer : peer;
+  bytes : int;
+  vec : int array option;
+  tag : int;
+  comm : int;
+  dtime : Util.Histogram.t;
+  mutable ranks : Util.Rank_set.t;
+}
+
+let is_collective = function
+  | E_barrier | E_bcast | E_reduce | E_allreduce | E_gather | E_gatherv
+  | E_allgather | E_allgatherv | E_scatter | E_scatterv | E_alltoall
+  | E_alltoallv | E_reduce_scatter | E_comm_split | E_comm_dup | E_finalize ->
+      true
+  | E_send | E_isend | E_recv | E_irecv | E_wait | E_waitall _ -> false
+
+let is_p2p = function
+  | E_send | E_isend | E_recv | E_irecv -> true
+  | _ -> false
+
+let kind_name = function
+  | E_send -> "MPI_Send"
+  | E_isend -> "MPI_Isend"
+  | E_recv -> "MPI_Recv"
+  | E_irecv -> "MPI_Irecv"
+  | E_wait -> "MPI_Wait"
+  | E_waitall _ -> "MPI_Waitall"
+  | E_barrier -> "MPI_Barrier"
+  | E_bcast -> "MPI_Bcast"
+  | E_reduce -> "MPI_Reduce"
+  | E_allreduce -> "MPI_Allreduce"
+  | E_gather -> "MPI_Gather"
+  | E_gatherv -> "MPI_Gatherv"
+  | E_allgather -> "MPI_Allgather"
+  | E_allgatherv -> "MPI_Allgatherv"
+  | E_scatter -> "MPI_Scatter"
+  | E_scatterv -> "MPI_Scatterv"
+  | E_alltoall -> "MPI_Alltoall"
+  | E_alltoallv -> "MPI_Alltoallv"
+  | E_reduce_scatter -> "MPI_Reduce_scatter"
+  | E_comm_split -> "MPI_Comm_split"
+  | E_comm_dup -> "MPI_Comm_dup"
+  | E_finalize -> "MPI_Finalize"
+
+let sum = Array.fold_left ( + ) 0
+
+let make ~world_rank ~time_gap ~site ~kind ~peer ~bytes ~vec ~tag ~comm =
+  let dtime = Util.Histogram.create () in
+  Util.Histogram.add dtime (Float.max 0. time_gap);
+  { site; kind; peer; bytes; vec; tag; comm;
+    dtime; ranks = Util.Rank_set.singleton world_rank }
+
+let of_call ~world_rank ~time_gap (call : Mpisim.Call.t) =
+  let comm = Mpisim.Comm.id call.comm in
+  let site = call.site in
+  let world_of r = Mpisim.Comm.world_of_local call.comm r in
+  let mk = make ~world_rank ~time_gap ~site ~comm in
+  let p2p_tag t = t in
+  match call.op with
+  | Compute _ | Wtime -> None
+  | Send { dst; bytes; tag } ->
+      Some (mk ~kind:E_send ~peer:(P_abs (world_of dst)) ~bytes ~vec:None ~tag:(p2p_tag tag))
+  | Isend { dst; bytes; tag } ->
+      Some (mk ~kind:E_isend ~peer:(P_abs (world_of dst)) ~bytes ~vec:None ~tag:(p2p_tag tag))
+  | Recv { src; bytes; tag } ->
+      let peer = match src with Mpisim.Call.Any_source -> P_any | Rank r -> P_abs (world_of r) in
+      let tag = match tag with Mpisim.Call.Any_tag -> -1 | Tag t -> t in
+      Some (mk ~kind:E_recv ~peer ~bytes ~vec:None ~tag)
+  | Irecv { src; bytes; tag } ->
+      let peer = match src with Mpisim.Call.Any_source -> P_any | Rank r -> P_abs (world_of r) in
+      let tag = match tag with Mpisim.Call.Any_tag -> -1 | Tag t -> t in
+      Some (mk ~kind:E_irecv ~peer ~bytes ~vec:None ~tag)
+  | Wait _ -> Some (mk ~kind:E_wait ~peer:P_none ~bytes:0 ~vec:None ~tag:0)
+  | Waitall reqs ->
+      Some (mk ~kind:(E_waitall (List.length reqs)) ~peer:P_none ~bytes:0 ~vec:None ~tag:0)
+  | Barrier -> Some (mk ~kind:E_barrier ~peer:P_none ~bytes:0 ~vec:None ~tag:0)
+  | Bcast { root; bytes } ->
+      Some (mk ~kind:E_bcast ~peer:(P_abs (world_of root)) ~bytes ~vec:None ~tag:0)
+  | Reduce { root; bytes } ->
+      Some (mk ~kind:E_reduce ~peer:(P_abs (world_of root)) ~bytes ~vec:None ~tag:0)
+  | Allreduce { bytes } -> Some (mk ~kind:E_allreduce ~peer:P_none ~bytes ~vec:None ~tag:0)
+  | Gather { root; bytes_per_rank } ->
+      Some (mk ~kind:E_gather ~peer:(P_abs (world_of root)) ~bytes:bytes_per_rank ~vec:None ~tag:0)
+  | Gatherv { root; bytes_from } ->
+      Some
+        (mk ~kind:E_gatherv ~peer:(P_abs (world_of root)) ~bytes:(sum bytes_from)
+           ~vec:(Some (Array.copy bytes_from)) ~tag:0)
+  | Allgather { bytes_per_rank } ->
+      Some (mk ~kind:E_allgather ~peer:P_none ~bytes:bytes_per_rank ~vec:None ~tag:0)
+  | Allgatherv { bytes_from } ->
+      Some
+        (mk ~kind:E_allgatherv ~peer:P_none ~bytes:(sum bytes_from)
+           ~vec:(Some (Array.copy bytes_from)) ~tag:0)
+  | Scatter { root; bytes_per_rank } ->
+      Some (mk ~kind:E_scatter ~peer:(P_abs (world_of root)) ~bytes:bytes_per_rank ~vec:None ~tag:0)
+  | Scatterv { root; bytes_to } ->
+      Some
+        (mk ~kind:E_scatterv ~peer:(P_abs (world_of root)) ~bytes:(sum bytes_to)
+           ~vec:(Some (Array.copy bytes_to)) ~tag:0)
+  | Alltoall { bytes_per_pair } ->
+      Some (mk ~kind:E_alltoall ~peer:P_none ~bytes:bytes_per_pair ~vec:None ~tag:0)
+  | Alltoallv { bytes_to } ->
+      Some
+        (mk ~kind:E_alltoallv ~peer:P_none ~bytes:(sum bytes_to)
+           ~vec:(Some (Array.copy bytes_to)) ~tag:0)
+  | Reduce_scatter { bytes_per_rank } ->
+      Some
+        (mk ~kind:E_reduce_scatter ~peer:P_none ~bytes:(sum bytes_per_rank)
+           ~vec:(Some (Array.copy bytes_per_rank)) ~tag:0)
+  | Comm_split { color; key } ->
+      (* color/key preserved as a per-rank map entry so splits replay *)
+      Some (mk ~kind:E_comm_split ~peer:(P_map [ (world_rank, color) ]) ~bytes:key ~vec:None ~tag:0)
+  | Comm_dup -> Some (mk ~kind:E_comm_dup ~peer:P_none ~bytes:0 ~vec:None ~tag:0)
+  | Finalize -> Some (mk ~kind:E_finalize ~peer:P_none ~bytes:0 ~vec:None ~tag:0)
+
+let same_vec a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> x = y
+  | _ -> false
+
+(* Wildcardness must survive merging, so P_any only merges with P_any. *)
+let peer_class = function
+  | P_any -> `Any
+  | P_none -> `None
+  | P_abs _ | P_rel _ | P_map _ -> `Concrete
+
+let mergeable a b =
+  Util.Callsite.equal a.site b.site
+  && a.kind = b.kind && a.bytes = b.bytes && a.tag = b.tag && a.comm = b.comm
+  && same_vec a.vec b.vec
+  && peer_class a.peer = peer_class b.peer
+
+(* Expand a generalized peer back to explicit (rank, peer) observations. *)
+let observations e ~nranks =
+  match e.peer with
+  | P_none | P_any -> []
+  | P_abs a -> Util.Rank_set.fold (fun r acc -> (r, a) :: acc) e.ranks []
+  | P_rel d ->
+      Util.Rank_set.fold (fun r acc -> (r, (r + d + nranks) mod nranks) :: acc) e.ranks []
+  | P_map m -> m
+
+let absorb ~nranks ~into e =
+  Util.Histogram.merge_into into.dtime e.dtime;
+  (* Peer combination: an identical generalized form covers the union of
+     both rank sets unchanged; anything else falls back to an explicit
+     per-rank map (re-simplified later by [generalize]). *)
+  (match (into.peer, e.peer) with
+  | P_none, P_none | P_any, P_any -> ()
+  | pa, pb when pa = pb -> ()
+  | _ ->
+      let merged =
+        List.sort_uniq compare (observations into ~nranks @ observations e ~nranks)
+      in
+      into.peer <- (if merged = [] then into.peer else P_map merged));
+  into.ranks <- Util.Rank_set.union into.ranks e.ranks
+
+let generalize ~nranks e =
+  match e.peer with
+  | P_none | P_any | P_abs _ | P_rel _ -> ()
+  | P_map [] -> ()
+  | P_map ((r0, p0) :: rest as m) ->
+      if e.kind = E_comm_split then ()
+      else if List.for_all (fun (_, p) -> p = p0) rest then e.peer <- P_abs p0
+      else begin
+        let d0 = (p0 - r0 + nranks) mod nranks in
+        if List.for_all (fun (r, p) -> (p - r + nranks) mod nranks = d0) m then
+          e.peer <- P_rel d0
+      end
+
+let peer_of e ~rank ~nranks =
+  match e.peer with
+  | P_none | P_any -> None
+  | P_abs a -> Some a
+  | P_rel d -> Some ((rank + d + nranks) mod nranks)
+  | P_map m -> List.assoc_opt rank m
+
+let copy e =
+  {
+    e with
+    dtime = Util.Histogram.copy e.dtime;
+    vec = Option.map Array.copy e.vec;
+  }
+
+let pp_peer ppf = function
+  | P_none -> ()
+  | P_abs a -> Format.fprintf ppf " peer=%d" a
+  | P_rel d -> Format.fprintf ppf " peer=self%+d" d
+  | P_any -> Format.fprintf ppf " peer=ANY"
+  | P_map m -> Format.fprintf ppf " peer=map(%d)" (List.length m)
+
+let pp ppf e =
+  Format.fprintf ppf "%s%a bytes=%d tag=%d comm=%d ranks=%a dt=%a" (kind_name e.kind)
+    pp_peer e.peer e.bytes e.tag e.comm Util.Rank_set.pp e.ranks Util.Histogram.pp
+    e.dtime

@@ -1,0 +1,86 @@
+(** Trace events: one compressed record per MPI call instance.
+
+    An event is the payload of an RSD.  During per-rank collection the
+    participant set is a singleton and peers are absolute world ranks;
+    inter-node merging (see {!Merge}) unions participant sets and
+    generalizes peers to relative or per-rank forms, which is what keeps
+    trace size sublinear in the rank count. *)
+
+type peer =
+  | P_none  (** no peer (waits, non-rooted collectives) *)
+  | P_abs of int  (** constant world rank *)
+  | P_rel of int  (** world rank [(self + d) mod nranks] *)
+  | P_any  (** MPI_ANY_SOURCE *)
+  | P_map of (int * int) list
+      (** explicit per-rank peers [(world rank, world peer)], sorted *)
+
+type kind =
+  | E_send
+  | E_isend
+  | E_recv
+  | E_irecv
+  | E_wait
+  | E_waitall of int  (** number of requests *)
+  | E_barrier
+  | E_bcast
+  | E_reduce
+  | E_allreduce
+  | E_gather
+  | E_gatherv
+  | E_allgather
+  | E_allgatherv
+  | E_scatter
+  | E_scatterv
+  | E_alltoall
+  | E_alltoallv
+  | E_reduce_scatter
+  | E_comm_split
+  | E_comm_dup
+  | E_finalize
+
+type t = {
+  site : Util.Callsite.t;
+  kind : kind;
+  mutable peer : peer;
+  bytes : int;  (** canonical payload: p2p message size, per-rank collective
+                    size, or total for v-collectives *)
+  vec : int array option;  (** exact per-rank sizes of v-collectives *)
+  tag : int;  (** p2p tag; [-1] encodes MPI_ANY_TAG *)
+  comm : int;  (** communicator id *)
+  dtime : Util.Histogram.t;  (** computation time preceding this event *)
+  mutable ranks : Util.Rank_set.t;  (** participating world ranks *)
+}
+
+(** [of_call ~world_rank ~time_gap call] converts an intercepted MPI call
+    into a singleton event; [None] for pseudo-calls ([compute],
+    [MPI_Wtime]). *)
+val of_call : world_rank:int -> time_gap:float -> Mpisim.Call.t -> t option
+
+(** Structural compatibility for compression and merging: same call site,
+    kind, sizes, tag, and communicator.  Peers, participant sets, and
+    timing are excluded — they are merged, not compared. *)
+val mergeable : t -> t -> bool
+
+(** [absorb ~nranks ~into e] merges [e]'s timing, participants, and peer
+    observations into [into].  Differing peers combine into [P_map] form;
+    call {!generalize} afterwards to simplify. *)
+val absorb : nranks:int -> into:t -> t -> unit
+
+(** Simplify a [P_map] peer to [P_abs] or [P_rel] when uniform;
+    [nranks] defines the modulus for relative peers. *)
+val generalize : nranks:int -> t -> unit
+
+(** [peer_of e ~rank ~nranks] resolves the concrete world peer for a
+    participant, if determined. *)
+val peer_of : t -> rank:int -> nranks:int -> int option
+
+val is_collective : kind -> bool
+val is_p2p : kind -> bool
+
+(** MPI-style name, e.g. ["MPI_Irecv"]. *)
+val kind_name : kind -> string
+
+(** Deep copy (histogram and mutable fields included). *)
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+(* Merge one rank's node list into the global list.
+
+   Greedy alignment: walk the incoming list; for each node, scan the
+   not-yet-consumed part of the global list (up to [lookahead] nodes) for
+   the first equivalent node; merge into it, emitting any skipped global
+   nodes unchanged.  If none matches, the incoming node is inserted at the
+   current position.  Both orders are preserved, so the per-rank
+   projections of the result equal the inputs. *)
+
+let merge_into_global ~nranks ~lookahead global incoming =
+  let rec find_match n candidates depth =
+    match candidates with
+    | [] -> None
+    | g :: rest ->
+        if Tnode.equiv g n then Some depth
+        else if depth + 1 >= lookahead then None
+        else find_match n rest (depth + 1)
+  in
+  let rec go acc global incoming =
+    match incoming with
+    | [] -> List.rev_append acc global
+    | n :: in_rest -> (
+        match find_match n global 0 with
+        | Some depth ->
+            (* consume global nodes up to and including the match *)
+            let rec consume acc global d =
+              match (global, d) with
+              | g :: g_rest, 0 ->
+                  Tnode.absorb ~nranks ~into:g n;
+                  (g :: acc, g_rest)
+              | g :: g_rest, d -> consume (g :: acc) g_rest (d - 1)
+              | [], _ -> assert false
+            in
+            let acc, g_rest = consume acc global depth in
+            go acc g_rest in_rest
+        | None -> go (n :: acc) global in_rest)
+  in
+  go [] global incoming
+
+let merge_node_lists ?(lookahead = 256) ~nranks segments =
+  List.fold_left
+    (fun global seg ->
+      merge_into_global ~nranks ~lookahead global (List.map Tnode.copy seg))
+    [] segments
+
+let merge ?(lookahead = 256) ~nranks ~comms locals =
+  (* absorb mutates the nodes it merges, so work on deep copies and leave
+     the callers' per-rank traces untouched *)
+  let locals = Array.map (List.map Tnode.copy) locals in
+  let global =
+    Array.fold_left
+      (fun global local -> merge_into_global ~nranks ~lookahead global local)
+      [] locals
+  in
+  let global = Tnode.map_leaves (fun e -> Event.generalize ~nranks e; e) global in
+  (* A final compression pass can fold rank-uniform structure that only
+     becomes foldable after merging. *)
+  let global = Compress.compress_list ~nranks global in
+  Trace.make ~nranks ~comms ~nodes:global

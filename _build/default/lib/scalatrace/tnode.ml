@@ -1,0 +1,86 @@
+type t = Leaf of Event.t | Loop of loop
+and loop = { count : int; body : t list }
+
+let rec equiv_gen leaf_eq a b =
+  match (a, b) with
+  | Leaf x, Leaf y -> leaf_eq x y
+  | Loop la, Loop lb ->
+      la.count = lb.count
+      && List.length la.body = List.length lb.body
+      && List.for_all2 (equiv_gen leaf_eq) la.body lb.body
+  | Leaf _, Loop _ | Loop _, Leaf _ -> false
+
+let equiv a b = equiv_gen Event.mergeable a b
+
+let equiv_ranks a b =
+  let leaf_eq x y =
+    Event.mergeable x y
+    && Util.Rank_set.equal x.Event.ranks y.Event.ranks
+    && x.Event.peer = y.Event.peer
+  in
+  equiv_gen leaf_eq a b
+
+let rec absorb ~nranks ~into n =
+  match (into, n) with
+  | Leaf x, Leaf y -> Event.absorb ~nranks ~into:x y
+  | Loop la, Loop lb -> List.iter2 (fun a b -> absorb ~nranks ~into:a b) la.body lb.body
+  | _ -> invalid_arg "Tnode.absorb: structure mismatch"
+
+let rec copy = function
+  | Leaf e -> Leaf (Event.copy e)
+  | Loop { count; body } -> Loop { count; body = List.map copy body }
+
+let rec rsd_count_node = function
+  | Leaf _ -> 1
+  | Loop { body; _ } -> List.fold_left (fun acc n -> acc + rsd_count_node n) 0 body
+
+let rsd_count nodes = List.fold_left (fun acc n -> acc + rsd_count_node n) 0 nodes
+
+let rec event_count_node = function
+  | Leaf e -> Util.Rank_set.cardinal e.Event.ranks
+  | Loop { count; body } ->
+      count * List.fold_left (fun acc n -> acc + event_count_node n) 0 body
+
+let event_count nodes = List.fold_left (fun acc n -> acc + event_count_node n) 0 nodes
+
+let rec event_count_for_node ~rank = function
+  | Leaf e -> if Util.Rank_set.mem rank e.Event.ranks then 1 else 0
+  | Loop { count; body } ->
+      count
+      * List.fold_left (fun acc n -> acc + event_count_for_node ~rank n) 0 body
+
+let event_count_for nodes ~rank =
+  List.fold_left (fun acc n -> acc + event_count_for_node ~rank n) 0 nodes
+
+let rec project nodes ~rank =
+  List.filter_map
+    (fun n ->
+      match n with
+      | Leaf e -> if Util.Rank_set.mem rank e.Event.ranks then Some n else None
+      | Loop { count; body } -> (
+          match project body ~rank with
+          | [] -> None
+          | body -> Some (Loop { count; body })))
+    nodes
+
+let rec iter_leaves f nodes =
+  List.iter
+    (function Leaf e -> f e | Loop { body; _ } -> iter_leaves f body)
+    nodes
+
+let rec map_leaves f nodes =
+  List.map
+    (function
+      | Leaf e -> Leaf (f e)
+      | Loop { count; body } -> Loop { count; body = map_leaves f body })
+    nodes
+
+let rec pp ppf = function
+  | Leaf e -> Format.fprintf ppf "@[<h>RSD %a@]" Event.pp e
+  | Loop { count; body } ->
+      Format.fprintf ppf "@[<v 2>PRSD x%d {@,%a@]@,}" count pp_body body
+
+and pp_body ppf body =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp ppf body
+
+let pp_list ppf nodes = pp_body ppf nodes

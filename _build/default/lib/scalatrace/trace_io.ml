@@ -1,0 +1,287 @@
+exception Format_error of string
+
+let fail line fmt =
+  Printf.ksprintf (fun s -> raise (Format_error (Printf.sprintf "line %d: %s" line s))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                              *)
+
+let kind_to_string (k : Event.kind) =
+  match k with
+  | Event.E_waitall n -> Printf.sprintf "MPI_Waitall:%d" n
+  | k -> Event.kind_name k
+
+let kind_of_string line s =
+  match String.index_opt s ':' with
+  | Some i when String.sub s 0 i = "MPI_Waitall" ->
+      let n =
+        try int_of_string (String.sub s (i + 1) (String.length s - i - 1))
+        with Failure _ -> fail line "bad waitall width in %S" s
+      in
+      Event.E_waitall n
+  | _ -> (
+      match s with
+      | "MPI_Send" -> Event.E_send
+      | "MPI_Isend" -> Event.E_isend
+      | "MPI_Recv" -> Event.E_recv
+      | "MPI_Irecv" -> Event.E_irecv
+      | "MPI_Wait" -> Event.E_wait
+      | "MPI_Barrier" -> Event.E_barrier
+      | "MPI_Bcast" -> Event.E_bcast
+      | "MPI_Reduce" -> Event.E_reduce
+      | "MPI_Allreduce" -> Event.E_allreduce
+      | "MPI_Gather" -> Event.E_gather
+      | "MPI_Gatherv" -> Event.E_gatherv
+      | "MPI_Allgather" -> Event.E_allgather
+      | "MPI_Allgatherv" -> Event.E_allgatherv
+      | "MPI_Scatter" -> Event.E_scatter
+      | "MPI_Scatterv" -> Event.E_scatterv
+      | "MPI_Alltoall" -> Event.E_alltoall
+      | "MPI_Alltoallv" -> Event.E_alltoallv
+      | "MPI_Reduce_scatter" -> Event.E_reduce_scatter
+      | "MPI_Comm_split" -> Event.E_comm_split
+      | "MPI_Comm_dup" -> Event.E_comm_dup
+      | "MPI_Finalize" -> Event.E_finalize
+      | s -> fail line "unknown operation %S" s)
+
+let peer_to_string (p : Event.peer) =
+  match p with
+  | Event.P_none -> "none"
+  | Event.P_any -> "any"
+  | Event.P_abs a -> Printf.sprintf "abs:%d" a
+  | Event.P_rel d -> Printf.sprintf "rel:%d" d
+  | Event.P_map m ->
+      "map:"
+      ^ String.concat ","
+          (List.map (fun (r, p) -> Printf.sprintf "%d>%d" r p) m)
+
+let peer_of_string line s =
+  let num tail = try int_of_string tail with Failure _ -> fail line "bad peer %S" s in
+  match String.index_opt s ':' with
+  | None -> (
+      match s with
+      | "none" -> Event.P_none
+      | "any" -> Event.P_any
+      | _ -> fail line "bad peer %S" s)
+  | Some i -> (
+      let head = String.sub s 0 i
+      and tail = String.sub s (i + 1) (String.length s - i - 1) in
+      match head with
+      | "abs" -> Event.P_abs (num tail)
+      | "rel" -> Event.P_rel (num tail)
+      | "map" ->
+          let entries =
+            if tail = "" then []
+            else
+              List.map
+                (fun pair ->
+                  match String.index_opt pair '>' with
+                  | Some j ->
+                      let r = String.sub pair 0 j in
+                      let p = String.sub pair (j + 1) (String.length pair - j - 1) in
+                      (num r, num p)
+                  | None -> fail line "bad peer map entry %S" pair)
+                (String.split_on_char ',' tail)
+          in
+          Event.P_map entries
+      | _ -> fail line "bad peer %S" s)
+
+let ranks_to_string set =
+  String.concat ","
+    (List.map
+       (fun (first, last, stride) -> Printf.sprintf "%d:%d:%d" first last stride)
+       (Util.Rank_set.intervals set))
+
+let ranks_of_string line s =
+  if s = "" then Util.Rank_set.empty
+  else
+    List.fold_left
+      (fun acc part ->
+        match String.split_on_char ':' part with
+        | [ f; l; st ] -> (
+            try
+              Util.Rank_set.union acc
+                (Util.Rank_set.range ~stride:(int_of_string st) (int_of_string f)
+                   (int_of_string l))
+            with Failure _ | Invalid_argument _ -> fail line "bad rank interval %S" part)
+        | _ -> fail line "bad rank interval %S" part)
+      Util.Rank_set.empty (String.split_on_char ',' s)
+
+let vec_to_string = function
+  | None -> "-"
+  | Some v -> String.concat "," (Array.to_list (Array.map string_of_int v))
+
+let vec_of_string line = function
+  | "-" -> None
+  | s -> (
+      try Some (Array.of_list (List.map int_of_string (String.split_on_char ',' s)))
+      with Failure _ -> fail line "bad size vector %S" s)
+
+let event_to_line (e : Event.t) =
+  Printf.sprintf "event %s peer=%s bytes=%d vec=%s tag=%d comm=%d ranks=%s dt=%d;%.17g;%.17g;%.17g;%.17g site=%s"
+    (kind_to_string e.kind) (peer_to_string e.peer) e.bytes (vec_to_string e.vec)
+    e.tag e.comm (ranks_to_string e.ranks)
+    (Util.Histogram.count e.dtime) (Util.Histogram.sum e.dtime)
+    (Util.Histogram.min_value e.dtime) (Util.Histogram.max_value e.dtime)
+    (Util.Histogram.first_sample e.dtime)
+    (Util.Callsite.encode e.site)
+
+let to_text trace =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "scalatrace-trace 1\n";
+  Buffer.add_string buf (Printf.sprintf "nranks %d\n" (Trace.nranks trace));
+  List.iter
+    (fun (id, members) ->
+      Buffer.add_string buf (Printf.sprintf "comm %d %s\n" id (ranks_to_string members)))
+    (Trace.comms trace);
+  let rec nodes depth ns =
+    List.iter
+      (fun n ->
+        let indent = String.make (2 * depth) ' ' in
+        match n with
+        | Tnode.Leaf e ->
+            Buffer.add_string buf indent;
+            Buffer.add_string buf (event_to_line e);
+            Buffer.add_char buf '\n'
+        | Tnode.Loop { count; body } ->
+            Buffer.add_string buf (Printf.sprintf "%sloop %d\n" indent count);
+            nodes (depth + 1) body;
+            Buffer.add_string buf (indent ^ "end\n"))
+      ns
+  in
+  nodes 0 (Trace.nodes trace);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                              *)
+
+(* "key=value" fields separated by single spaces; values contain no
+   spaces except the trailing site=, which runs to end of line. *)
+let parse_event lineno rest =
+  let site_marker = " site=" in
+  let site_pos =
+    let n = String.length rest and m = String.length site_marker in
+    let rec go i =
+      if i + m > n then fail lineno "missing site field"
+      else if String.sub rest i m = site_marker then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let head = String.sub rest 0 site_pos in
+  let site_str =
+    String.sub rest
+      (site_pos + String.length site_marker)
+      (String.length rest - site_pos - String.length site_marker)
+  in
+  let site =
+    try Util.Callsite.decode site_str
+    with Invalid_argument _ -> fail lineno "bad site %S" site_str
+  in
+  match String.split_on_char ' ' head with
+  | kind_s :: fields ->
+      let kind = kind_of_string lineno kind_s in
+      let get key =
+        let prefix = key ^ "=" in
+        match
+          List.find_opt
+            (fun f ->
+              String.length f >= String.length prefix
+              && String.sub f 0 (String.length prefix) = prefix)
+            fields
+        with
+        | Some f ->
+            String.sub f (String.length prefix) (String.length f - String.length prefix)
+        | None -> fail lineno "missing field %s" key
+      in
+      let int_field key =
+        try int_of_string (get key) with Failure _ -> fail lineno "bad %s" key
+      in
+      let dt =
+        match String.split_on_char ';' (get "dt") with
+        | [ c; s; mn; mx; fs ] -> (
+            try
+              Util.Histogram.of_stats ~count:(int_of_string c)
+                ~sum:(float_of_string s) ~min:(float_of_string mn)
+                ~max:(float_of_string mx) ~first:(float_of_string fs)
+            with Failure _ -> fail lineno "bad dt field")
+        | _ -> fail lineno "bad dt field"
+      in
+      {
+        Event.site;
+        kind;
+        peer = peer_of_string lineno (get "peer");
+        bytes = int_field "bytes";
+        vec = vec_of_string lineno (get "vec");
+        tag = int_field "tag";
+        comm = int_field "comm";
+        dtime = dt;
+        ranks = ranks_of_string lineno (get "ranks");
+      }
+  | [] -> fail lineno "empty event"
+
+let of_text text =
+  let lines = String.split_on_char '\n' text in
+  let nranks = ref 0 in
+  let comms = ref [] in
+  (* stack of (count, reversed body) for open loops; top-level at bottom *)
+  let stack = ref [ (0, ref []) ] in
+  let push_node n =
+    match !stack with
+    | (_, body) :: _ -> body := n :: !body
+    | [] -> assert false
+  in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let line = String.trim raw in
+      if line = "" then ()
+      else if lineno = 1 then begin
+        if line <> "scalatrace-trace 1" then
+          fail lineno "not a scalatrace trace (bad magic %S)" line
+      end
+      else
+        match String.index_opt line ' ' with
+        | None when line = "end" -> (
+            match !stack with
+            | (count, body) :: rest when rest <> [] ->
+                stack := rest;
+                push_node (Tnode.Loop { count; body = List.rev !body })
+            | _ -> fail lineno "unmatched end")
+        | None -> fail lineno "cannot parse %S" line
+        | Some sp -> (
+            let word = String.sub line 0 sp in
+            let rest = String.sub line (sp + 1) (String.length line - sp - 1) in
+            match word with
+            | "nranks" -> (
+                try nranks := int_of_string rest
+                with Failure _ -> fail lineno "bad nranks")
+            | "comm" -> (
+                match String.split_on_char ' ' rest with
+                | [ id; members ] -> (
+                    try comms := (int_of_string id, ranks_of_string lineno members) :: !comms
+                    with Failure _ -> fail lineno "bad comm id")
+                | _ -> fail lineno "bad comm line")
+            | "loop" -> (
+                let count =
+                  try int_of_string rest with Failure _ -> fail lineno "bad loop count"
+                in
+                stack := (count, ref []) :: !stack)
+            | "event" -> push_node (Tnode.Leaf (parse_event lineno rest))
+            | _ -> fail lineno "unknown directive %S" word))
+    lines;
+  match !stack with
+  | [ (_, body) ] ->
+      if !nranks <= 0 then raise (Format_error "missing or invalid nranks");
+      Trace.make ~nranks:!nranks ~comms:(List.rev !comms) ~nodes:(List.rev !body)
+  | _ -> raise (Format_error "unterminated loop at end of input")
+
+let save trace ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_text trace))
+
+let load ~path =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  of_text text

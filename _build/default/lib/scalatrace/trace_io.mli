@@ -1,0 +1,22 @@
+(** Trace (de)serialization.
+
+    A line-oriented text format for saving compressed traces to disk and
+    loading them back — the equivalent of ScalaTrace's trace files, which
+    is what gets handed to the benchmark generator in the paper's
+    workflow (Figure 1).  The format stores the full RSD/PRSD structure,
+    communicator table, peers, sizes, tags, and the timing summaries
+    (count/sum/min/max/first of each histogram; the bucket detail is
+    dropped, which only affects quantile reconstruction, not the means
+    that drive generation and replay).
+
+    [of_text (to_text t)] yields a trace whose structure, projections,
+    and timing means equal [t]'s. *)
+
+exception Format_error of string
+(** Parse failure; the message includes the offending line number. *)
+
+val to_text : Trace.t -> string
+val of_text : string -> Trace.t
+
+val save : Trace.t -> path:string -> unit
+val load : path:string -> Trace.t

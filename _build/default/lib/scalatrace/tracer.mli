@@ -1,0 +1,33 @@
+(** The ScalaTrace collection layer.
+
+    A {!Mpisim.Hooks.t} client that records every MPI call of every rank
+    into per-rank compressed traces (intra-rank loop compression happens
+    on the fly), measures inter-call computation time, and captures the
+    membership of every communicator created during the run.  At
+    [MPI_Finalize] time — i.e., after {!Mpisim.Mpi.run} returns — call
+    {!finish} to perform the inter-rank merge and obtain the global
+    {!Trace.t}. *)
+
+type t
+
+val create : ?window:int -> nranks:int -> unit -> t
+
+val hook : t -> Mpisim.Hooks.t
+
+(** Per-rank compressed traces (chronological), before inter-rank merging. *)
+val local_traces : t -> Tnode.t list array
+
+(** Inter-rank merge (the work the paper's ScalaTrace does inside the
+    [MPI_Finalize] wrapper): returns the global trace. *)
+val finish : t -> Trace.t
+
+(** [trace_run ?window ?net ~nranks program] — convenience: run [program]
+    under the tracer and return the global trace together with the run
+    outcome. *)
+val trace_run :
+  ?window:int ->
+  ?net:Mpisim.Netmodel.t ->
+  ?extra_hooks:Mpisim.Hooks.t list ->
+  nranks:int ->
+  (Mpisim.Mpi.ctx -> unit) ->
+  Trace.t * Mpisim.Engine.outcome

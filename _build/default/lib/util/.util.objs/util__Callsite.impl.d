@@ -1,0 +1,1 @@
+lib/util/callsite.ml: Format Hashtbl Int Printf Scanf String

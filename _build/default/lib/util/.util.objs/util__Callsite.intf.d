@@ -1,0 +1,1 @@
+lib/util/callsite.mli: Format

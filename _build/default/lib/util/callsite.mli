@@ -1,0 +1,32 @@
+(** Call-site signatures.
+
+    ScalaTrace distinguishes trace events by the call stack that issued
+    them; this is what lets it keep one RSD per source location and what
+    Algorithm 1 relies on to recognize that two RSDs are distinct call sites
+    of the same collective.  OCaml has no cheap stack unwinding, so
+    applications label their MPI calls explicitly with [__POS__]-derived
+    sites, which gives the same discriminating power. *)
+
+type t
+
+(** [make __POS__] or [make ~label:"exchange" __POS__]. *)
+val make : ?label:string -> string * int * int * int -> t
+
+(** [synthetic name] — a site for generated code, keyed only by [name]. *)
+val synthetic : string -> t
+
+val unknown : t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** Reversible single-line encoding, for trace files. *)
+val encode : t -> string
+
+(** @raise Invalid_argument on malformed input. *)
+val decode : string -> t
+
+val label : t -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,21 @@
+(** Mutable min-priority queue on [(time, sequence)] keys.
+
+    The discrete-event engine pops events in increasing virtual-time order;
+    the strictly increasing sequence number breaks ties deterministically
+    (FIFO among simultaneous events), which is essential for reproducible
+    simulations. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [add t ~time v] enqueues [v]; insertion order is remembered for
+    tie-breaking. @raise Invalid_argument on non-finite [time]. *)
+val add : 'a t -> time:float -> 'a -> unit
+
+(** Remove and return the minimum element with its time. *)
+val pop : 'a t -> (float * 'a) option
+
+val peek_time : 'a t -> float option
+val is_empty : 'a t -> bool
+val length : 'a t -> int

@@ -1,0 +1,55 @@
+(* splitmix64 (Steele, Lea, Flood 2014): tiny state, passes BigCrush, and
+   trivially splittable — ideal for reproducible per-rank streams. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t ~index =
+  (* Hash the parent state (without consuming it deterministically would be
+     position-dependent; we consume one draw so repeated splits differ). *)
+  let s = bits64 t in
+  { state = mix (Int64.logxor s (mix (Int64.of_int index))) }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  (* keep 62 bits so the value stays non-negative on 63-bit OCaml ints *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  v mod bound
+
+let float t =
+  (* 53 high bits -> [0,1) *)
+  let v = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float v *. (1. /. 9007199254740992.)
+
+let uniform t a b = a +. ((b -. a) *. float t)
+
+let exponential t ~mean =
+  let u = float t in
+  -. mean *. log (1. -. u)
+
+let gaussian t ?(truncate_at_zero = false) ~mean ~stddev () =
+  let u1 = float t and u2 = float t in
+  let u1 = if u1 <= 0. then Float.min_float else u1 in
+  let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+  let x = mean +. (stddev *. z) in
+  if truncate_at_zero && x < 0. then 0. else x
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

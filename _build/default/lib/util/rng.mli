@@ -1,0 +1,36 @@
+(** Deterministic, seedable pseudo-random numbers (splitmix64).
+
+    Every stochastic choice in the repository — workload generation, compute
+    jitter, histogram reconstruction draws — goes through an explicit [Rng.t]
+    so that all experiments are bit-reproducible.  The stdlib [Random] state
+    is never used. *)
+
+type t
+
+val create : seed:int -> t
+
+(** Derive an independent stream; [split] on equal seeds and indices yields
+    equal streams. *)
+val split : t -> index:int -> t
+
+(** Next raw 64-bit value. *)
+val bits64 : t -> int64
+
+(** [int t bound] is uniform in [0, bound). @raise Invalid_argument if
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** [uniform t a b] is uniform in [a, b). *)
+val uniform : t -> float -> float -> float
+
+(** Exponentially distributed with the given mean. *)
+val exponential : t -> mean:float -> float
+
+(** Normal via Box–Muller; truncated below at 0 when [truncate_at_zero]. *)
+val gaussian : t -> ?truncate_at_zero:bool -> mean:float -> stddev:float -> unit -> float
+
+(** Fisher–Yates shuffle in place. *)
+val shuffle : t -> 'a array -> unit

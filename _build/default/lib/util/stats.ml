@@ -1,0 +1,26 @@
+let pct_error ~reference ~measured =
+  100. *. (measured -. reference) /. reference
+
+let mape pairs =
+  let errs =
+    List.filter_map
+      (fun (reference, measured) ->
+        if reference = 0. then None
+        else Some (Float.abs (pct_error ~reference ~measured)))
+      pairs
+  in
+  match errs with
+  | [] -> 0.
+  | _ -> List.fold_left ( +. ) 0. errs /. float_of_int (List.length errs)
+
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.
+  | xs ->
+      let logsum = List.fold_left (fun a x -> a +. log x) 0. xs in
+      exp (logsum /. float_of_int (List.length xs))
+
+let max_abs xs = List.fold_left (fun a x -> Float.max a (Float.abs x)) 0. xs

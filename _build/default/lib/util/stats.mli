@@ -1,0 +1,14 @@
+(** Small numeric helpers used across the evaluation harness. *)
+
+(** [mape pairs] is the mean absolute percentage error, in percent, of
+    [(reference, measured)] pairs — the paper's headline accuracy metric
+    (100% * |measured - reference| / reference, averaged).  Pairs with a
+    zero reference are skipped. *)
+val mape : (float * float) list -> float
+
+(** [pct_error ~reference ~measured] is the signed percentage error. *)
+val pct_error : reference:float -> measured:float -> float
+
+val mean : float list -> float
+val geomean : float list -> float
+val max_abs : float list -> float

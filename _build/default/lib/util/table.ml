@@ -1,0 +1,109 @@
+type align = Left | Right
+
+let looks_numeric s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         (c >= '0' && c <= '9')
+         || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'E' || c = '%'
+         || c = ' ' || c = 'x')
+       s
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let widths header rows =
+  let ncols = List.length header in
+  let w = Array.make ncols 0 in
+  let feed row =
+    List.iteri (fun i cell -> if i < ncols then w.(i) <- max w.(i) (String.length cell)) row
+  in
+  feed header;
+  List.iter feed rows;
+  w
+
+let rtrim s =
+  let n = ref (String.length s) in
+  while !n > 0 && s.[!n - 1] = ' ' do decr n done;
+  String.sub s 0 !n
+
+let render_aligned ~header ~aligns rows =
+  let w = widths header rows in
+  let aligns = Array.of_list aligns in
+  let align_of i = if i < Array.length aligns then aligns.(i) else Left in
+  let line row =
+    row
+    |> List.mapi (fun i cell -> pad (align_of i) w.(i) cell)
+    |> String.concat "  "
+    |> rtrim
+  in
+  let rule =
+    Array.to_list w |> List.map (fun n -> String.make n '-') |> String.concat "  "
+  in
+  String.concat "\n" (line header :: rule :: List.map line rows)
+
+let render ~header rows =
+  let ncols = List.length header in
+  let numeric = Array.make ncols true in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if i < ncols && not (looks_numeric cell) then numeric.(i) <- false)
+        row)
+    rows;
+  let aligns = List.init ncols (fun i -> if numeric.(i) then Right else Left) in
+  render_aligned ~header ~aligns rows
+
+let print ~title ~header rows =
+  Printf.printf "\n== %s ==\n%s\n" title (render ~header rows)
+
+let series_plot ~title ~x_label ~y_label points =
+  let points = List.sort (fun (a, _) (b, _) -> compare a b) points in
+  match points with
+  | [] -> Printf.sprintf "== %s == (no data)" title
+  | _ ->
+      let xs = List.map fst points and ys = List.map snd points in
+      let xmin = List.fold_left min infinity xs and xmax = List.fold_left max neg_infinity xs in
+      let ymin = List.fold_left min infinity ys and ymax = List.fold_left max neg_infinity ys in
+      let h = 16 and w = 60 in
+      let grid = Array.make_matrix h w ' ' in
+      let xspan = if xmax > xmin then xmax -. xmin else 1. in
+      let yspan = if ymax > ymin then ymax -. ymin else 1. in
+      List.iter
+        (fun (x, y) ->
+          let cx = int_of_float ((x -. xmin) /. xspan *. float_of_int (w - 1)) in
+          let cy = int_of_float ((y -. ymin) /. yspan *. float_of_int (h - 1)) in
+          grid.(h - 1 - cy).(cx) <- '*')
+        points;
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf (Printf.sprintf "== %s ==\n" title);
+      Buffer.add_string buf (Printf.sprintf "%s (vertical: %.4g .. %.4g)\n" y_label ymin ymax);
+      Array.iter
+        (fun row ->
+          Buffer.add_string buf "  |";
+          Buffer.add_string buf (String.init w (fun i -> row.(i)));
+          Buffer.add_char buf '\n')
+        grid;
+      Buffer.add_string buf ("  +" ^ String.make w '-' ^ "\n");
+      Buffer.add_string buf
+        (Printf.sprintf "   %s (horizontal: %.4g .. %.4g)" x_label xmin xmax);
+      Buffer.contents buf
+
+let fsec s =
+  if s >= 1. then Printf.sprintf "%.3f s" s
+  else if s >= 1e-3 then Printf.sprintf "%.2f ms" (s *. 1e3)
+  else if s >= 1e-6 then Printf.sprintf "%.2f us" (s *. 1e6)
+  else Printf.sprintf "%.1f ns" (s *. 1e9)
+
+let fpct p = Printf.sprintf "%+.1f%%" p
+
+let fbytes n =
+  let f = float_of_int n in
+  if f >= 1073741824. then Printf.sprintf "%.2f GiB" (f /. 1073741824.)
+  else if f >= 1048576. then Printf.sprintf "%.2f MiB" (f /. 1048576.)
+  else if f >= 1024. then Printf.sprintf "%.2f KiB" (f /. 1024.)
+  else Printf.sprintf "%d B" n

@@ -1,0 +1,1 @@
+test/test_benchgen.ml: Alcotest Apps Benchgen Call Event Hashtbl List Mpi Mpisim Option Printf Replay Scalatrace Tnode Trace Tracer Util

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Benchgen Conceptual Event List Mpisim Netmodel Scalatrace String Tnode Trace Util

@@ -1,0 +1,1 @@
+test/test_conceptual.ml: Alcotest Ast Conceptual Edit Float Fun List Lower Mpip Parse Pretty QCheck QCheck_alcotest Random String Util

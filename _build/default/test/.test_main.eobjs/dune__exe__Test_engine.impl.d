@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Call Comm Engine List Mpi Mpisim Netmodel Util

@@ -1,0 +1,1 @@
+test/test_extrap.ml: Alcotest Apps Benchgen Call Conceptual Event Float List Mpi Mpisim Option Printf Scalatrace String Tnode Trace Tracer

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Benchgen Call Conceptual Engine Float List Mpi Mpip Mpisim QCheck QCheck_alcotest Random Util

@@ -1,0 +1,1 @@
+test/test_histogram.ml: Alcotest Float Gen Histogram List Printf QCheck QCheck_alcotest Random Util

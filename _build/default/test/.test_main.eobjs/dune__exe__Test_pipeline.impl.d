@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Apps Benchgen Call Conceptual Float List Mpi Mpip Mpisim Option Printf Replay Scalatrace String

@@ -1,0 +1,1 @@
+test/test_rank_set.ml: Alcotest List QCheck QCheck_alcotest Random Rank_set Util

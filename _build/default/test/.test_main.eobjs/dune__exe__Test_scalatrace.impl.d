@@ -1,0 +1,1 @@
+test/test_scalatrace.ml: Alcotest Analysis Array Call Comm Compress Event Fun List Mpi Mpisim Printf QCheck QCheck_alcotest Random Scalatrace String Tnode Trace Tracer Util

@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Apps Call Float List Mpi Mpisim Netmodel Option Printf Replay Scalatrace

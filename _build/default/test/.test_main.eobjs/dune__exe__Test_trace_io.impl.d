@@ -1,0 +1,1 @@
+test/test_trace_io.ml: Alcotest Apps Benchgen Call Event Filename Fun List Mpi Mpisim Option Scalatrace String Sys Tnode Trace Trace_io Tracer Util

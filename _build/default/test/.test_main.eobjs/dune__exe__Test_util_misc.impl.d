@@ -1,0 +1,1 @@
+test/test_util_misc.ml: Alcotest Array Callsite Float Fun List Option Pqueue QCheck QCheck_alcotest Random Rng Stats String Table Util

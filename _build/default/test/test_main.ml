@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "benchgen"
+    [
+      ("rank_set", Test_rank_set.suite);
+      ("histogram", Test_histogram.suite);
+      ("util", Test_util_misc.suite);
+      ("engine", Test_engine.suite);
+      ("scalatrace", Test_scalatrace.suite);
+      ("conceptual", Test_conceptual.suite);
+      ("benchgen", Test_benchgen.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("extrap", Test_extrap.suite);
+      ("codegen", Test_codegen.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("trace_io", Test_trace_io.suite);
+      ("timing", Test_timing.suite);
+    ]

@@ -1,0 +1,161 @@
+open Util
+
+let t name f = Alcotest.test_case name `Quick f
+
+let rng_tests =
+  [
+    t "deterministic for equal seeds" (fun () ->
+        let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+        for _ = 1 to 100 do
+          Alcotest.(check int64) "same" (Rng.bits64 a) (Rng.bits64 b)
+        done);
+    t "different seeds differ" (fun () ->
+        let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+        Alcotest.(check bool) "differ" true (Rng.bits64 a <> Rng.bits64 b));
+    t "int respects bound" (fun () ->
+        let r = Rng.create ~seed:3 in
+        for _ = 1 to 1000 do
+          let v = Rng.int r 17 in
+          Alcotest.(check bool) "bound" true (v >= 0 && v < 17)
+        done);
+    t "int rejects non-positive bound" (fun () ->
+        let r = Rng.create ~seed:3 in
+        Alcotest.check_raises "bound" (Invalid_argument "Rng.int: bound <= 0")
+          (fun () -> ignore (Rng.int r 0)));
+    t "float in unit interval" (fun () ->
+        let r = Rng.create ~seed:5 in
+        for _ = 1 to 1000 do
+          let v = Rng.float r in
+          Alcotest.(check bool) "unit" true (v >= 0. && v < 1.)
+        done);
+    t "split independence" (fun () ->
+        let base = Rng.create ~seed:11 in
+        let a = Rng.split base ~index:0 in
+        let base2 = Rng.create ~seed:11 in
+        let a' = Rng.split base2 ~index:0 in
+        Alcotest.(check int64) "reproducible" (Rng.bits64 a) (Rng.bits64 a'));
+    t "gaussian truncation" (fun () ->
+        let r = Rng.create ~seed:13 in
+        for _ = 1 to 500 do
+          let v = Rng.gaussian r ~truncate_at_zero:true ~mean:0.01 ~stddev:0.1 () in
+          Alcotest.(check bool) "non-negative" true (v >= 0.)
+        done);
+    t "gaussian mean roughly right" (fun () ->
+        let r = Rng.create ~seed:17 in
+        let n = 10000 in
+        let sum = ref 0. in
+        for _ = 1 to n do
+          sum := !sum +. Rng.gaussian r ~mean:5.0 ~stddev:1.0 ()
+        done;
+        let m = !sum /. float_of_int n in
+        Alcotest.(check bool) "close" true (Float.abs (m -. 5.0) < 0.05));
+    t "exponential positive" (fun () ->
+        let r = Rng.create ~seed:19 in
+        for _ = 1 to 100 do
+          Alcotest.(check bool) "pos" true (Rng.exponential r ~mean:2.0 >= 0.)
+        done);
+    t "shuffle permutes" (fun () ->
+        let r = Rng.create ~seed:23 in
+        let a = Array.init 50 Fun.id in
+        Rng.shuffle r a;
+        let sorted = Array.copy a in
+        Array.sort compare sorted;
+        Alcotest.(check (array int)) "same elements" (Array.init 50 Fun.id) sorted);
+  ]
+
+let pqueue_tests =
+  [
+    t "pop order by time" (fun () ->
+        let q = Pqueue.create () in
+        Pqueue.add q ~time:3. "c";
+        Pqueue.add q ~time:1. "a";
+        Pqueue.add q ~time:2. "b";
+        Alcotest.(check (option (pair (float 0.) string))) "a" (Some (1., "a")) (Pqueue.pop q);
+        Alcotest.(check (option (pair (float 0.) string))) "b" (Some (2., "b")) (Pqueue.pop q);
+        Alcotest.(check (option (pair (float 0.) string))) "c" (Some (3., "c")) (Pqueue.pop q);
+        Alcotest.(check bool) "empty" true (Pqueue.is_empty q));
+    t "fifo among equal times" (fun () ->
+        let q = Pqueue.create () in
+        List.iter (fun s -> Pqueue.add q ~time:1. s) [ "x"; "y"; "z" ];
+        let order = List.init 3 (fun _ -> snd (Option.get (Pqueue.pop q))) in
+        Alcotest.(check (list string)) "fifo" [ "x"; "y"; "z" ] order);
+    t "rejects nan time" (fun () ->
+        let q = Pqueue.create () in
+        Alcotest.check_raises "nan" (Invalid_argument "Pqueue.add: non-finite time")
+          (fun () -> Pqueue.add q ~time:Float.nan ()));
+    t "peek_time" (fun () ->
+        let q = Pqueue.create () in
+        Alcotest.(check (option (float 0.))) "empty" None (Pqueue.peek_time q);
+        Pqueue.add q ~time:5. ();
+        Alcotest.(check (option (float 0.))) "peek" (Some 5.) (Pqueue.peek_time q));
+    t "length" (fun () ->
+        let q = Pqueue.create () in
+        for i = 1 to 10 do Pqueue.add q ~time:(float_of_int i) i done;
+        Alcotest.(check int) "len" 10 (Pqueue.length q));
+  ]
+
+let pqueue_props =
+  List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20260705 |]))
+    [
+      QCheck.Test.make ~name:"pqueue is a sorter" ~count:200
+        QCheck.(small_list (float_range 0. 100.))
+        (fun times ->
+          let q = Pqueue.create () in
+          List.iter (fun t -> Pqueue.add q ~time:t ()) times;
+          let rec drain acc =
+            match Pqueue.pop q with
+            | None -> List.rev acc
+            | Some (t, ()) -> drain (t :: acc)
+          in
+          drain [] = List.sort compare times);
+    ]
+
+let callsite_tests =
+  [
+    t "make distinct positions" (fun () ->
+        let a = Callsite.make ("f.ml", 1, 0, 0) and b = Callsite.make ("f.ml", 2, 0, 0) in
+        Alcotest.(check bool) "neq" false (Callsite.equal a b));
+    t "label distinguishes" (fun () ->
+        let a = Callsite.make ~label:"x" ("f.ml", 1, 0, 0) in
+        let b = Callsite.make ~label:"y" ("f.ml", 1, 0, 0) in
+        Alcotest.(check bool) "neq" false (Callsite.equal a b));
+    t "equal reflexive" (fun () ->
+        let a = Callsite.make ("f.ml", 1, 2, 3) in
+        Alcotest.(check bool) "eq" true (Callsite.equal a a));
+    t "synthetic" (fun () ->
+        Alcotest.(check bool) "eq" true
+          (Callsite.equal (Callsite.synthetic "gen1") (Callsite.synthetic "gen1"));
+        Alcotest.(check bool) "neq" false
+          (Callsite.equal (Callsite.synthetic "gen1") (Callsite.synthetic "gen2")));
+    t "compare total order" (fun () ->
+        let a = Callsite.make ("a.ml", 1, 0, 0) and b = Callsite.make ("b.ml", 1, 0, 0) in
+        Alcotest.(check bool) "antisym" true
+          (Callsite.compare a b = -Callsite.compare b a));
+  ]
+
+let stats_tests =
+  [
+    t "mape" (fun () ->
+        Alcotest.(check (float 1e-9)) "mape" 10.
+          (Stats.mape [ (100., 110.); (100., 90.) ]));
+    t "mape skips zero reference" (fun () ->
+        Alcotest.(check (float 1e-9)) "mape" 5. (Stats.mape [ (0., 3.); (100., 105.) ]));
+    t "pct_error sign" (fun () ->
+        Alcotest.(check (float 1e-9)) "neg" (-10.)
+          (Stats.pct_error ~reference:100. ~measured:90.));
+    t "geomean" (fun () ->
+        Alcotest.(check (float 1e-9)) "geo" 4. (Stats.geomean [ 2.; 8. ]));
+    t "table render aligns" (fun () ->
+        let s = Table.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "33"; "4" ] ] in
+        Alcotest.(check bool) "has rule" true (String.length s > 0));
+    t "fsec units" (fun () ->
+        Alcotest.(check string) "s" "1.500 s" (Table.fsec 1.5);
+        Alcotest.(check string) "ms" "2.50 ms" (Table.fsec 2.5e-3);
+        Alcotest.(check string) "us" "3.00 us" (Table.fsec 3e-6);
+        Alcotest.(check string) "ns" "5.0 ns" (Table.fsec 5e-9));
+    t "fbytes units" (fun () ->
+        Alcotest.(check string) "b" "512 B" (Table.fbytes 512);
+        Alcotest.(check string) "k" "2.00 KiB" (Table.fbytes 2048));
+  ]
+
+let suite = rng_tests @ pqueue_tests @ pqueue_props @ callsite_tests @ stats_tests
