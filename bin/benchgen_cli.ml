@@ -8,6 +8,142 @@
 
 open Cmdliner
 
+(* ------------------------------------------------------------------ *)
+(* Failure classes -> exit codes.  Every expected failure prints a
+   diagnostic on stderr and exits with a distinct non-zero code instead
+   of an uncaught-exception backtrace. *)
+
+let exit_invalid = 2 (* out-of-range option values *)
+let exit_potential_deadlock = 3 (* input application can hang (Fig. 5) *)
+let exit_align = 4 (* collective misuse in the trace *)
+let exit_trace_format = 5 (* unparseable trace file *)
+let exit_deadlock = 6 (* simulated run deadlocked *)
+let exit_stalled = 7 (* watchdog budget / retransmission budget hit *)
+let exit_mpi = 8 (* MPI semantic error during simulation *)
+let exit_io = 9 (* file-system failure *)
+
+let fail code msg =
+  Printf.eprintf "benchgen: %s\n%!" msg;
+  exit code
+
+let code_of_gen_error = function
+  | Benchgen.E_potential_deadlock _ -> exit_potential_deadlock
+  | Benchgen.E_align _ -> exit_align
+  | Benchgen.E_wildcard _ -> exit_mpi
+  | Benchgen.E_trace_format _ -> exit_trace_format
+  | Benchgen.E_io _ -> exit_io
+
+let guarded f =
+  try f () with
+  | Invalid_argument msg -> fail exit_invalid msg
+  | Benchgen.Wildcard.Potential_deadlock msg ->
+      fail exit_potential_deadlock ("potential deadlock: " ^ msg)
+  | Benchgen.Align.Align_error msg ->
+      fail exit_align ("collective alignment failed: " ^ msg)
+  | Benchgen.Wildcard.Wildcard_error msg ->
+      fail exit_mpi ("wildcard resolution failed: " ^ msg)
+  | Scalatrace.Trace_io.Format_error msg ->
+      fail exit_trace_format ("malformed trace: " ^ msg)
+  | Mpisim.Engine.Deadlock msg -> fail exit_deadlock msg
+  | Mpisim.Engine.Stalled msg -> fail exit_stalled msg
+  | Mpisim.Engine.Mpi_error msg -> fail exit_mpi ("MPI error: " ^ msg)
+  | Replay.Replay_error msg -> fail exit_mpi ("replay error: " ^ msg)
+  | Conceptual.Parse.Parse_error msg -> fail exit_mpi ("parse error: " ^ msg)
+  | Conceptual.Lower.Lower_error msg -> fail exit_mpi ("lowering error: " ^ msg)
+  | Sys_error msg -> fail exit_io msg
+
+let warn_all warnings =
+  List.iter
+    (fun w -> Printf.eprintf "benchgen: warning: %s\n%!" (Benchgen.warning_to_string w))
+    warnings
+
+(* ------------------------------------------------------------------ *)
+(* Fault-injection and watchdog options, shared by the simulating
+   subcommands. *)
+
+type sim_opts = {
+  fault : Mpisim.Fault.t option;
+  max_events : int option;
+  max_virtual_time : float option;
+}
+
+let sim_term =
+  let fault_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:
+            "Enable deterministic fault injection seeded with $(docv); all \
+             perturbations are reproducible functions of the seed.")
+  in
+  let drop_prob =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "drop-prob" ] ~docv:"P"
+          ~doc:
+            "Drop each transmission attempt with probability $(docv) (in \
+             [0,1)); the engine retransmits with exponential backoff.")
+  in
+  let jitter =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "jitter" ] ~docv:"USEC"
+          ~doc:"Mean extra wire latency per transfer, microseconds (exponential).")
+  in
+  let os_noise =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "os-noise" ] ~docv:"FRAC"
+          ~doc:"Relative stddev of multiplicative compute jitter (OS noise).")
+  in
+  let max_retries =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:"Retransmissions per message before declaring the run stalled.")
+  in
+  let max_events =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-events" ] ~docv:"N"
+          ~doc:"Watchdog: abort with a stall diagnostic after $(docv) events.")
+  in
+  let max_time =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-time" ] ~docv:"SECONDS"
+          ~doc:"Watchdog: abort once virtual time exceeds $(docv) seconds.")
+  in
+  let make seed drop jitter noise retries max_events max_virtual_time =
+    let fault =
+      if seed = None && drop = 0. && jitter = 0. && noise = 0. then None
+      else
+        Some
+          (guarded (fun () ->
+               Mpisim.Fault.make
+                 ~seed:(Option.value ~default:1 seed)
+                 ~drop_prob:drop ~jitter_mean:(jitter *. 1e-6) ~os_noise:noise
+                 ~max_retries:retries ()))
+    in
+    { fault; max_events; max_virtual_time }
+  in
+  Term.(
+    const make $ fault_seed $ drop_prob $ jitter $ os_noise $ max_retries
+    $ max_events $ max_time)
+
+let fault_counters (o : Mpisim.Engine.outcome) = function
+  | None -> ()
+  | Some _ ->
+      Printf.printf "faults: dropped=%d retries=%d timeouts=%d\n" o.dropped
+        o.retries o.timeouts
+
 let net_conv =
   let parse = function
     | "bgl" | "bluegene" | "bluegene_l" -> Ok Mpisim.Netmodel.bluegene_l
@@ -72,10 +208,13 @@ let trace_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Save the trace to $(docv).")
   in
-  let run name wanted cls net out =
+  let run name wanted cls net out sim =
+    guarded @@ fun () ->
     let app, nranks = resolve_app name wanted in
     let trace, outcome =
-      Scalatrace.Tracer.trace_run ~net ~nranks (app.program ~cls ())
+      Scalatrace.Tracer.trace_run ~net ?fault:sim.fault
+        ?max_events:sim.max_events ?max_virtual_time:sim.max_virtual_time
+        ~nranks (app.program ~cls ())
     in
     (match out with
     | Some path ->
@@ -86,10 +225,11 @@ let trace_cmd =
       "run: %.3f virtual seconds; trace: %d RSDs for %d MPI events (%s serialized)\n"
       outcome.elapsed (Scalatrace.Trace.rsd_count trace)
       (Scalatrace.Trace.event_count trace)
-      (Util.Table.fbytes (Scalatrace.Trace.text_size trace))
+      (Util.Table.fbytes (Scalatrace.Trace.text_size trace));
+    fault_counters outcome sim.fault
   in
   Cmd.v (Cmd.info "trace" ~doc)
-    Term.(const run $ app_arg $ nranks_arg $ cls_arg $ net_arg $ out_arg)
+    Term.(const run $ app_arg $ nranks_arg $ cls_arg $ net_arg $ out_arg $ sim_term)
 
 let generate_from_trace_cmd =
   let doc = "Generate a coNCePTuaL benchmark from a saved trace file." in
@@ -104,15 +244,18 @@ let generate_from_trace_cmd =
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the benchmark to $(docv).")
   in
   let run file out =
-    let trace = Scalatrace.Trace_io.load ~path:file in
-    let report = Benchgen.generate ~name:file trace in
-    match out with
-    | Some path ->
-        let oc = open_out path in
-        output_string oc report.text;
-        close_out oc;
-        Printf.printf "wrote %s (%d statements)\n" path report.statements
-    | None -> print_string report.text
+    guarded @@ fun () ->
+    match Benchgen.generate_checked_file ~path:file () with
+    | Error e -> fail (code_of_gen_error e) (Benchgen.error_to_string e)
+    | Ok (report, warnings) -> (
+        warn_all warnings;
+        match out with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc report.text;
+            close_out oc;
+            Printf.printf "wrote %s (%d statements)\n" path report.statements
+        | None -> print_string report.text)
   in
   Cmd.v (Cmd.info "generate-from-trace" ~doc) Term.(const run $ file_arg $ out_arg)
 
@@ -122,13 +265,18 @@ let replay_cmd =
     Arg.(
       required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
   in
-  let run file net =
+  let run file net sim =
+    guarded @@ fun () ->
     let trace = Scalatrace.Trace_io.load ~path:file in
-    let r = Replay.run ~net trace in
+    let r =
+      Replay.run ~net ?fault:sim.fault ?max_events:sim.max_events
+        ?max_virtual_time:sim.max_virtual_time trace
+    in
     Printf.printf "replayed %d MPI events in %.6f virtual seconds\n"
-      (Scalatrace.Trace.event_count trace) r.outcome.elapsed
+      (Scalatrace.Trace.event_count trace) r.outcome.elapsed;
+    fault_counters r.outcome sim.fault
   in
-  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg $ net_arg)
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg $ net_arg $ sim_term)
 
 let generate_cmd =
   let doc = "Generate a benchmark (coNCePTuaL or C+MPI) from a trace." in
@@ -144,35 +292,41 @@ let generate_cmd =
       & opt (enum [ ("conceptual", `Conceptual); ("c", `C) ]) `Conceptual
       & info [ "lang" ] ~docv:"LANG" ~doc:"Target language: conceptual or c.")
   in
-  let run name wanted cls net out lang =
+  let run name wanted cls net out lang sim =
+    guarded @@ fun () ->
     let app, nranks = resolve_app name wanted in
-    let report, _ =
-      Benchgen.from_app ~name ~net ~nranks (app.program ~cls ())
+    let trace, _ =
+      Scalatrace.Tracer.trace_run ~net ?fault:sim.fault
+        ?max_events:sim.max_events ?max_virtual_time:sim.max_virtual_time
+        ~nranks (app.program ~cls ())
     in
-    let text =
-      match lang with
-      | `Conceptual -> report.Benchgen.text
-      | `C ->
-          (* regenerate via the C backend from the same rewritten trace *)
-          let trace, _ =
-            Scalatrace.Tracer.trace_run ~net ~nranks (app.program ~cls ())
-          in
-          let trace, _ = Benchgen.Align.align_if_needed trace in
-          let trace, _ = Benchgen.Wildcard.resolve_if_needed trace in
-          Benchgen.Cgen.program ~name trace
-    in
-    (match out with
-    | Some path ->
-        let oc = open_out path in
-        output_string oc text;
-        close_out oc;
-        Printf.printf "wrote %s (%d statements%s%s)\n" path report.statements
-          (if report.aligned then "; collectives aligned" else "")
-          (if report.resolved then "; wildcards resolved" else "")
-    | None -> print_string text)
+    match Benchgen.generate_checked ~name trace with
+    | Error e -> fail (code_of_gen_error e) (Benchgen.error_to_string e)
+    | Ok (report, warnings) ->
+        warn_all warnings;
+        let text =
+          match lang with
+          | `Conceptual -> report.Benchgen.text
+          | `C ->
+              (* regenerate via the C backend from the same rewritten trace *)
+              let trace, _ = Benchgen.Align.align_if_needed trace in
+              let trace, _ = Benchgen.Wildcard.resolve_if_needed trace in
+              Benchgen.Cgen.program ~name trace
+        in
+        (match out with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc text;
+            close_out oc;
+            Printf.printf "wrote %s (%d statements%s%s)\n" path report.statements
+              (if report.aligned then "; collectives aligned" else "")
+              (if report.resolved then "; wildcards resolved" else "")
+        | None -> print_string text)
   in
   Cmd.v (Cmd.info "generate" ~doc)
-    Term.(const run $ app_arg $ nranks_arg $ cls_arg $ net_arg $ out_arg $ lang_arg)
+    Term.(
+      const run $ app_arg $ nranks_arg $ cls_arg $ net_arg $ out_arg $ lang_arg
+      $ sim_term)
 
 let run_cmd =
   let doc = "Execute a .ncptl benchmark on the simulator." in
@@ -186,16 +340,21 @@ let run_cmd =
       & info [ "compute-scale" ] ~docv:"F"
           ~doc:"Multiply all COMPUTE durations by $(docv) (what-if studies).")
   in
-  let run file wanted net scale =
+  let run file wanted net scale sim =
+    guarded @@ fun () ->
     let text = In_channel.with_open_text file In_channel.input_all in
     let program = Conceptual.Parse.program text in
     let program =
       if scale = 1.0 then program else Conceptual.Edit.scale_compute scale program
     in
-    let res = Conceptual.Lower.run ~net ~nranks:wanted program in
+    let res =
+      Conceptual.Lower.run ~net ?fault:sim.fault ?max_events:sim.max_events
+        ?max_virtual_time:sim.max_virtual_time ~nranks:wanted program
+    in
     Printf.printf "total time: %.6f s  (%d messages, %s)\n" res.outcome.elapsed
       res.outcome.messages
       (Util.Table.fbytes res.outcome.p2p_bytes);
+    fault_counters res.outcome sim.fault;
     List.iter
       (fun (label, vals) ->
         Printf.printf "log %S:" label;
@@ -204,7 +363,7 @@ let run_cmd =
       res.logs
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ file_arg $ nranks_arg $ net_arg $ scale_arg)
+    Term.(const run $ file_arg $ nranks_arg $ net_arg $ scale_arg $ sim_term)
 
 let stats_cmd =
   let doc = "Communication statistics of an application (or trace file)." in
@@ -222,6 +381,7 @@ let stats_cmd =
       & info [] ~docv:"APP" ~doc:"Application name (omit when using --trace).")
   in
   let run app_name wanted cls net file =
+    guarded @@ fun () ->
     let trace =
       match (file, app_name) with
       | Some path, _ -> Scalatrace.Trace_io.load ~path
@@ -252,30 +412,69 @@ let stats_cmd =
 
 let compare_cmd =
   let doc = "Trace, generate, and compare original vs generated benchmark." in
-  let run name wanted cls net =
+  let noise_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "validate-under-noise" ] ~docv:"TRIALS"
+          ~doc:
+            "Additionally re-run both programs under $(docv) perturbed \
+             network/fault scenarios and report the timing-error \
+             distribution (0 = off).")
+  in
+  let run name wanted cls net trials sim =
+    guarded @@ fun () ->
     let app, nranks = resolve_app name wanted in
     let report, orig =
-      Benchgen.from_app ~name ~net ~nranks (app.program ~cls ())
+      Benchgen.from_app ~name ~net ?fault:sim.fault ?max_events:sim.max_events
+        ?max_virtual_time:sim.max_virtual_time ~nranks (app.program ~cls ())
     in
     let prof_o = Mpip.create () and prof_g = Mpip.create () in
-    ignore (Mpisim.Mpi.run ~hooks:[ Mpip.hook prof_o ] ~net ~nranks (app.program ~cls ()));
+    ignore
+      (Mpisim.Mpi.run ~hooks:[ Mpip.hook prof_o ] ~net ?fault:sim.fault
+         ?max_events:sim.max_events ?max_virtual_time:sim.max_virtual_time
+         ~nranks (app.program ~cls ()));
     let res =
-      Conceptual.Lower.run ~hooks:[ Mpip.hook prof_g ] ~net ~nranks report.program
+      Conceptual.Lower.run ~hooks:[ Mpip.hook prof_g ] ~net ?fault:sim.fault
+        ?max_events:sim.max_events ?max_virtual_time:sim.max_virtual_time
+        ~nranks report.program
     in
     Printf.printf "original:  %.6f s\ngenerated: %.6f s\nerror:     %+.2f%%\n"
       orig.elapsed res.outcome.elapsed
       (100. *. (res.outcome.elapsed -. orig.elapsed) /. orig.elapsed);
     Printf.printf "passes:    align=%b wildcard=%b; %d statements from %d RSDs\n"
       report.aligned report.resolved report.statements report.final_rsds;
+    fault_counters res.outcome sim.fault;
     let diffs = Mpip.diff prof_o prof_g in
     if diffs = [] then print_endline "mpiP:      identical per-operation statistics"
     else begin
       print_endline "mpiP differences (Table 1 substitutions and AWAIT rewrites):";
       List.iter (fun d -> print_endline ("  " ^ d)) diffs
+    end;
+    if trials > 0 then begin
+      let nr =
+        Benchgen.validate_under_noise ~net ~trials ?fault:sim.fault ~nranks
+          (app.program ~cls ()) report
+      in
+      Printf.printf "\nfidelity under noise (%d perturbed trials):\n" trials;
+      Printf.printf "  clean baseline error: %+.2f%%\n" nr.nr_baseline_error_pct;
+      List.iter
+        (fun (s : Benchgen.noise_sample) ->
+          Printf.printf
+            "  seed=%-4d latency x%.2f bandwidth x%.2f  original %.6fs  \
+             generated %.6fs  error %+.2f%%\n"
+            s.ns_seed s.ns_latency_factor s.ns_bandwidth_factor s.ns_original
+            s.ns_generated s.ns_error_pct)
+        nr.nr_samples;
+      Printf.printf
+        "  mean |error| %.2f%%   max |error| %.2f%%   stddev %.2f%%\n"
+        nr.nr_mean_abs_error_pct nr.nr_max_abs_error_pct nr.nr_stddev_error_pct
     end
   in
   Cmd.v (Cmd.info "compare" ~doc)
-    Term.(const run $ app_arg $ nranks_arg $ cls_arg $ net_arg)
+    Term.(
+      const run $ app_arg $ nranks_arg $ cls_arg $ net_arg $ noise_arg
+      $ sim_term)
 
 let extrapolate_cmd =
   let doc =
@@ -299,6 +498,7 @@ let extrapolate_cmd =
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the benchmark to $(docv).")
   in
   let run name cls net froms target out =
+    guarded @@ fun () ->
     let app = Option.get (Apps.Registry.find name) in
     let inputs =
       List.map

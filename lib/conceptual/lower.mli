@@ -21,10 +21,15 @@ exception Lower_error of string
     whose source selects several tasks. *)
 val compile : nranks:int -> Ast.program -> Mpisim.Mpi.ctx -> unit
 
-(** [run ?net ?hooks ~nranks p] — compile and simulate, collecting logs. *)
+(** [run ?net ?hooks ~nranks p] — compile and simulate, collecting logs.
+    [?fault] and the watchdog budgets are forwarded to the simulator, so
+    generated benchmarks can be validated under perturbed conditions. *)
 val run :
   ?net:Mpisim.Netmodel.t ->
   ?hooks:Mpisim.Hooks.t list ->
+  ?fault:Mpisim.Fault.t ->
+  ?max_events:int ->
+  ?max_virtual_time:float ->
   nranks:int ->
   Ast.program ->
   result

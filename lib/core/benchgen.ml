@@ -35,6 +35,159 @@ let generate ?name ?compute_floor_usecs trace =
 let generate_text ?name ?compute_floor_usecs trace =
   (generate ?name ?compute_floor_usecs trace).text
 
-let from_app ?name ?net ?compute_floor_usecs ~nranks app =
-  let trace, outcome = Scalatrace.Tracer.trace_run ?net ~nranks app in
+let from_app ?name ?net ?fault ?max_events ?max_virtual_time
+    ?compute_floor_usecs ~nranks app =
+  let trace, outcome =
+    Scalatrace.Tracer.trace_run ?net ?fault ?max_events ?max_virtual_time
+      ~nranks app
+  in
   (generate ?name ?compute_floor_usecs trace, outcome)
+
+(* ------------------------------------------------------------------ *)
+(* Checked generation: recoverable issues become warnings, expected
+   failures become typed errors instead of escaping exceptions.         *)
+
+type warning =
+  | W_aligned of { input_rsds : int; output_rsds : int }
+  | W_wildcard_resolved
+  | W_wildcard_fallback of string
+
+type gen_error =
+  | E_potential_deadlock of string
+  | E_align of string
+  | E_wildcard of string
+  | E_trace_format of string
+  | E_io of string
+
+let warning_to_string = function
+  | W_aligned { input_rsds; output_rsds } ->
+      Printf.sprintf
+        "collective alignment rewrote the trace (%d -> %d RSDs)" input_rsds
+        output_rsds
+  | W_wildcard_resolved ->
+      "wildcard receives were pinned to concrete senders (Algorithm 2)"
+  | W_wildcard_fallback msg -> "wildcard resolution degraded: " ^ msg
+
+let error_to_string = function
+  | E_potential_deadlock msg -> "potential deadlock: " ^ msg
+  | E_align msg -> "collective alignment failed: " ^ msg
+  | E_wildcard msg -> "wildcard resolution failed: " ^ msg
+  | E_trace_format msg -> "malformed trace: " ^ msg
+  | E_io msg -> "I/O error: " ^ msg
+
+let generate_checked ?name ?compute_floor_usecs ?strategy trace =
+  let warnings = ref [] in
+  let warn w = warnings := w :: !warnings in
+  try
+    let input_rsds = Scalatrace.Trace.rsd_count trace in
+    let trace, aligned = Align.align_if_needed trace in
+    if aligned then
+      warn
+        (W_aligned
+           { input_rsds; output_rsds = Scalatrace.Trace.rsd_count trace });
+    let trace, resolved =
+      Wildcard.resolve_if_needed ?strategy
+        ~on_fallback:(fun msg -> warn (W_wildcard_fallback msg))
+        trace
+    in
+    if resolved then warn W_wildcard_resolved;
+    let program = Codegen.program ?name ?compute_floor_usecs trace in
+    let text = Conceptual.Pretty.program program in
+    Ok
+      ( {
+          program;
+          text;
+          aligned;
+          resolved;
+          input_rsds;
+          final_rsds = Scalatrace.Trace.rsd_count trace;
+          statements = Conceptual.Ast.size program;
+        },
+        List.rev !warnings )
+  with
+  | Wildcard.Potential_deadlock msg -> Error (E_potential_deadlock msg)
+  | Align.Align_error msg -> Error (E_align msg)
+  | Wildcard.Wildcard_error msg -> Error (E_wildcard msg)
+
+let generate_checked_file ?name ?compute_floor_usecs ?strategy ~path () =
+  match Scalatrace.Trace_io.load ~path with
+  | exception Scalatrace.Trace_io.Format_error msg -> Error (E_trace_format msg)
+  | exception Sys_error msg -> Error (E_io msg)
+  | trace ->
+      let name = Some (Option.value ~default:path name) in
+      generate_checked ?name ?compute_floor_usecs ?strategy trace
+
+(* ------------------------------------------------------------------ *)
+(* Fidelity under noise: does the generated benchmark still track the
+   original application when the machine misbehaves?  Every trial draws
+   a perturbed network (scaled latency/bandwidth) plus a seeded fault
+   plan, runs both programs under identical conditions, and records the
+   signed timing error — the paper's Fig. 6/7 comparison, now with a
+   distribution instead of a single clean run.                          *)
+
+type noise_sample = {
+  ns_seed : int;
+  ns_latency_factor : float;
+  ns_bandwidth_factor : float;
+  ns_original : float;
+  ns_generated : float;
+  ns_error_pct : float;
+}
+
+type noise_report = {
+  nr_baseline_error_pct : float;
+  nr_samples : noise_sample list;
+  nr_mean_abs_error_pct : float;
+  nr_max_abs_error_pct : float;
+  nr_stddev_error_pct : float;
+}
+
+let validate_under_noise ?(net = Mpisim.Netmodel.bluegene_l) ?(trials = 5)
+    ?(base_seed = 1) ?fault ~nranks app (report : report) =
+  if trials < 1 then invalid_arg "validate_under_noise: trials must be >= 1";
+  let template =
+    match fault with
+    | Some f -> f
+    | None ->
+        Mpisim.Fault.make ~seed:base_seed
+          ~jitter_mean:(2. *. net.Mpisim.Netmodel.latency) ~os_noise:0.05 ()
+  in
+  let err ~reference ~measured = Util.Stats.pct_error ~reference ~measured in
+  let baseline_orig = Mpisim.Mpi.run ~net ~nranks app in
+  let baseline_gen = Conceptual.Lower.run ~net ~nranks report.program in
+  let rng = Util.Rng.create ~seed:base_seed in
+  let samples =
+    List.init trials (fun i ->
+        let lat_f = Util.Rng.uniform rng 1.0 2.0 in
+        let bw_f = Util.Rng.uniform rng 0.5 1.0 in
+        let tnet = Mpisim.Netmodel.scale ~latency:lat_f ~bandwidth:bw_f net in
+        let f = { template with Mpisim.Fault.seed = base_seed + i } in
+        let o = Mpisim.Mpi.run ~net:tnet ~fault:f ~nranks app in
+        let g = Conceptual.Lower.run ~net:tnet ~fault:f ~nranks report.program in
+        {
+          ns_seed = f.Mpisim.Fault.seed;
+          ns_latency_factor = lat_f;
+          ns_bandwidth_factor = bw_f;
+          ns_original = o.Mpisim.Engine.elapsed;
+          ns_generated = g.Conceptual.Lower.outcome.Mpisim.Engine.elapsed;
+          ns_error_pct =
+            err ~reference:o.Mpisim.Engine.elapsed
+              ~measured:g.Conceptual.Lower.outcome.Mpisim.Engine.elapsed;
+        })
+  in
+  let errs = List.map (fun s -> s.ns_error_pct) samples in
+  let mean_signed = Util.Stats.mean errs in
+  let stddev =
+    sqrt
+      (Util.Stats.mean
+         (List.map (fun e -> (e -. mean_signed) *. (e -. mean_signed)) errs))
+  in
+  {
+    nr_baseline_error_pct =
+      err ~reference:baseline_orig.Mpisim.Engine.elapsed
+        ~measured:baseline_gen.Conceptual.Lower.outcome.Mpisim.Engine.elapsed;
+    nr_samples = samples;
+    nr_mean_abs_error_pct = Util.Stats.mean (List.map Float.abs errs);
+    nr_max_abs_error_pct = Util.Stats.max_abs errs;
+    nr_stddev_error_pct = stddev;
+  }

@@ -37,11 +37,103 @@ val generate_text :
 
 (** Convenience: trace an application under the given network model and
     generate its benchmark in one call.  Returns the report plus the
-    original run's outcome (for timing-fidelity comparisons). *)
+    original run's outcome (for timing-fidelity comparisons).  [?fault]
+    and the watchdog budgets are forwarded to the tracing run. *)
 val from_app :
   ?name:string ->
   ?net:Mpisim.Netmodel.t ->
+  ?fault:Mpisim.Fault.t ->
+  ?max_events:int ->
+  ?max_virtual_time:float ->
   ?compute_floor_usecs:float ->
   nranks:int ->
   (Mpisim.Mpi.ctx -> unit) ->
   report * Mpisim.Engine.outcome
+
+(** {1 Checked generation}
+
+    {!generate} raises on every abnormal input; {!generate_checked}
+    instead degrades gracefully: recoverable conditions (a rewriting pass
+    that changed the trace, the wildcard [`Auto] strategy falling back to
+    its timed resolver) are reported as {!warning}s alongside a successful
+    report, while genuine failures come back as typed {!gen_error}s —
+    no exception escapes for any malformed-but-parseable input. *)
+
+type warning =
+  | W_aligned of { input_rsds : int; output_rsds : int }
+      (** Algorithm 1 merged partial-participant collectives *)
+  | W_wildcard_resolved  (** Algorithm 2 pinned wildcard receives *)
+  | W_wildcard_fallback of string
+      (** the [`Auto] strategy abandoned the untimed traversal *)
+
+type gen_error =
+  | E_potential_deadlock of string  (** paper Figure 5: input can hang *)
+  | E_align of string  (** collective misuse in the trace *)
+  | E_wildcard of string  (** malformed point-to-point structure *)
+  | E_trace_format of string  (** unparseable trace file *)
+  | E_io of string  (** file-system failure *)
+
+val warning_to_string : warning -> string
+val error_to_string : gen_error -> string
+
+val generate_checked :
+  ?name:string ->
+  ?compute_floor_usecs:float ->
+  ?strategy:Wildcard.strategy ->
+  Scalatrace.Trace.t ->
+  (report * warning list, gen_error) result
+
+(** Load a trace file and generate from it; file-level failures map to
+    [E_trace_format] / [E_io]. [?name] defaults to [path]. *)
+val generate_checked_file :
+  ?name:string ->
+  ?compute_floor_usecs:float ->
+  ?strategy:Wildcard.strategy ->
+  path:string ->
+  unit ->
+  (report * warning list, gen_error) result
+
+(** {1 Fidelity under noise}
+
+    The paper validates a generated benchmark with one clean run per
+    platform (Fig. 6/7).  [validate_under_noise] instead samples a
+    distribution: each trial perturbs the network (latency scaled by a
+    factor in [1, 2), bandwidth by a factor in [0.5, 1)) and applies a
+    seeded fault plan, then runs the original application and the
+    generated benchmark under identical perturbed conditions and records
+    the signed timing error between them. *)
+
+type noise_sample = {
+  ns_seed : int;  (** fault seed used for this trial *)
+  ns_latency_factor : float;
+  ns_bandwidth_factor : float;
+  ns_original : float;  (** original application elapsed, seconds *)
+  ns_generated : float;  (** generated benchmark elapsed, seconds *)
+  ns_error_pct : float;  (** signed percentage error, generated vs original *)
+}
+
+type noise_report = {
+  nr_baseline_error_pct : float;  (** error of the clean, unperturbed run *)
+  nr_samples : noise_sample list;
+  nr_mean_abs_error_pct : float;
+  nr_max_abs_error_pct : float;
+  nr_stddev_error_pct : float;  (** stddev of the signed errors *)
+}
+
+(** [validate_under_noise ~nranks app report] — [report] must have been
+    generated from [app] at the same rank count.  All randomness derives
+    from [base_seed]; the result is bit-reproducible.
+    @param trials number of perturbed runs (default 5).
+    @param fault template plan applied to every trial (its [seed] is
+      overridden per trial); default: mild latency jitter plus 5% OS
+      noise.
+    @raise Invalid_argument when [trials < 1]. *)
+val validate_under_noise :
+  ?net:Mpisim.Netmodel.t ->
+  ?trials:int ->
+  ?base_seed:int ->
+  ?fault:Mpisim.Fault.t ->
+  nranks:int ->
+  (Mpisim.Mpi.ctx -> unit) ->
+  report ->
+  noise_report

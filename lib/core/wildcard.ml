@@ -434,17 +434,20 @@ let timed_resolve ?net (trace : Trace.t) =
     result.Replay.wildcard_matches;
   queues
 
-let run ?(strategy = `Auto) ?net (trace : Trace.t) =
+let run ?(strategy = `Auto) ?net ?(on_fallback = fun _ -> ()) (trace : Trace.t) =
   match strategy with
   | `Traversal -> rebuild_resolved trace (traversal_resolve trace)
   | `Timed -> rebuild_resolved trace (timed_resolve ?net trace)
   | `Auto -> (
       match traversal_resolve trace with
-      | exception Potential_deadlock _ ->
+      | exception Potential_deadlock msg ->
           (* The untimed traversal wedged.  Replaying the trace decides
              whether that is a genuine hazard: a hanging replay re-raises
              from timed_resolve; a completing one resolves the wildcards
              from an actual execution. *)
+          on_fallback
+            ("untimed traversal reported a potential deadlock; falling back \
+              to timed resolution: " ^ msg);
           rebuild_resolved trace (timed_resolve ?net trace)
       | queues -> (
           let resolved = rebuild_resolved trace queues in
@@ -455,9 +458,12 @@ let run ?(strategy = `Auto) ?net (trace : Trace.t) =
           match Replay.run ?net resolved with
           | _ -> resolved
           | exception Mpisim.Engine.Deadlock _ ->
+              on_fallback
+                "untimed wildcard assignment failed replay validation; \
+                 falling back to timed resolution";
               rebuild_resolved trace (timed_resolve ?net trace)))
 
 
-let resolve_if_needed ?strategy ?net trace =
-  if Trace.has_wildcards trace then (run ?strategy ?net trace, true)
+let resolve_if_needed ?strategy ?net ?on_fallback trace =
+  if Trace.has_wildcards trace then (run ?strategy ?net ?on_fallback trace, true)
   else (trace, false)

@@ -44,12 +44,17 @@ exception Wildcard_error of string
       which reports rather than resolves. *)
 type strategy = [ `Traversal | `Timed | `Auto ]
 
+(** [?on_fallback] is invoked (with a human-readable reason) each time the
+    [`Auto] strategy abandons the untimed traversal for the timed replay —
+    callers surface this as a degradation warning rather than a failure. *)
 val run :
-  ?strategy:strategy -> ?net:Mpisim.Netmodel.t -> Scalatrace.Trace.t ->
+  ?strategy:strategy -> ?net:Mpisim.Netmodel.t ->
+  ?on_fallback:(string -> unit) -> Scalatrace.Trace.t ->
   Scalatrace.Trace.t
 
 (** Run the pass only when the O(r) pre-check finds wildcard receives;
     returns the trace and whether the pass ran. *)
 val resolve_if_needed :
-  ?strategy:strategy -> ?net:Mpisim.Netmodel.t -> Scalatrace.Trace.t ->
+  ?strategy:strategy -> ?net:Mpisim.Netmodel.t ->
+  ?on_fallback:(string -> unit) -> Scalatrace.Trace.t ->
   Scalatrace.Trace.t * bool

@@ -1,5 +1,6 @@
 exception Deadlock of string
 exception Mpi_error of string
+exception Stalled of string
 
 type ctx = { rank : int; nranks : int; world : Comm.t }
 
@@ -11,6 +12,9 @@ type outcome = {
   p2p_bytes : int;
   unexpected : int;
   flow_stalls : int;
+  retries : int;
+  timeouts : int;
+  dropped : int;
 }
 
 type _ Effect.t += Mpi_call : Call.t -> Call.value Effect.t
@@ -100,7 +104,11 @@ type coll_state = {
   mutable c_arrivals : (int * float * Call.op) list;
 }
 
-type event = E_start of int | E_resume of int * Call.value | E_deliver of msg
+type event =
+  | E_start of int
+  | E_resume of int * Call.value
+  | E_deliver of msg
+  | E_retransmit of msg * int  (* next transmission attempt, 0-based *)
 
 type state = {
   net : Netmodel.t;
@@ -115,6 +123,9 @@ type state = {
   coll_seq : (int * int, int) Hashtbl.t;
   hooks : Hooks.t list;
   fibers : fiber option array;
+  fault : Fault.runtime option;
+  max_events : int option;
+  max_virtual_time : float option;
   mutable now : float;
   mutable n_events : int;
   mutable n_msgs : int;
@@ -128,6 +139,9 @@ let schedule st ~time ev = Util.Pqueue.add st.events ~time ev
 let fire_enter st rank call =
   let time = st.ranks.(rank).rs_clock in
   List.iter (fun (h : Hooks.t) -> h.on_enter ~world_rank:rank ~time call) st.hooks
+
+let fire_fault st ev =
+  List.iter (fun (h : Hooks.t) -> h.on_fault ~time:st.now ev) st.hooks
 
 let fire_return st rank time call v =
   List.iter (fun (h : Hooks.t) -> h.on_return ~world_rank:rank ~time call v) st.hooks
@@ -225,13 +239,112 @@ let take_first pred lst =
   in
   go [] lst
 
+(* ------------------------------------------------------------------ *)
+(* Diagnostics                                                         *)
+
+let rank_lines st buf =
+  Array.iter
+    (fun rs ->
+      if not rs.rs_finished then begin
+        let call =
+          match rs.rs_current with
+          | Some c ->
+              Format.asprintf "%a at %a" Call.pp_op c.op Util.Callsite.pp c.site
+          | None -> "<not started>"
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "\n  rank %d at t=%.6fs blocked in %s (posted=%d unexpected=%d \
+              parked=%d buffered=%dB)"
+             rs.rs_rank rs.rs_clock call
+             (List.length rs.rs_posted)
+             (List.length rs.rs_unexpected)
+             (List.length rs.rs_parked) rs.rs_buffered)
+      end)
+    st.ranks
+
+let deadlock_report st =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "simulation deadlock; stuck ranks:";
+  rank_lines st buf;
+  Buffer.contents buf
+
+let stalled_report st ~reason =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "simulation stalled: %s after %d events at t=%.6fs; \
+                     unfinished ranks:" reason st.n_events st.now);
+  rank_lines st buf;
+  Buffer.contents buf
+
+(* Per-transfer fault effects at departure time [depart]:
+   (latency factor, bandwidth factor, additive jitter). *)
+let wire_fault st ~depart =
+  match st.fault with
+  | None -> (1., 1., 0.)
+  | Some f ->
+      let lf, bf = Fault.degradation (Fault.plan f) ~now:depart in
+      (lf, bf, Fault.draw_jitter f)
+
 (* Inbound transfers serialize on the receiver's link. *)
 let wire_arrival st (d : rank_state) ~depart ~bytes =
   let net = st.net in
-  let start = Float.max (depart +. net.latency) d.rs_nic_free in
-  let arrival = start +. (float_of_int bytes *. net.byte_time) in
+  let lat_f, bw_f, jitter = wire_fault st ~depart in
+  let start = Float.max (depart +. (net.latency *. lat_f) +. jitter) d.rs_nic_free in
+  let arrival = start +. (float_of_int bytes *. net.byte_time *. bw_f) in
   d.rs_nic_free <- arrival;
   arrival
+
+(* Inject one transmission attempt of [m], departing at [depart].  Under
+   fault injection the attempt may be lost: the sender then times out and
+   retransmits with exponential backoff, and after [max_retries] lost
+   retransmissions the run is declared {!Stalled} rather than hanging on a
+   receive that can never complete.  [attempt] is 0 for the original
+   transmission. *)
+let transmit st (m : msg) ~depart ~attempt =
+  let lost = match st.fault with Some f -> Fault.draw_drop f | None -> false in
+  if lost then begin
+    let f = Option.get st.fault in
+    let fs = Fault.stats f in
+    fs.dropped <- fs.dropped + 1;
+    fire_fault st
+      (Hooks.F_drop { src = m.m_src; dst = m.m_dst; bytes = m.m_bytes; attempt });
+    let p = Fault.plan f in
+    if attempt >= p.max_retries then
+      raise
+        (Stalled
+           (stalled_report st
+              ~reason:
+                (Printf.sprintf
+                   "message %d->%d (%dB, tag %d) lost %d times; \
+                    retransmission budget exhausted"
+                   m.m_src m.m_dst m.m_bytes m.m_tag (attempt + 1))))
+    else begin
+      fs.timeouts <- fs.timeouts + 1;
+      schedule st
+        ~time:(depart +. Fault.timeout_after p ~attempt)
+        (E_retransmit (m, attempt + 1))
+    end
+  end
+  else begin
+    (match st.fault with
+    | Some f when attempt > 0 ->
+        (Fault.stats f).retries <- (Fault.stats f).retries + 1;
+        fire_fault st
+          (Hooks.F_retransmit
+             { src = m.m_src; dst = m.m_dst; bytes = m.m_bytes; attempt })
+    | _ -> ());
+    let arrival =
+      match m.m_protocol with
+      | Eager -> wire_arrival st st.ranks.(m.m_dst) ~depart ~bytes:m.m_bytes
+      | Rendezvous ->
+          (* only the RTS control message travels now; it does not occupy
+             the receiver's inbound link *)
+          let lat_f, _, jitter = wire_fault st ~depart in
+          depart +. (st.net.latency *. lat_f) +. jitter
+    in
+    schedule st ~time:arrival (E_deliver { m with m_arrival = arrival })
+  end
 
 (* Drain flow-controlled senders after [bytes] were released at [time]. *)
 let rec release_buffer st (d : rank_state) ~bytes ~time =
@@ -254,20 +367,19 @@ and inject_parked st (d : rank_state) (q : parked) ~time ~reserved =
   let ti =
     Float.max time (q.q_call_time +. net.overhead) +. net.resume_latency
   in
-  let arrival = wire_arrival st d ~depart:ti ~bytes:q.q_bytes in
-  schedule st ~time:arrival
-    (E_deliver
-       {
-         m_src = q.q_src;
-         m_dst = d.rs_rank;
-         m_tag = q.q_tag;
-         m_bytes = q.q_bytes;
-         m_comm = q.q_comm;
-         m_protocol = Eager;
-         m_arrival = arrival;
-         m_send_req = q.q_send_req;
-         m_reserved = reserved;
-       });
+  transmit st
+    {
+      m_src = q.q_src;
+      m_dst = d.rs_rank;
+      m_tag = q.q_tag;
+      m_bytes = q.q_bytes;
+      m_comm = q.q_comm;
+      m_protocol = Eager;
+      m_arrival = 0.;
+      m_send_req = q.q_send_req;
+      m_reserved = reserved;
+    }
+    ~depart:ti ~attempt:0;
   complete_req st (find_req st q.q_send_req) ~time:ti ()
 
 (* Message processing occupies the receiver's progress engine serially:
@@ -412,14 +524,13 @@ let do_send st rank (call : Call.t) ~blocking ~dst ~bytes ~tag =
       let reserved = true in
       d.rs_buffered <- d.rs_buffered + bytes;
       let ti = t0 +. net.overhead in
-      let arrival = wire_arrival st d ~depart:ti ~bytes in
-      schedule st ~time:arrival
-        (E_deliver
-           {
-             m_src = rank; m_dst = dst_world; m_tag = tag; m_bytes = bytes;
-             m_comm = Comm.id comm; m_protocol = Eager; m_arrival = arrival;
-             m_send_req = req.r_id; m_reserved = reserved;
-           });
+      transmit st
+        {
+          m_src = rank; m_dst = dst_world; m_tag = tag; m_bytes = bytes;
+          m_comm = Comm.id comm; m_protocol = Eager; m_arrival = 0.;
+          m_send_req = req.r_id; m_reserved = reserved;
+        }
+        ~depart:ti ~attempt:0;
       complete_req st req ~time:ti ();
       return_at ti
     end
@@ -440,14 +551,13 @@ let do_send st rank (call : Call.t) ~blocking ~dst ~bytes ~tag =
   end
   else begin
     (* Rendezvous: only the RTS travels now. *)
-    let rts_arrival = t0 +. net.overhead +. net.latency in
-    schedule st ~time:rts_arrival
-      (E_deliver
-         {
-           m_src = rank; m_dst = dst_world; m_tag = tag; m_bytes = bytes;
-           m_comm = Comm.id comm; m_protocol = Rendezvous;
-           m_arrival = rts_arrival; m_send_req = req.r_id; m_reserved = false;
-         });
+    transmit st
+      {
+        m_src = rank; m_dst = dst_world; m_tag = tag; m_bytes = bytes;
+        m_comm = Comm.id comm; m_protocol = Rendezvous;
+        m_arrival = 0.; m_send_req = req.r_id; m_reserved = false;
+      }
+      ~depart:(t0 +. net.overhead) ~attempt:0;
     return_at (t0 +. net.overhead)
   end
 
@@ -651,6 +761,11 @@ let handle_call st rank (call : Call.t) (k : fiber) =
   | Compute d ->
       if not (Float.is_finite d) || d < 0. then
         raise (Mpi_error "compute: duration must be finite and non-negative");
+      let d =
+        match st.fault with
+        | Some f -> d *. Fault.compute_factor f ~rank
+        | None -> d
+      in
       schedule st ~time:(rs.rs_clock +. d) (E_resume (rank, V_unit))
   | Wtime -> schedule st ~time:rs.rs_clock (E_resume (rank, V_time rs.rs_clock))
   | Barrier | Bcast _ | Reduce _ | Allreduce _ | Gather _ | Gatherv _
@@ -661,27 +776,21 @@ let handle_call st rank (call : Call.t) (k : fiber) =
 (* ------------------------------------------------------------------ *)
 (* Run loop                                                            *)
 
-let deadlock_report st =
-  let buf = Buffer.create 256 in
-  Buffer.add_string buf "simulation deadlock; stuck ranks:";
-  Array.iter
-    (fun rs ->
-      if not rs.rs_finished then begin
-        let call =
-          match rs.rs_current with
-          | Some c ->
-              Format.asprintf "%a at %a" Call.pp_op c.op Util.Callsite.pp c.site
-          | None -> "<not started>"
-        in
-        Buffer.add_string buf
-          (Printf.sprintf "\n  rank %d at t=%.6fs blocked in %s" rs.rs_rank
-             rs.rs_clock call)
-      end)
-    st.ranks;
-  Buffer.contents buf
-
-let run ?(hooks = []) ?(net = Netmodel.bluegene_l) ~nranks program =
+let run ?(hooks = []) ?(net = Netmodel.bluegene_l) ?fault ?max_events
+    ?max_virtual_time ~nranks program =
   if nranks < 1 then raise (Mpi_error "run: nranks must be >= 1");
+  (match max_events with
+  | Some m when m <= 0 -> raise (Mpi_error "run: max_events must be positive")
+  | _ -> ());
+  (match max_virtual_time with
+  | Some t when not (Float.is_finite t) || t <= 0. ->
+      raise (Mpi_error "run: max_virtual_time must be positive and finite")
+  | _ -> ());
+  let fault =
+    match fault with
+    | Some plan when not (Fault.is_noop plan) -> Some (Fault.start plan)
+    | _ -> None
+  in
   let world = Comm.world nranks in
   let st =
     {
@@ -704,6 +813,9 @@ let run ?(hooks = []) ?(net = Netmodel.bluegene_l) ~nranks program =
       coll_seq = Hashtbl.create 64;
       hooks;
       fibers = Array.make nranks None;
+      fault;
+      max_events;
+      max_virtual_time;
       now = 0.;
       n_events = 0;
       n_msgs = 0;
@@ -760,14 +872,42 @@ let run ?(hooks = []) ?(net = Netmodel.bluegene_l) ~nranks program =
     | Some (t, ev) ->
         st.now <- t;
         st.n_events <- st.n_events + 1;
+        (* Watchdog: a run that exceeds its budgets is reported as Stalled
+           with a per-rank diagnostic instead of spinning forever. *)
+        (match st.max_events with
+        | Some budget when st.n_events > budget ->
+            raise
+              (Stalled
+                 (stalled_report st
+                    ~reason:
+                      (Printf.sprintf "event budget exhausted (max_events = %d)"
+                         budget)))
+        | _ -> ());
+        (match st.max_virtual_time with
+        | Some budget when t > budget ->
+            raise
+              (Stalled
+                 (stalled_report st
+                    ~reason:
+                      (Printf.sprintf
+                         "virtual-time budget exhausted (max_virtual_time = \
+                          %gs)"
+                         budget)))
+        | _ -> ());
         (match ev with
         | E_start rank -> start_fiber rank
         | E_resume (rank, v) -> resume rank v
-        | E_deliver m -> deliver st m);
+        | E_deliver m -> deliver st m
+        | E_retransmit (m, attempt) -> transmit st m ~depart:t ~attempt);
         loop ()
   in
   loop ();
   let finish_times = Array.map (fun rs -> rs.rs_clock) st.ranks in
+  let fstats =
+    match st.fault with
+    | Some f -> Fault.stats f
+    | None -> { Fault.retries = 0; timeouts = 0; dropped = 0 }
+  in
   {
     elapsed = Array.fold_left Float.max 0. finish_times;
     finish_times;
@@ -776,4 +916,7 @@ let run ?(hooks = []) ?(net = Netmodel.bluegene_l) ~nranks program =
     p2p_bytes = st.n_bytes;
     unexpected = st.n_unexpected;
     flow_stalls = st.n_stalls;
+    retries = fstats.retries;
+    timeouts = fstats.timeouts;
+    dropped = fstats.dropped;
   }

@@ -1,0 +1,107 @@
+type window = {
+  w_from : float;
+  w_until : float;
+  w_latency_factor : float;
+  w_bandwidth_factor : float;
+}
+
+type t = {
+  seed : int;
+  jitter_mean : float;
+  drop_prob : float;
+  max_retries : int;
+  retrans_timeout : float;
+  backoff : float;
+  windows : window list;
+  slowdown : (int * float) list;
+  os_noise : float;
+}
+
+let make ?(jitter_mean = 0.) ?(drop_prob = 0.) ?(max_retries = 8)
+    ?(retrans_timeout = 1e-3) ?(backoff = 2.) ?(windows = []) ?(slowdown = [])
+    ?(os_noise = 0.) ~seed () =
+  if not (Float.is_finite jitter_mean) || jitter_mean < 0. then
+    invalid_arg "Fault.make: jitter_mean must be finite and non-negative";
+  if not (Float.is_finite drop_prob) || drop_prob < 0. || drop_prob >= 1. then
+    invalid_arg "Fault.make: drop_prob must be in [0, 1)";
+  if max_retries < 0 then invalid_arg "Fault.make: max_retries must be >= 0";
+  if not (Float.is_finite retrans_timeout) || retrans_timeout <= 0. then
+    invalid_arg "Fault.make: retrans_timeout must be positive";
+  if not (Float.is_finite backoff) || backoff < 1. then
+    invalid_arg "Fault.make: backoff must be >= 1";
+  if not (Float.is_finite os_noise) || os_noise < 0. then
+    invalid_arg "Fault.make: os_noise must be finite and non-negative";
+  List.iter
+    (fun w ->
+      if w.w_until < w.w_from || w.w_latency_factor <= 0. || w.w_bandwidth_factor <= 0.
+      then invalid_arg "Fault.make: malformed degradation window")
+    windows;
+  List.iter
+    (fun (r, f) ->
+      if r < 0 || f <= 0. || not (Float.is_finite f) then
+        invalid_arg "Fault.make: malformed per-rank slowdown")
+    slowdown;
+  { seed; jitter_mean; drop_prob; max_retries; retrans_timeout; backoff;
+    windows; slowdown; os_noise }
+
+let none = make ~seed:0 ()
+
+let is_noop t =
+  t.jitter_mean = 0. && t.drop_prob = 0. && t.windows = [] && t.slowdown = []
+  && t.os_noise = 0.
+
+type stats = {
+  mutable retries : int;
+  mutable timeouts : int;
+  mutable dropped : int;
+}
+
+type runtime = { rt_plan : t; rt_rng : Util.Rng.t; rt_stats : stats }
+
+let start plan =
+  {
+    rt_plan = plan;
+    rt_rng = Util.Rng.create ~seed:plan.seed;
+    rt_stats = { retries = 0; timeouts = 0; dropped = 0 };
+  }
+
+let plan rt = rt.rt_plan
+let stats rt = rt.rt_stats
+
+let draw_jitter rt =
+  if rt.rt_plan.jitter_mean = 0. then 0.
+  else Util.Rng.exponential rt.rt_rng ~mean:rt.rt_plan.jitter_mean
+
+let draw_drop rt =
+  rt.rt_plan.drop_prob > 0. && Util.Rng.float rt.rt_rng < rt.rt_plan.drop_prob
+
+let degradation t ~now =
+  List.fold_left
+    (fun (lf, bf) w ->
+      if now >= w.w_from && now < w.w_until then
+        (lf *. w.w_latency_factor, bf *. w.w_bandwidth_factor)
+      else (lf, bf))
+    (1., 1.) t.windows
+
+let compute_factor rt ~rank =
+  let static =
+    match List.assoc_opt rank rt.rt_plan.slowdown with Some f -> f | None -> 1.
+  in
+  let noise =
+    if rt.rt_plan.os_noise = 0. then 1.
+    else
+      Util.Rng.gaussian rt.rt_rng ~truncate_at_zero:true ~mean:1.
+        ~stddev:rt.rt_plan.os_noise ()
+  in
+  static *. noise
+
+let timeout_after t ~attempt =
+  t.retrans_timeout *. (t.backoff ** float_of_int attempt)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "fault{seed=%d jitter=%.2gus drop=%.3g retries<=%d rto=%.2gms windows=%d \
+     slowdown=%d noise=%.2g}"
+    t.seed (t.jitter_mean *. 1e6) t.drop_prob t.max_retries
+    (t.retrans_timeout *. 1e3)
+    (List.length t.windows) (List.length t.slowdown) t.os_noise

@@ -1,0 +1,106 @@
+(** Deterministic, seeded fault injection for the simulator.
+
+    A fault {e plan} describes how a run is perturbed; all stochastic
+    choices derive from an explicit {!Util.Rng} stream seeded from
+    [seed], and draws are consumed in simulation-event order, so a run
+    under a given plan is exactly as reproducible as a clean run: same
+    plan, same program, same network ⇒ bit-identical {!Engine.outcome}.
+
+    Four perturbation families are modelled:
+
+    - {b latency jitter} — every wire transfer pays an extra
+      exponentially distributed delay with mean [jitter_mean];
+    - {b transient link degradation} — during each {!window} the wire
+      latency and per-byte time are multiplied by the window's factors
+      (an Ethernet congestion burst, a failing switch port);
+    - {b compute slowdown / OS noise} — per-rank static multipliers on
+      every [Compute] interval plus a multiplicative Gaussian jitter
+      with relative standard deviation [os_noise];
+    - {b message drops with retransmission} — each injection attempt of
+      an eager payload or a rendezvous RTS is lost with probability
+      [drop_prob]; the engine retransmits after a timeout that backs
+      off exponentially, giving up (and raising {!Engine.Stalled}) after
+      [max_retries] retries. *)
+
+(** A transient degradation window in virtual time.  A transfer departing
+    at [t] with [w_from <= t < w_until] sees its latency multiplied by
+    [w_latency_factor] and its per-byte time by [w_bandwidth_factor]. *)
+type window = {
+  w_from : float;
+  w_until : float;
+  w_latency_factor : float;
+  w_bandwidth_factor : float;
+}
+
+type t = {
+  seed : int;
+  jitter_mean : float;  (** mean extra wire delay per transfer, seconds *)
+  drop_prob : float;  (** per-attempt loss probability, in [0, 1) *)
+  max_retries : int;  (** retransmissions before giving up *)
+  retrans_timeout : float;  (** initial retransmission timeout, seconds *)
+  backoff : float;  (** timeout multiplier per retry, >= 1 *)
+  windows : window list;  (** transient link degradation *)
+  slowdown : (int * float) list;  (** per-rank compute multipliers *)
+  os_noise : float;  (** relative stddev of compute jitter *)
+}
+
+(** Build a plan; unspecified knobs are inert.
+    @raise Invalid_argument on out-of-range values ([drop_prob] outside
+    [0, 1), negative jitter/noise/timeout, [backoff < 1],
+    [max_retries < 0], non-positive slowdown factors or malformed
+    windows). *)
+val make :
+  ?jitter_mean:float ->
+  ?drop_prob:float ->
+  ?max_retries:int ->
+  ?retrans_timeout:float ->
+  ?backoff:float ->
+  ?windows:window list ->
+  ?slowdown:(int * float) list ->
+  ?os_noise:float ->
+  seed:int ->
+  unit ->
+  t
+
+(** A plan that perturbs nothing (all knobs inert). *)
+val none : t
+
+(** [true] when the plan perturbs nothing — the engine then skips the
+    fault machinery entirely. *)
+val is_noop : t -> bool
+
+(** Injection counters accumulated by the engine during one run. *)
+type stats = {
+  mutable retries : int;  (** retransmission attempts performed *)
+  mutable timeouts : int;  (** sender timeout expirations *)
+  mutable dropped : int;  (** transmission attempts lost in flight *)
+}
+
+(** Per-run mutable state: the plan, its RNG stream, and counters. *)
+type runtime
+
+val start : t -> runtime
+val plan : runtime -> t
+val stats : runtime -> stats
+
+(** Next extra wire delay; [0.] (no stream consumption) when
+    [jitter_mean = 0]. *)
+val draw_jitter : runtime -> float
+
+(** Whether the next transmission attempt is lost; [false] (no stream
+    consumption) when [drop_prob = 0]. *)
+val draw_drop : runtime -> bool
+
+(** [(latency_factor, bandwidth_factor)] in effect at [now]; [(1., 1.)]
+    outside every window.  Overlapping windows compound. *)
+val degradation : t -> now:float -> float * float
+
+(** Multiplier applied to a [Compute] interval on [rank]: the static
+    slowdown times one OS-noise draw (truncated below at 0). *)
+val compute_factor : runtime -> rank:int -> float
+
+(** Timeout before retransmission attempt [attempt] (0-based):
+    [retrans_timeout * backoff^attempt]. *)
+val timeout_after : t -> attempt:int -> float
+
+val pp : Format.formatter -> t -> unit

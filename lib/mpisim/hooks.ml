@@ -1,10 +1,16 @@
+type fault_event =
+  | F_drop of { src : int; dst : int; bytes : int; attempt : int }
+  | F_retransmit of { src : int; dst : int; bytes : int; attempt : int }
+
 type t = {
   on_enter : world_rank:int -> time:float -> Call.t -> unit;
   on_return : world_rank:int -> time:float -> Call.t -> Call.value -> unit;
+  on_fault : time:float -> fault_event -> unit;
 }
 
 let nil =
   {
     on_enter = (fun ~world_rank:_ ~time:_ _ -> ());
     on_return = (fun ~world_rank:_ ~time:_ _ _ -> ());
+    on_fault = (fun ~time:_ _ -> ());
   }

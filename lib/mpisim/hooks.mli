@@ -5,11 +5,24 @@
     [on_enter] fires when the application invokes the call; [on_return]
     fires when the call completes and the application resumes.  [Compute]
     and [Wtime] pseudo-calls are reported too; clients that only care about
-    MPI events filter them with {!Call.is_compute}. *)
+    MPI events filter them with {!Call.is_compute}.
+
+    When fault injection is active ({!Fault}), [on_fault] additionally
+    reports transport-level incidents invisible to the application: a
+    transmission attempt lost in flight, and the retransmission that
+    follows its timeout.  Build hooks with [{ nil with ... }] so adding
+    observation points stays source-compatible. *)
+
+(** A transport incident under fault injection.  [attempt] is 0 for the
+    original transmission, [n] for the n-th retransmission. *)
+type fault_event =
+  | F_drop of { src : int; dst : int; bytes : int; attempt : int }
+  | F_retransmit of { src : int; dst : int; bytes : int; attempt : int }
 
 type t = {
   on_enter : world_rank:int -> time:float -> Call.t -> unit;
   on_return : world_rank:int -> time:float -> Call.t -> Call.value -> unit;
+  on_fault : time:float -> fault_event -> unit;
 }
 
 (** A hook that does nothing; override the fields you need. *)

@@ -17,6 +17,9 @@ val site : ?label:string -> string * int * int * int -> Util.Callsite.t
 val run :
   ?hooks:Hooks.t list ->
   ?net:Netmodel.t ->
+  ?fault:Fault.t ->
+  ?max_events:int ->
+  ?max_virtual_time:float ->
   nranks:int ->
   (ctx -> unit) ->
   Engine.outcome

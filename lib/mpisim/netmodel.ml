@@ -41,6 +41,16 @@ let ethernet_cluster =
     collective_dispatch = 10.0e-6;
   }
 
+let scale ?(latency = 1.0) ?(bandwidth = 1.0) t =
+  if latency <= 0. || bandwidth <= 0. then
+    invalid_arg "Netmodel.scale: factors must be positive";
+  {
+    t with
+    latency = t.latency *. latency;
+    overhead = t.overhead *. latency;
+    byte_time = t.byte_time /. bandwidth;
+  }
+
 let transfer_time t ~bytes = t.latency +. (float_of_int bytes *. t.byte_time)
 
 let is_eager t ~bytes = bytes <= t.eager_threshold

@@ -40,6 +40,13 @@ val bluegene_l : t
     Figure 7's non-monotonic behaviour appears. *)
 val ethernet_cluster : t
 
+(** [scale ?latency ?bandwidth t] — a perturbed copy of [t]: wire latency
+    and CPU overhead multiplied by [latency], bandwidth multiplied by
+    [bandwidth] (i.e. per-byte time divided).  Used by the noise-validation
+    harness to probe timing fidelity under degraded networks.
+    @raise Invalid_argument on non-positive factors. *)
+val scale : ?latency:float -> ?bandwidth:float -> t -> t
+
 (** Point-to-point transfer time for a [bytes]-sized message, excluding
     queueing effects: [latency + bytes * byte_time]. *)
 val transfer_time : t -> bytes:int -> float

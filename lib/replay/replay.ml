@@ -18,8 +18,8 @@ let uniform_vec ~p ~total =
 
 type compute_mode = Mean | Draw of int
 
-let run ?(net = Mpisim.Netmodel.bluegene_l) ?(hooks = []) ?(compute_scale = 1.0)
-    ?(compute = Mean) trace =
+let run ?(net = Mpisim.Netmodel.bluegene_l) ?(hooks = []) ?fault ?max_events
+    ?max_virtual_time ?(compute_scale = 1.0) ?(compute = Mean) trace =
   let nranks = Trace.nranks trace in
   let comm_table = List.filter (fun (id, _) -> id <> 0) (Trace.comms trace) in
   (* leaf index by physical identity (iter_leaves order) *)
@@ -192,7 +192,10 @@ let run ?(net = Mpisim.Netmodel.bluegene_l) ?(hooks = []) ?(compute_scale = 1.0)
     in
     walk (Trace.project trace ~rank:r)
   in
-  let outcome = Mpisim.Mpi.run ~hooks ~net ~nranks program in
+  let outcome =
+    Mpisim.Mpi.run ~hooks ~net ?fault ?max_events ?max_virtual_time ~nranks
+      program
+  in
   let wildcard_matches =
     Hashtbl.fold (fun k q acc -> ((k, List.rev !q) : (int * int) * int list) :: acc) matches []
     |> List.sort compare

@@ -29,10 +29,16 @@ type compute_mode = Mean | Draw of int
     @param net network model (default bluegene_l)
     @param hooks extra interposition clients
     @param compute_scale multiply reconstructed compute gaps (default 1.0)
-    @param compute reconstruction mode (default [Mean]) *)
+    @param compute reconstruction mode (default [Mean])
+    @param fault seeded fault-injection plan forwarded to the simulator
+    @param max_events / max_virtual_time watchdog budgets forwarded to the
+      simulator (a wedged replay raises {!Mpisim.Engine.Stalled}) *)
 val run :
   ?net:Mpisim.Netmodel.t ->
   ?hooks:Mpisim.Hooks.t list ->
+  ?fault:Mpisim.Fault.t ->
+  ?max_events:int ->
+  ?max_virtual_time:float ->
   ?compute_scale:float ->
   ?compute:compute_mode ->
   Scalatrace.Trace.t ->

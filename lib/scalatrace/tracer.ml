@@ -34,7 +34,8 @@ let on_return t ~world_rank ~time (call : Mpisim.Call.t) (v : Mpisim.Call.value)
 
 let hook t =
   {
-    Mpisim.Hooks.on_enter = (fun ~world_rank ~time call -> on_enter t ~world_rank ~time call);
+    Mpisim.Hooks.nil with
+    on_enter = (fun ~world_rank ~time call -> on_enter t ~world_rank ~time call);
     on_return =
       (fun ~world_rank ~time call v -> on_return t ~world_rank ~time call v);
   }
@@ -46,7 +47,11 @@ let finish t =
   let comms = List.sort compare t.comms in
   Merge.merge ~nranks:t.nranks ~comms locals
 
-let trace_run ?window ?net ?(extra_hooks = []) ~nranks program =
+let trace_run ?window ?net ?fault ?max_events ?max_virtual_time
+    ?(extra_hooks = []) ~nranks program =
   let t = create ?window ~nranks () in
-  let outcome = Mpisim.Mpi.run ~hooks:(hook t :: extra_hooks) ?net ~nranks program in
+  let outcome =
+    Mpisim.Mpi.run ~hooks:(hook t :: extra_hooks) ?net ?fault ?max_events
+      ?max_virtual_time ~nranks program
+  in
   (finish t, outcome)

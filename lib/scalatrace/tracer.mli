@@ -23,10 +23,15 @@ val finish : t -> Trace.t
 
 (** [trace_run ?window ?net ~nranks program] — convenience: run [program]
     under the tracer and return the global trace together with the run
-    outcome. *)
+    outcome.  [?fault] and the watchdog budgets are forwarded to
+    {!Mpisim.Mpi.run}, so applications can be traced under perturbed
+    conditions and runaway programs abort with a diagnostic. *)
 val trace_run :
   ?window:int ->
   ?net:Mpisim.Netmodel.t ->
+  ?fault:Mpisim.Fault.t ->
+  ?max_events:int ->
+  ?max_virtual_time:float ->
   ?extra_hooks:Mpisim.Hooks.t list ->
   nranks:int ->
   (Mpisim.Mpi.ctx -> unit) ->

@@ -5,6 +5,7 @@ let () =
       ("histogram", Test_histogram.suite);
       ("util", Test_util_misc.suite);
       ("engine", Test_engine.suite);
+      ("fault", Test_fault.suite);
       ("scalatrace", Test_scalatrace.suite);
       ("conceptual", Test_conceptual.suite);
       ("benchgen", Test_benchgen.suite);
