@@ -33,9 +33,13 @@ let () =
          Communication Specifications from Parallel Applications'";
       List.iter (fun (name, _, f) -> wall name f) experiments
   | [ "micro" ] -> Micro.run ()
+  | "perf" :: rest -> wall "perf" (Perf.run ~quick:(List.mem "--quick" rest))
   | [ "list" ] ->
       List.iter (fun (n, d, _) -> Printf.printf "%-12s %s\n" n d) experiments;
-      print_endline "micro        bechamel micro-benchmarks of the pipeline"
+      print_endline "micro        bechamel micro-benchmarks of the pipeline";
+      print_endline
+        "perf         engine/compressor perf-regression suite -> \
+         BENCH_engine.json (add --quick for the smoke-test mode)"
   | names ->
       List.iter
         (fun n ->

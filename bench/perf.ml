@@ -1,0 +1,358 @@
+(* Perf-regression harness for the engine hot paths.
+
+   Two parts, both wall-clock timed:
+
+   - an engine microbenchmark that floods one receiver's matching queues
+     (unexpected queue drained out of arrival order, then a deep pre-posted
+     receive queue), run once with the [`Reference] list matcher and once
+     with the [`Indexed] hash matcher — the speedup column is the point of
+     the exercise;
+   - the end-to-end pipeline (trace -> align -> wildcard -> generate) over
+     the NPB suite at several rank counts, with per-stage times and a
+     traced-events-per-second figure.
+
+   Results go to BENCH_engine.json in the working directory.  [--quick]
+   shrinks every dimension and then re-parses the emitted JSON — that mode
+   runs under [dune runtest] as a bitrot smoke test, so it must stay fast
+   and must not assert anything about timings. *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Engine microbenchmark                                               *)
+
+(* Generous buffers: the point is queue search cost, not flow control. *)
+let micro_net =
+  { Mpisim.Netmodel.bluegene_l with unexpected_buffer_bytes = max_int / 2 }
+
+(* Phase 1: every sender floods rank 0 while it computes, so all messages
+   land in the unexpected queue; rank 0 then drains newest-senders-first,
+   the worst case for a list scan.  Phase 2: rank 0 pre-posts every
+   receive, senders fire only after a delay, so each arrival searches a
+   deep posted queue. *)
+let matching_stress ~msgs_per_rank (ctx : Mpisim.Mpi.ctx) =
+  let module Mpi = Mpisim.Mpi in
+  let n = ctx.nranks and k = msgs_per_rank in
+  if ctx.rank = 0 then begin
+    Mpi.compute ctx 1.0;
+    for r = n - 1 downto 1 do
+      for i = k - 1 downto 0 do
+        ignore
+          (Mpi.recv ctx ~src:(Mpisim.Call.Rank r) ~tag:(Mpisim.Call.Tag (1000 + i))
+             ~bytes:32)
+      done
+    done;
+    let reqs = ref [] in
+    for r = 1 to n - 1 do
+      for i = 0 to k - 1 do
+        reqs :=
+          Mpi.irecv ctx ~src:(Mpisim.Call.Rank r) ~tag:(Mpisim.Call.Tag (2000 + i))
+            ~bytes:32
+          :: !reqs
+      done
+    done;
+    ignore (Mpi.waitall ctx (List.rev !reqs));
+    Mpi.finalize ctx
+  end
+  else begin
+    for i = 0 to k - 1 do
+      Mpi.send ctx ~dst:0 ~tag:(1000 + i) ~bytes:32
+    done;
+    (* later ranks go first, so arrivals match late posts *)
+    Mpi.compute ctx (2.0 +. (float_of_int (n - ctx.rank) *. 1e-4));
+    for i = 0 to k - 1 do
+      Mpi.send ctx ~dst:0 ~tag:(2000 + i) ~bytes:32
+    done;
+    Mpi.finalize ctx
+  end
+
+type micro_run = { wall_s : float; events : int; events_per_s : float }
+
+let run_micro ~matcher ~nranks ~msgs_per_rank =
+  let outcome, dt =
+    wall (fun () ->
+        Mpisim.Mpi.run ~net:micro_net ~matcher ~nranks
+          (matching_stress ~msgs_per_rank))
+  in
+  { wall_s = dt; events = outcome.Mpisim.Engine.events;
+    events_per_s = float_of_int outcome.Mpisim.Engine.events /. Float.max dt 1e-9 }
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end pipeline over the application suite                      *)
+
+type app_run = {
+  a_name : string;
+  a_nranks : int;
+  trace_s : float;
+  align_s : float;
+  wildcard_s : float;
+  generate_s : float;
+  a_events : int;
+  a_events_per_s : float;
+  input_rsds : int;
+  final_rsds : int;
+}
+
+let run_app (app : Apps.Registry.app) ~wanted =
+  let nranks = Apps.Registry.fit_nranks app ~wanted in
+  let (trace, outcome), trace_s =
+    wall (fun () -> Scalatrace.Tracer.trace_run ~nranks (app.program ()))
+  in
+  let aligned, align_s = wall (fun () -> Benchgen.Align.run trace) in
+  let resolved, wildcard_s = wall (fun () -> Benchgen.Wildcard.run aligned) in
+  let report, generate_s = wall (fun () -> Benchgen.generate ~name:app.name resolved) in
+  {
+    a_name = app.name;
+    a_nranks = nranks;
+    trace_s;
+    align_s;
+    wildcard_s;
+    generate_s;
+    a_events = outcome.Mpisim.Engine.events;
+    a_events_per_s =
+      float_of_int outcome.Mpisim.Engine.events /. Float.max trace_s 1e-9;
+    input_rsds = report.Benchgen.input_rsds;
+    final_rsds = report.Benchgen.final_rsds;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON out (hand-rolled: no JSON library in the tree)                 *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jnum f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let micro_json m =
+  Printf.sprintf
+    {|{ "wall_s": %s, "events": %d, "events_per_s": %s }|}
+    (jnum m.wall_s) m.events (jnum m.events_per_s)
+
+let app_json a =
+  Printf.sprintf
+    {|    { "app": "%s", "nranks": %d, "trace_s": %s, "align_s": %s, "wildcard_s": %s, "generate_s": %s, "events": %d, "events_per_s": %s, "input_rsds": %d, "final_rsds": %d }|}
+    (json_escape a.a_name) a.a_nranks (jnum a.trace_s) (jnum a.align_s)
+    (jnum a.wildcard_s) (jnum a.generate_s) a.a_events (jnum a.a_events_per_s)
+    a.input_rsds a.final_rsds
+
+let emit ~path ~mode ~micro_nranks ~msgs_per_rank ~reference ~indexed ~apps =
+  let oc = open_out path in
+  Printf.fprintf oc
+    {|{
+  "schema": "bench-engine/1",
+  "mode": "%s",
+  "micro": {
+    "nranks": %d,
+    "msgs_per_rank": %d,
+    "reference": %s,
+    "indexed": %s,
+    "speedup": %s
+  },
+  "apps": [
+%s
+  ]
+}
+|}
+    mode micro_nranks msgs_per_rank (micro_json reference) (micro_json indexed)
+    (jnum (indexed.events_per_s /. Float.max reference.events_per_s 1e-9))
+    (String.concat ",\n" (List.map app_json apps));
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* JSON self-check: a minimal parser, enough to validate our own output *)
+
+exception Bad_json of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal w =
+    if !pos + String.length w <= n && String.sub s !pos (String.length w) = w
+    then pos := !pos + String.length w
+    else fail (Printf.sprintf "expected %s" w)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some (('"' | '\\' | '/' | 'n' | 't' | 'r' | 'b' | 'f') as c) ->
+              advance ();
+              Buffer.add_char b c
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "short \\u escape";
+              pos := !pos + 4
+          | _ -> fail "bad escape");
+          go ()
+      | Some c ->
+          advance ();
+          Buffer.add_char b c;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); `Obj [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((k, v) :: acc)
+            | Some '}' -> advance (); `Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); `Arr [] end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elems (v :: acc)
+            | Some ']' -> advance (); `Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          elems []
+        end
+    | Some '"' -> `Str (parse_string ())
+    | Some 't' -> literal "true"; `Bool true
+    | Some 'f' -> literal "false"; `Bool false
+    | Some 'n' -> literal "null"; `Null
+    | Some _ -> `Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let validate_json path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  match parse_json s with
+  | `Obj fields ->
+      let has k = List.mem_assoc k fields in
+      if not (has "schema" && has "micro" && has "apps") then
+        raise (Bad_json "missing top-level key")
+  | _ -> raise (Bad_json "top level is not an object")
+
+(* ------------------------------------------------------------------ *)
+
+let run ~quick () =
+  let micro_nranks = if quick then 64 else 256 in
+  let msgs_per_rank = if quick then 4 else 32 in
+  Printf.printf
+    "engine microbenchmark: %d ranks x %d msgs/rank, reference vs indexed \
+     matcher\n%!"
+    micro_nranks msgs_per_rank;
+  let reference = run_micro ~matcher:`Reference ~nranks:micro_nranks ~msgs_per_rank in
+  let indexed = run_micro ~matcher:`Indexed ~nranks:micro_nranks ~msgs_per_rank in
+  if reference.events <> indexed.events then
+    failwith
+      (Printf.sprintf
+         "matcher implementations disagree on event count: reference=%d \
+          indexed=%d"
+         reference.events indexed.events);
+  let speedup = indexed.events_per_s /. Float.max reference.events_per_s 1e-9 in
+  Printf.printf
+    "  reference: %8.0f events/s (%.3fs)\n  indexed:   %8.0f events/s \
+     (%.3fs)\n  speedup:   %.1fx\n%!"
+    reference.events_per_s reference.wall_s indexed.events_per_s indexed.wall_s
+    speedup;
+  let apps, counts =
+    if quick then
+      ( List.filter
+          (fun (a : Apps.Registry.app) ->
+            List.mem a.name [ "cg"; "mg"; "ring" ])
+          Apps.Registry.all,
+        [ 16 ] )
+    else (Apps.Registry.paper_suite, [ 64; 256 ])
+  in
+  let app_runs =
+    List.concat_map
+      (fun wanted ->
+        List.map
+          (fun app ->
+            let r = run_app app ~wanted in
+            Printf.printf
+              "  %-8s p=%-4d trace %.3fs  align %.3fs  wildcard %.3fs  \
+               generate %.3fs  (%.0f events/s)\n%!"
+              r.a_name r.a_nranks r.trace_s r.align_s r.wildcard_s r.generate_s
+              r.a_events_per_s;
+            r)
+          apps)
+      counts
+  in
+  let path = "BENCH_engine.json" in
+  emit ~path ~mode:(if quick then "quick" else "full") ~micro_nranks
+    ~msgs_per_rank ~reference ~indexed ~apps:app_runs;
+  Printf.printf "wrote %s\n%!" path;
+  if quick then begin
+    validate_json path;
+    Printf.printf "quick mode: JSON parses and has the expected shape\n%!"
+  end

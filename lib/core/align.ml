@@ -84,6 +84,7 @@ let merge_collective key arrivals members =
         comm = first.comm;
         dtime;
         ranks = members;
+        hcache = 0;
       }
 
 let run (trace : Trace.t) =

@@ -12,7 +12,7 @@ let walk trace g =
   let rec gen_nodes nodes = List.concat_map gen_node nodes
   and gen_node = function
     | Tnode.Leaf e -> g.gen_rsd e
-    | Tnode.Loop { count; body } -> g.gen_loop ~count (gen_nodes body)
+    | Tnode.Loop { count; body; _ } -> g.gen_loop ~count (gen_nodes body)
   in
   gen_nodes (Trace.nodes trace)
 

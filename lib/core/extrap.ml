@@ -291,7 +291,7 @@ let rec extrap_nodes ~target (samples : (int * Tnode.t list) list) =
               List.map
                 (fun (p, n) ->
                   match n with
-                  | Tnode.Loop { count; body } -> (p, count, body)
+                  | Tnode.Loop { count; body; _ } -> (p, count, body)
                   | Tnode.Leaf _ -> fail "node shapes diverge (loop vs leaf) at p=%d" p)
                 heads
             in
@@ -303,7 +303,7 @@ let rec extrap_nodes ~target (samples : (int * Tnode.t list) list) =
             let body =
               extrap_nodes ~target (List.map (fun (p, _, b) -> (p, b)) loops)
             in
-            Tnode.Loop { count; body }
+            Tnode.loop ~count body
         | [] -> assert false
       in
       node :: extrap_nodes ~target tails

@@ -15,7 +15,7 @@ let rec peek c =
   | { todo = []; _ } :: outer -> peek { c with frames = outer }
   | { todo = Tnode.Leaf e :: rest; restart } :: outer ->
       Some (e, { frames = { todo = rest; restart } :: outer; seen = c.seen + 1 })
-  | { todo = Tnode.Loop { count; body } :: rest; restart } :: outer ->
+  | { todo = Tnode.Loop { count; body; _ } :: rest; restart } :: outer ->
       if count <= 0 then peek { c with frames = { todo = rest; restart } :: outer }
       else
         peek

@@ -112,7 +112,7 @@ let rebuild_resolved (trace : Trace.t) queues =
             if e.Event.peer = Event.P_any then
               Compress.push out (resolve_instance e)
             else Compress.push_node out (Tnode.copy node)
-        | Tnode.Loop { count; body } ->
+        | Tnode.Loop { count; body; _ } ->
             if has_wildcard body then
               (* unroll: each iteration consumes one resolution per
                  wildcard leaf per rank; the compressor folds consistent

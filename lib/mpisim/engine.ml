@@ -29,27 +29,10 @@ let perform call =
 
 type fiber = (Call.value, unit) Effect.Deep.continuation
 
-type protocol = Eager | Rendezvous
-
-type msg = {
-  m_src : int; (* world ranks *)
-  m_dst : int;
-  m_tag : int;
-  m_bytes : int;
-  m_comm : int;
-  m_protocol : protocol;
-  m_arrival : float; (* eager: data arrival; rendezvous: RTS arrival *)
-  m_send_req : int;
-  mutable m_reserved : bool; (* counted against dst's unexpected buffer *)
-}
-
-type posted = {
-  p_req : int;
-  p_src : int option; (* world rank; None = MPI_ANY_SOURCE *)
-  p_tag : int option; (* None = MPI_ANY_TAG *)
-  p_comm : int;
-  p_time : float;
-}
+(* Message and posted-receive records (and the matching queues that hold
+   them) live in {!Matchq}; [Mq.msg] travels the virtual wire, [Mq.posted]
+   waits in a rank's receive queue. *)
+module Mq = Matchq
 
 (* An eager send whose injection is stalled by receiver flow control. *)
 type parked = {
@@ -86,10 +69,10 @@ type rank_state = {
   mutable rs_finished : bool;
   mutable rs_finalized : bool;
   mutable rs_current : Call.t option;
-  mutable rs_posted : posted list; (* post order *)
-  mutable rs_unexpected : msg list; (* arrival order *)
+  rs_posted : Mq.Posted.t; (* post order *)
+  rs_unexpected : Mq.Unexpected.t; (* arrival order *)
   mutable rs_buffered : int; (* bytes of reserved unexpected eager data *)
-  mutable rs_parked : parked list; (* FIFO *)
+  rs_parked : parked Util.Deque.t; (* FIFO *)
   mutable rs_proc_free : float;
       (* when the rank's message-progress engine is next available;
          arriving messages are processed serially *)
@@ -107,8 +90,8 @@ type coll_state = {
 type event =
   | E_start of int
   | E_resume of int * Call.value
-  | E_deliver of msg
-  | E_retransmit of msg * int  (* next transmission attempt, 0-based *)
+  | E_deliver of Mq.msg
+  | E_retransmit of Mq.msg * int  (* next transmission attempt, 0-based *)
 
 type state = {
   net : Netmodel.t;
@@ -223,23 +206,6 @@ let block_on_reqs st rank shape reqs =
   if pending = 0 then waiter_done st w
 
 (* ------------------------------------------------------------------ *)
-(* Message matching                                                    *)
-
-let msg_matches_posted (m : msg) (p : posted) =
-  m.m_comm = p.p_comm
-  && (match p.p_src with None -> true | Some s -> s = m.m_src)
-  && match p.p_tag with None -> true | Some t -> t = m.m_tag
-
-(* Remove the first element satisfying [pred]; None if absent. *)
-let take_first pred lst =
-  let rec go acc = function
-    | [] -> None
-    | x :: rest ->
-        if pred x then Some (x, List.rev_append acc rest) else go (x :: acc) rest
-  in
-  go [] lst
-
-(* ------------------------------------------------------------------ *)
 (* Diagnostics                                                         *)
 
 let rank_lines st buf =
@@ -257,9 +223,9 @@ let rank_lines st buf =
              "\n  rank %d at t=%.6fs blocked in %s (posted=%d unexpected=%d \
               parked=%d buffered=%dB)"
              rs.rs_rank rs.rs_clock call
-             (List.length rs.rs_posted)
-             (List.length rs.rs_unexpected)
-             (List.length rs.rs_parked) rs.rs_buffered)
+             (Mq.Posted.length rs.rs_posted)
+             (Mq.Unexpected.length rs.rs_unexpected)
+             (Util.Deque.length rs.rs_parked) rs.rs_buffered)
       end)
     st.ranks
 
@@ -301,7 +267,7 @@ let wire_arrival st (d : rank_state) ~depart ~bytes =
    retransmissions the run is declared {!Stalled} rather than hanging on a
    receive that can never complete.  [attempt] is 0 for the original
    transmission. *)
-let transmit st (m : msg) ~depart ~attempt =
+let transmit st (m : Mq.msg) ~depart ~attempt =
   let lost = match st.fault with Some f -> Fault.draw_drop f | None -> false in
   if lost then begin
     let f = Option.get st.fault in
@@ -336,8 +302,8 @@ let transmit st (m : msg) ~depart ~attempt =
     | _ -> ());
     let arrival =
       match m.m_protocol with
-      | Eager -> wire_arrival st st.ranks.(m.m_dst) ~depart ~bytes:m.m_bytes
-      | Rendezvous ->
+      | Mq.Eager -> wire_arrival st st.ranks.(m.m_dst) ~depart ~bytes:m.m_bytes
+      | Mq.Rendezvous ->
           (* only the RTS control message travels now; it does not occupy
              the receiver's inbound link *)
           let lat_f, _, jitter = wire_fault st ~depart in
@@ -352,11 +318,11 @@ let rec release_buffer st (d : rank_state) ~bytes ~time =
   drain_parked st d ~time
 
 and drain_parked st (d : rank_state) ~time =
-  match d.rs_parked with
-  | [] -> ()
-  | q :: rest ->
+  match Util.Deque.peek_front d.rs_parked with
+  | None -> ()
+  | Some q ->
       if d.rs_buffered + q.q_bytes <= st.net.unexpected_buffer_bytes then begin
-        d.rs_parked <- rest;
+        ignore (Util.Deque.pop_front d.rs_parked);
         d.rs_buffered <- d.rs_buffered + q.q_bytes;
         inject_parked st d q ~time ~reserved:true;
         drain_parked st d ~time
@@ -369,12 +335,12 @@ and inject_parked st (d : rank_state) (q : parked) ~time ~reserved =
   in
   transmit st
     {
-      m_src = q.q_src;
+      Mq.m_src = q.q_src;
       m_dst = d.rs_rank;
       m_tag = q.q_tag;
       m_bytes = q.q_bytes;
       m_comm = q.q_comm;
-      m_protocol = Eager;
+      m_protocol = Mq.Eager;
       m_arrival = 0.;
       m_send_req = q.q_send_req;
       m_reserved = reserved;
@@ -399,7 +365,7 @@ let rx_complete st (d : rank_state) ~ready ~bytes ~unexpected =
 
 (* Status seen by the receiver, with the source translated back into the
    receiving communicator's local numbering. *)
-let recv_status st (m : msg) : Call.status =
+let recv_status st (m : Mq.msg) : Call.status =
   let comm = comm_of st m.m_comm in
   let local =
     match Comm.local_of_world comm m.m_src with
@@ -413,20 +379,19 @@ let recv_status st (m : msg) : Call.status =
   { actual_source = local; actual_tag = m.m_tag; received_bytes = m.m_bytes }
 
 (* A message has physically arrived at its destination. *)
-let deliver st (m : msg) =
+let deliver st (m : Mq.msg) =
   let d = st.ranks.(m.m_dst) in
   let ta = m.m_arrival in
-  match take_first (msg_matches_posted m) d.rs_posted with
-  | Some (p, rest) -> (
-      d.rs_posted <- rest;
+  match Mq.Posted.take d.rs_posted ~src:m.m_src ~tag:m.m_tag ~comm:m.m_comm with
+  | Some p -> (
       let recv_req = find_req st p.p_req in
       match m.m_protocol with
-      | Eager ->
+      | Mq.Eager ->
           let tc = rx_complete st d ~ready:ta ~bytes:m.m_bytes ~unexpected:false in
           (* the receive buffer holds the payload until it is processed *)
           if m.m_reserved then release_buffer st d ~bytes:m.m_bytes ~time:tc;
           complete_req st recv_req ~time:tc ~status:(recv_status st m) ()
-      | Rendezvous ->
+      | Mq.Rendezvous ->
           (* Handshake completes on RTS arrival; then the payload moves. *)
           let data_arrival = wire_arrival st d ~depart:ta ~bytes:m.m_bytes in
           complete_req st (find_req st m.m_send_req) ~time:data_arrival ();
@@ -435,10 +400,10 @@ let deliver st (m : msg) =
           in
           complete_req st recv_req ~time:tc ~status:(recv_status st m) ())
   | None ->
-      d.rs_unexpected <- d.rs_unexpected @ [ m ];
+      Mq.Unexpected.add d.rs_unexpected m;
       st.n_unexpected <- st.n_unexpected + 1
 
-let parked_matches_posted (q : parked) (p : posted) =
+let parked_matches_posted (q : parked) (p : Mq.posted) =
   q.q_comm = p.p_comm
   && (match p.p_src with None -> true | Some s -> s = q.q_src)
   && match p.p_tag with None -> true | Some t -> t = q.q_tag
@@ -446,20 +411,19 @@ let parked_matches_posted (q : parked) (p : posted) =
 (* The receiver posts a receive: match the unexpected queue in arrival
    order (the simulator's deterministic wildcard policy), or un-stall a
    flow-controlled sender whose message this receive will consume. *)
-let post_recv st rank (p : posted) =
+let post_recv st rank (p : Mq.posted) =
   let d = st.ranks.(rank) in
-  match take_first (fun m -> msg_matches_posted m p) d.rs_unexpected with
-  | Some (m, rest) -> (
-      d.rs_unexpected <- rest;
+  match Mq.Unexpected.take d.rs_unexpected p with
+  | Some m -> (
       let recv_req = find_req st p.p_req in
       match m.m_protocol with
-      | Eager ->
+      | Mq.Eager ->
           let tc =
             rx_complete st d ~ready:p.p_time ~bytes:m.m_bytes ~unexpected:true
           in
           if m.m_reserved then release_buffer st d ~bytes:m.m_bytes ~time:tc;
           complete_req st recv_req ~time:tc ~status:(recv_status st m) ()
-      | Rendezvous ->
+      | Mq.Rendezvous ->
           let data_arrival = wire_arrival st d ~depart:p.p_time ~bytes:m.m_bytes in
           complete_req st (find_req st m.m_send_req) ~time:data_arrival ();
           let tc =
@@ -467,14 +431,12 @@ let post_recv st rank (p : posted) =
           in
           complete_req st recv_req ~time:tc ~status:(recv_status st m) ())
   | None -> (
-      d.rs_posted <- d.rs_posted @ [ p ];
+      Mq.Posted.add d.rs_posted p;
       (* Liveness: if the message this receive is waiting for is parked at
          a flow-controlled sender, force its injection past the full
          buffer — it will match the posted receive, not the buffer. *)
-      match take_first (fun q -> parked_matches_posted q p) d.rs_parked with
-      | Some (q, rest) ->
-          d.rs_parked <- rest;
-          inject_parked st d q ~time:p.p_time ~reserved:false
+      match Util.Deque.remove_first (fun q -> parked_matches_posted q p) d.rs_parked with
+      | Some q -> inject_parked st d q ~time:p.p_time ~reserved:false
       | None -> ())
 
 (* ------------------------------------------------------------------ *)
@@ -497,22 +459,13 @@ let do_send st rank (call : Call.t) ~blocking ~dst ~bytes ~tag =
   in
   if Netmodel.is_eager net ~bytes then begin
     let d = st.ranks.(dst_world) in
-    let earlier_parked = List.exists (fun q -> q.q_src = rank) d.rs_parked in
+    let earlier_parked = Util.Deque.exists (fun q -> q.q_src = rank) d.rs_parked in
     (* a message that can never fit the buffer is admitted anyway once a
        matching receive is posted (it drains straight into the
        application); liveness depends on this *)
     let oversize = bytes > net.unexpected_buffer_bytes in
     let has_posted =
-      List.exists
-        (fun p ->
-          msg_matches_posted
-            {
-              m_src = rank; m_dst = dst_world; m_tag = tag; m_bytes = bytes;
-              m_comm = Comm.id comm; m_protocol = Eager; m_arrival = 0.;
-              m_send_req = req.r_id; m_reserved = false;
-            }
-            p)
-        d.rs_posted
+      Mq.Posted.mem d.rs_posted ~src:rank ~tag ~comm:(Comm.id comm)
     in
     if
       (not earlier_parked)
@@ -526,8 +479,8 @@ let do_send st rank (call : Call.t) ~blocking ~dst ~bytes ~tag =
       let ti = t0 +. net.overhead in
       transmit st
         {
-          m_src = rank; m_dst = dst_world; m_tag = tag; m_bytes = bytes;
-          m_comm = Comm.id comm; m_protocol = Eager; m_arrival = 0.;
+          Mq.m_src = rank; m_dst = dst_world; m_tag = tag; m_bytes = bytes;
+          m_comm = Comm.id comm; m_protocol = Mq.Eager; m_arrival = 0.;
           m_send_req = req.r_id; m_reserved = reserved;
         }
         ~depart:ti ~attempt:0;
@@ -538,14 +491,11 @@ let do_send st rank (call : Call.t) ~blocking ~dst ~bytes ~tag =
       (* Receiver's unexpected buffer is full (or ordering requires queueing
          behind an earlier stalled message): flow control stalls this send. *)
       st.n_stalls <- st.n_stalls + 1;
-      d.rs_parked <-
-        d.rs_parked
-        @ [
-            {
-              q_src = rank; q_tag = tag; q_bytes = bytes;
-              q_comm = Comm.id comm; q_call_time = t0; q_send_req = req.r_id;
-            };
-          ];
+      Util.Deque.push_back d.rs_parked
+        {
+          q_src = rank; q_tag = tag; q_bytes = bytes;
+          q_comm = Comm.id comm; q_call_time = t0; q_send_req = req.r_id;
+        };
       return_at (t0 +. net.overhead)
     end
   end
@@ -553,8 +503,8 @@ let do_send st rank (call : Call.t) ~blocking ~dst ~bytes ~tag =
     (* Rendezvous: only the RTS travels now. *)
     transmit st
       {
-        m_src = rank; m_dst = dst_world; m_tag = tag; m_bytes = bytes;
-        m_comm = Comm.id comm; m_protocol = Rendezvous;
+        Mq.m_src = rank; m_dst = dst_world; m_tag = tag; m_bytes = bytes;
+        m_comm = Comm.id comm; m_protocol = Mq.Rendezvous;
         m_arrival = 0.; m_send_req = req.r_id; m_reserved = false;
       }
       ~depart:(t0 +. net.overhead) ~attempt:0;
@@ -578,7 +528,7 @@ let do_recv st rank (call : Call.t) ~blocking ~src ~bytes:_ ~tag =
   let p_tag = match (tag : Call.tag_match) with Any_tag -> None | Tag t -> Some t in
   let p =
     {
-      p_req = req.r_id; p_src; p_tag; p_comm = Comm.id comm;
+      Mq.p_req = req.r_id; p_src; p_tag; p_comm = Comm.id comm;
       p_time = t0 +. st.net.overhead;
     }
   in
@@ -589,7 +539,28 @@ let do_recv st rank (call : Call.t) ~blocking ~src ~bytes:_ ~tag =
 (* ------------------------------------------------------------------ *)
 (* Collectives                                                         *)
 
-let coll_cost st (c : coll_state) =
+(* Invariant: a collective is finished only once every member has arrived,
+   so its arrival list is non-empty wherever the cost and result are
+   computed.  A violation is an engine bug; report it with enough context
+   to debug rather than dying on a bare [Failure "hd"]. *)
+let first_arrival ~key (c : coll_state) =
+  match c.c_arrivals with
+  | a :: _ -> a
+  | [] ->
+      let cid, slot = key in
+      let members =
+        Comm.members c.c_comm |> Array.to_list |> List.map string_of_int
+        |> String.concat ","
+      in
+      raise
+        (Mpi_error
+           (Printf.sprintf
+              "internal invariant violated: collective %s (communicator %d, \
+               slot %d) completed with an empty arrival list; participants \
+               {%s}"
+              c.c_name cid slot members))
+
+let coll_cost st ~key (c : coll_state) =
   let net = st.net in
   let p = Comm.size c.c_comm in
   let sum = Array.fold_left ( + ) 0 in
@@ -602,9 +573,11 @@ let coll_cost st (c : coll_state) =
           | None -> false)
         c.c_arrivals
     in
-    match found with Some (_, _, op) -> op | None -> let (_, _, op) = List.hd c.c_arrivals in op
+    match found with
+    | Some (_, _, op) -> op
+    | None -> let (_, _, op) = first_arrival ~key c in op
   in
-  let (_, _, any_op) = List.hd c.c_arrivals in
+  let (_, _, any_op) = first_arrival ~key c in
   match any_op with
   | Barrier -> Netmodel.barrier_cost net ~p
   | Bcast { root; _ } -> (
@@ -689,8 +662,8 @@ let finish_collective st key (c : coll_state) =
   let t_all =
     List.fold_left (fun acc (_, t, _) -> Float.max acc t) 0. c.c_arrivals
   in
-  let done_at = t_all +. coll_cost st c in
-  let (_, _, any_op) = List.hd c.c_arrivals in
+  let done_at = t_all +. coll_cost st ~key c in
+  let (_, _, any_op) = first_arrival ~key c in
   let value_for =
     match any_op with
     | Call.Comm_split _ ->
@@ -777,7 +750,7 @@ let handle_call st rank (call : Call.t) (k : fiber) =
 (* Run loop                                                            *)
 
 let run ?(hooks = []) ?(net = Netmodel.bluegene_l) ?fault ?max_events
-    ?max_virtual_time ~nranks program =
+    ?max_virtual_time ?(matcher : Matchq.impl = `Indexed) ~nranks program =
   if nranks < 1 then raise (Mpi_error "run: nranks must be >= 1");
   (match max_events with
   | Some m when m <= 0 -> raise (Mpi_error "run: max_events must be positive")
@@ -800,8 +773,11 @@ let run ?(hooks = []) ?(net = Netmodel.bluegene_l) ?fault ?max_events
         Array.init nranks (fun rank ->
             {
               rs_rank = rank; rs_clock = 0.; rs_finished = false;
-              rs_finalized = false; rs_current = None; rs_posted = [];
-              rs_unexpected = []; rs_buffered = 0; rs_parked = [];
+              rs_finalized = false; rs_current = None;
+              rs_posted = Mq.Posted.create matcher;
+              rs_unexpected = Mq.Unexpected.create matcher;
+              rs_buffered = 0;
+              rs_parked = Util.Deque.create ~capacity:4 ();
               rs_proc_free = 0.; rs_nic_free = 0.;
             });
       events = Util.Pqueue.create ();

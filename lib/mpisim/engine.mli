@@ -57,13 +57,18 @@ type outcome = {
     @param max_events watchdog: raise {!Stalled} once this many discrete
       events have been processed.
     @param max_virtual_time watchdog: raise {!Stalled} once virtual time
-      exceeds this many seconds. *)
+      exceeds this many seconds.
+    @param matcher message-matching implementation (default [`Indexed],
+      the hash-indexed O(1) matcher; [`Reference] is the original list
+      scan, kept as the semantic oracle for differential tests and perf
+      baselines — see {!Matchq}). *)
 val run :
   ?hooks:Hooks.t list ->
   ?net:Netmodel.t ->
   ?fault:Fault.t ->
   ?max_events:int ->
   ?max_virtual_time:float ->
+  ?matcher:Matchq.impl ->
   nranks:int ->
   (ctx -> unit) ->
   outcome

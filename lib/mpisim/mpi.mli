@@ -20,6 +20,7 @@ val run :
   ?fault:Fault.t ->
   ?max_events:int ->
   ?max_virtual_time:float ->
+  ?matcher:Matchq.impl ->
   nranks:int ->
   (ctx -> unit) ->
   Engine.outcome

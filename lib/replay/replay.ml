@@ -184,7 +184,7 @@ let run ?(net = Mpisim.Netmodel.bluegene_l) ?(hooks = []) ?fault ?max_events
         (fun n ->
           match n with
           | Tnode.Leaf e -> exec e
-          | Tnode.Loop { count; body } ->
+          | Tnode.Loop { count; body; _ } ->
               for _ = 1 to count do
                 walk body
               done)

@@ -7,7 +7,7 @@ let fold_instances trace f init =
       (fun acc node ->
         match node with
         | Tnode.Leaf e -> f acc ~mult e
-        | Tnode.Loop { count; body } -> go (mult * count) body acc)
+        | Tnode.Loop { count; body; _ } -> go (mult * count) body acc)
       acc nodes
   in
   go 1 (Trace.nodes trace) init

@@ -3,77 +3,83 @@ type t = {
   nranks : int;
   foldable : Event.t -> bool;
   mutable rev : Tnode.t list; (* most recent node first *)
+  mutable len : int; (* length of [rev], maintained incrementally *)
 }
 
 let create ?(window = 64) ?(foldable = fun _ -> true) ~nranks () =
   if window < 1 then invalid_arg "Compress.create: window < 1";
-  { window; nranks; foldable; rev = [] }
+  { window; nranks; foldable; rev = []; len = 0 }
 
 let rec all_foldable t = function
   | Tnode.Leaf e -> t.foldable e
   | Tnode.Loop { body; _ } -> List.for_all (all_foldable t) body
 
-(* [split_at n l] = (first n elements, rest); None if too short. *)
+(* [split_at n l] = (first n elements, rest); callers guarantee
+   [List.length l >= n] via the running [len]. *)
 let split_at n l =
   let rec go acc n l =
-    if n = 0 then Some (List.rev acc, l)
-    else match l with [] -> None | x :: rest -> go (x :: acc) (n - 1) rest
+    if n = 0 then (List.rev acc, l)
+    else
+      match l with
+      | [] -> invalid_arg "Compress.split_at: list too short"
+      | x :: rest -> go (x :: acc) (n - 1) rest
   in
   go [] n l
 
-let equiv_lists a b =
-  List.length a = List.length b && List.for_all2 Tnode.equiv_ranks a b
+(* Both sides always have the same length here; equiv_ranks itself is
+   hash-prefiltered, so a mismatch costs one integer compare per node. *)
+let equiv_lists a b = List.for_all2 Tnode.equiv_ranks a b
 
 (* Rule A: the w nodes just appended repeat the body of the PRSD right
-   before them -> bump its iteration count. *)
+   before them -> bump its iteration count.  Precondition: len >= w + 1. *)
 let try_extend t w =
-  match split_at w t.rev with
-  | None -> false
-  | Some (tail_rev, rest) -> (
-      match rest with
-      | Tnode.Loop { count; body } :: older when List.length body = w ->
-          let tail = List.rev tail_rev in
-          if equiv_lists body tail && List.for_all (all_foldable t) tail then begin
-            List.iter2 (fun into n -> Tnode.absorb ~nranks:t.nranks ~into n) body tail;
-            t.rev <- Tnode.Loop { count = count + 1; body } :: older;
-            true
-          end
-          else false
-      | _ -> false)
+  let tail_rev, rest = split_at w t.rev in
+  match rest with
+  | Tnode.Loop ({ body; l_len; _ } as l) :: older when l_len = w ->
+      let tail = List.rev tail_rev in
+      if equiv_lists body tail && List.for_all (all_foldable t) tail then begin
+        List.iter2 (fun into n -> Tnode.absorb ~nranks:t.nranks ~into n) body tail;
+        (* body unchanged structurally: reuse the cached l_len/l_hash *)
+        t.rev <- Tnode.Loop { l with count = l.count + 1 } :: older;
+        t.len <- t.len - w;
+        true
+      end
+      else false
+  | _ -> false
 
 (* Rule B: the last 2w nodes are two equivalent halves -> new 2-iteration
-   PRSD. *)
+   PRSD.  Precondition: len >= 2w. *)
 let try_fold t w =
-  match split_at (2 * w) t.rev with
-  | None -> false
-  | Some (tail_rev, older) -> (
-      match split_at w tail_rev with
-      | None -> false
-      | Some (newer_rev, earlier_rev) ->
-          let newer = List.rev newer_rev and earlier = List.rev earlier_rev in
-          if
-            equiv_lists earlier newer
-            && List.for_all (all_foldable t) earlier
-            && List.for_all (all_foldable t) newer
-          then begin
-            List.iter2
-              (fun into n -> Tnode.absorb ~nranks:t.nranks ~into n)
-              earlier newer;
-            t.rev <- Tnode.Loop { count = 2; body = earlier } :: older;
-            true
-          end
-          else false)
+  let tail_rev, older = split_at (2 * w) t.rev in
+  let newer_rev, earlier_rev = split_at w tail_rev in
+  let newer = List.rev newer_rev and earlier = List.rev earlier_rev in
+  if
+    equiv_lists earlier newer
+    && List.for_all (all_foldable t) earlier
+    && List.for_all (all_foldable t) newer
+  then begin
+    List.iter2
+      (fun into n -> Tnode.absorb ~nranks:t.nranks ~into n)
+      earlier newer;
+    t.rev <- Tnode.loop ~count:2 earlier :: older;
+    t.len <- t.len - (2 * w) + 1;
+    true
+  end
+  else false
 
 let rec compress_tail t =
   let rec try_windows w =
-    if w > t.window then false
-    else if try_extend t w || try_fold t w then true
+    (* A window of w needs at least w+1 nodes (extend) resp. 2w (fold);
+       past len-1 neither rule can apply. *)
+    if w > t.window || w > t.len - 1 then false
+    else if try_extend t w || (t.len >= 2 * w && try_fold t w) then true
     else try_windows (w + 1)
   in
   if try_windows 1 then compress_tail t
 
 let push_node t n =
   t.rev <- n :: t.rev;
+  t.len <- t.len + 1;
   compress_tail t
 
 let push t e = push_node t (Tnode.Leaf e)

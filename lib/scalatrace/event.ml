@@ -39,6 +39,7 @@ type t = {
   comm : int;
   dtime : Util.Histogram.t;
   mutable ranks : Util.Rank_set.t;
+  mutable hcache : int; (* 0 = not yet computed; see [hash] *)
 }
 
 let is_collective = function
@@ -82,7 +83,7 @@ let make ~world_rank ~time_gap ~site ~kind ~peer ~bytes ~vec ~tag ~comm =
   let dtime = Util.Histogram.create () in
   Util.Histogram.add dtime (Float.max 0. time_gap);
   { site; kind; peer; bytes; vec; tag; comm;
-    dtime; ranks = Util.Rank_set.singleton world_rank }
+    dtime; ranks = Util.Rank_set.singleton world_rank; hcache = 0 }
 
 let of_call ~world_rank ~time_gap (call : Mpisim.Call.t) =
   let comm = Mpisim.Comm.id call.comm in
@@ -159,8 +160,26 @@ let peer_class = function
   | P_none -> `None
   | P_abs _ | P_rel _ | P_map _ -> `Concrete
 
+(* Structural hash over exactly the fields [mergeable] compares.  Those
+   fields are immutable (peer_class is stable under [absorb]/[generalize]:
+   both preserve `Concrete), so the hash is computed once and cached.
+   [mergeable a b] implies [hash a = hash b]. *)
+let hash e =
+  if e.hcache <> 0 then e.hcache
+  else begin
+    let pc = match peer_class e.peer with `Any -> 1 | `None -> 2 | `Concrete -> 3 in
+    let h =
+      Hashtbl.hash
+        (Util.Callsite.hash e.site, e.kind, e.bytes, e.tag, e.comm, e.vec, pc)
+    in
+    let h = if h = 0 then 1 else h in
+    e.hcache <- h;
+    h
+  end
+
 let mergeable a b =
-  Util.Callsite.equal a.site b.site
+  hash a = hash b
+  && Util.Callsite.equal a.site b.site
   && a.kind = b.kind && a.bytes = b.bytes && a.tag = b.tag && a.comm = b.comm
   && same_vec a.vec b.vec
   && peer_class a.peer = peer_class b.peer

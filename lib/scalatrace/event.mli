@@ -49,6 +49,9 @@ type t = {
   comm : int;  (** communicator id *)
   dtime : Util.Histogram.t;  (** computation time preceding this event *)
   mutable ranks : Util.Rank_set.t;  (** participating world ranks *)
+  mutable hcache : int;
+      (** cached {!hash}; initialize to [0] (= not yet computed) when
+          building records literally *)
 }
 
 (** [of_call ~world_rank ~time_gap call] converts an intercepted MPI call
@@ -56,9 +59,16 @@ type t = {
     [MPI_Wtime]). *)
 val of_call : world_rank:int -> time_gap:float -> Mpisim.Call.t -> t option
 
+(** Structural hash over exactly the fields {!mergeable} compares (cached
+    in [hcache] after the first call — those fields never change once the
+    event exists).  [mergeable a b] implies [hash a = hash b], so unequal
+    hashes reject in O(1); never [0]. *)
+val hash : t -> int
+
 (** Structural compatibility for compression and merging: same call site,
     kind, sizes, tag, and communicator.  Peers, participant sets, and
-    timing are excluded — they are merged, not compared. *)
+    timing are excluded — they are merged, not compared.  Prefiltered by
+    {!hash}, so the common non-match case is one integer compare. *)
 val mergeable : t -> t -> bool
 
 (** [absorb ~nranks ~into e] merges [e]'s timing, participants, and peer

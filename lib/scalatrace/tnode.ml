@@ -1,12 +1,24 @@
 type t = Leaf of Event.t | Loop of loop
-and loop = { count : int; body : t list }
+and loop = { count : int; body : t list; l_len : int; l_hash : int }
+
+let hash = function
+  | Leaf e -> Event.hash e
+  | Loop l -> Hashtbl.hash (l.count, l.l_hash)
+
+let loop ~count body =
+  let l_len, l_hash =
+    List.fold_left (fun (n, h) node -> (n + 1, (h * 31) + hash node)) (0, 17) body
+  in
+  Loop { count; body; l_len; l_hash }
 
 let rec equiv_gen leaf_eq a b =
   match (a, b) with
   | Leaf x, Leaf y -> leaf_eq x y
   | Loop la, Loop lb ->
-      la.count = lb.count
-      && List.length la.body = List.length lb.body
+      (* l_hash equality is necessary for equivalence (the hash covers only
+         fields equivalence compares), so a mismatch rejects in O(1);
+         l_len guards the for_all2. *)
+      la.count = lb.count && la.l_len = lb.l_len && la.l_hash = lb.l_hash
       && List.for_all2 (equiv_gen leaf_eq) la.body lb.body
   | Leaf _, Loop _ | Loop _, Leaf _ -> false
 
@@ -28,7 +40,7 @@ let rec absorb ~nranks ~into n =
 
 let rec copy = function
   | Leaf e -> Leaf (Event.copy e)
-  | Loop { count; body } -> Loop { count; body = List.map copy body }
+  | Loop l -> Loop { l with body = List.map copy l.body }
 
 let rec rsd_count_node = function
   | Leaf _ -> 1
@@ -38,14 +50,14 @@ let rsd_count nodes = List.fold_left (fun acc n -> acc + rsd_count_node n) 0 nod
 
 let rec event_count_node = function
   | Leaf e -> Util.Rank_set.cardinal e.Event.ranks
-  | Loop { count; body } ->
+  | Loop { count; body; _ } ->
       count * List.fold_left (fun acc n -> acc + event_count_node n) 0 body
 
 let event_count nodes = List.fold_left (fun acc n -> acc + event_count_node n) 0 nodes
 
 let rec event_count_for_node ~rank = function
   | Leaf e -> if Util.Rank_set.mem rank e.Event.ranks then 1 else 0
-  | Loop { count; body } ->
+  | Loop { count; body; _ } ->
       count
       * List.fold_left (fun acc n -> acc + event_count_for_node ~rank n) 0 body
 
@@ -57,10 +69,10 @@ let rec project nodes ~rank =
     (fun n ->
       match n with
       | Leaf e -> if Util.Rank_set.mem rank e.Event.ranks then Some n else None
-      | Loop { count; body } -> (
+      | Loop { count; body; _ } -> (
           match project body ~rank with
           | [] -> None
-          | body -> Some (Loop { count; body })))
+          | body -> Some (loop ~count body)))
     nodes
 
 let rec iter_leaves f nodes =
@@ -72,12 +84,12 @@ let rec map_leaves f nodes =
   List.map
     (function
       | Leaf e -> Leaf (f e)
-      | Loop { count; body } -> Loop { count; body = map_leaves f body })
+      | Loop { count; body; _ } -> loop ~count (map_leaves f body))
     nodes
 
 let rec pp ppf = function
   | Leaf e -> Format.fprintf ppf "@[<h>RSD %a@]" Event.pp e
-  | Loop { count; body } ->
+  | Loop { count; body; _ } ->
       Format.fprintf ppf "@[<v 2>PRSD x%d {@,%a@]@,}" count pp_body body
 
 and pp_body ppf body =

@@ -5,12 +5,33 @@
     Loops nest arbitrarily, mirroring source-code loop structure. *)
 
 type t = Leaf of Event.t | Loop of loop
-and loop = { count : int; body : t list }
+
+and loop = {
+  count : int;
+  body : t list;
+  l_len : int;  (** cached [List.length body] *)
+  l_hash : int;
+      (** cached structural hash of [body] (count excluded); equivalent
+          bodies hash equal, so unequal hashes reject in O(1) *)
+}
+(** Build [Loop] nodes with {!loop}, which computes the cached fields;
+    construct the record directly only when reusing an existing node's
+    [l_len]/[l_hash] for a structurally identical body (e.g. bumping
+    [count]). *)
+
+(** [loop ~count body] — a PRSD node with its cached length and hash. *)
+val loop : count:int -> t list -> t
+
+(** Structural hash consistent with {!equiv} and {!equiv_ranks}: equivalent
+    nodes hash equal ([count] included at this level).  O(1) — leaves cache
+    in the event, loops in [l_hash]. *)
+val hash : t -> int
 
 (** Structural equivalence: events must be {!Event.mergeable} and loop
     shapes identical (same counts, recursively equivalent bodies).
     Participant sets are ignored — this is the inter-rank merge's notion
-    of compatibility. *)
+    of compatibility.  Hash-prefiltered: mismatches reject on one integer
+    compare per node. *)
 val equiv : t -> t -> bool
 
 (** Like {!equiv} but additionally requires equal participant sets and

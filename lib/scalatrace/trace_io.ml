@@ -143,7 +143,7 @@ let to_text trace =
             Buffer.add_string buf indent;
             Buffer.add_string buf (event_to_line e);
             Buffer.add_char buf '\n'
-        | Tnode.Loop { count; body } ->
+        | Tnode.Loop { count; body; _ } ->
             Buffer.add_string buf (Printf.sprintf "%sloop %d\n" indent count);
             nodes (depth + 1) body;
             Buffer.add_string buf (indent ^ "end\n"))
@@ -217,6 +217,7 @@ let parse_event lineno rest =
         comm = int_field "comm";
         dtime = dt;
         ranks = ranks_of_string lineno (get "ranks");
+        hcache = 0;
       }
   | [] -> fail lineno "empty event"
 
@@ -246,7 +247,7 @@ let of_text text =
             match !stack with
             | (count, body) :: rest when rest <> [] ->
                 stack := rest;
-                push_node (Tnode.Loop { count; body = List.rev !body })
+                push_node (Tnode.loop ~count (List.rev !body))
             | _ -> fail lineno "unmatched end")
         | None -> fail lineno "cannot parse %S" line
         | Some sp -> (

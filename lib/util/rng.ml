@@ -17,16 +17,26 @@ let bits64 t =
   mix t.state
 
 let split t ~index =
-  (* Hash the parent state (without consuming it deterministically would be
-     position-dependent; we consume one draw so repeated splits differ). *)
+  (* Derive a child stream by hashing one draw of the parent together with
+     [index].  The draw advances the parent, so repeated splits at the same
+     index yield distinct child streams, while two parents with identical
+     seed and draw history produce identical children for equal indices. *)
   let s = bits64 t in
   { state = mix (Int64.logxor s (mix (Int64.of_int index))) }
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
-  (* keep 62 bits so the value stays non-negative on 63-bit OCaml ints *)
-  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
-  v mod bound
+  (* Rejection sampling over the top 62 bits (non-negative on 63-bit OCaml
+     ints): draws past the largest multiple of [bound] representable in the
+     range are retried, so [v mod bound] is exactly uniform.  max_int here
+     is 2^62 - 1, hence the range size 2^62 mod bound is
+     (max_int mod bound + 1) mod bound. *)
+  let cutoff = max_int - ((max_int mod bound + 1) mod bound) in
+  let rec draw () =
+    let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+    if v > cutoff then draw () else v mod bound
+  in
+  draw ()
 
 let float t =
   (* 53 high bits -> [0,1) *)

@@ -9,15 +9,19 @@ type t
 
 val create : seed:int -> t
 
-(** Derive an independent stream; [split] on equal seeds and indices yields
-    equal streams. *)
+(** [split t ~index] derives an independent child stream by hashing one
+    draw of [t] together with [index].  The draw advances the parent, so:
+    two parents with the same seed and draw history yield bit-identical
+    children for equal indices, and repeated [split] calls on one parent —
+    even with the same index — yield distinct streams. *)
 val split : t -> index:int -> t
 
 (** Next raw 64-bit value. *)
 val bits64 : t -> int64
 
-(** [int t bound] is uniform in [0, bound). @raise Invalid_argument if
-    [bound <= 0]. *)
+(** [int t bound] is exactly uniform in [0, bound) (rejection sampling —
+    no modulo bias); may consume more than one draw. @raise Invalid_argument
+    if [bound <= 0]. *)
 val int : t -> int -> int
 
 (** Uniform float in [0, 1). *)

@@ -88,7 +88,7 @@ let align_tests =
             {
               Event.site = (if rank = 0 then s1 else s2);
               kind; peer = Event.P_none; bytes = 8; vec = None; tag = 0; comm = 0;
-              dtime = h; ranks = Util.Rank_set.singleton rank;
+              dtime = h; ranks = Util.Rank_set.singleton rank; hcache = 0;
             }
         in
         let fin rank =
@@ -98,7 +98,7 @@ let align_tests =
             {
               Event.site = s5; kind = Event.E_finalize; peer = Event.P_none;
               bytes = 0; vec = None; tag = 0; comm = 0; dtime = h;
-              ranks = Util.Rank_set.singleton rank;
+              ranks = Util.Rank_set.singleton rank; hcache = 0;
             }
         in
         let trace =
@@ -260,7 +260,7 @@ let map_tests =
     Util.Histogram.add h 0.;
     {
       Event.site = s1; kind; peer; bytes; vec; tag = 0; comm = 0; dtime = h;
-      ranks = Util.Rank_set.all 4;
+      ranks = Util.Rank_set.all 4; hcache = 0;
     }
   in
   [

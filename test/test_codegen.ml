@@ -9,7 +9,8 @@ let mk ?(kind = Event.E_send) ?(peer = Event.P_abs 1) ?(bytes = 64) ?(tag = 0)
     ?(ranks = Util.Rank_set.singleton 0) ?(dt = 0.) () =
   let h = Util.Histogram.create () in
   Util.Histogram.add h dt;
-  { Event.site; kind; peer; bytes; vec = None; tag; comm = 0; dtime = h; ranks }
+  { Event.site; kind; peer; bytes; vec = None; tag; comm = 0; dtime = h; ranks;
+    hcache = 0 }
 
 let trace_of nodes =
   Trace.make ~nranks:8 ~comms:[ (0, Util.Rank_set.all 8) ] ~nodes
@@ -35,7 +36,7 @@ let cursor_tests =
         let e = mk () in
         let c =
           Benchgen.Traversal.start
-            [ Tnode.Loop { count = 3; body = [ Tnode.Leaf e ] } ]
+            [ Tnode.loop ~count:3 [ Tnode.Leaf e ] ]
         in
         let rec count c n =
           match Benchgen.Traversal.peek c with
@@ -47,15 +48,15 @@ let cursor_tests =
         Alcotest.(check int) "3 instances" 3 (count c 0));
     t "cursor handles nested loops" (fun () ->
         let e = mk () in
-        let inner = Tnode.Loop { count = 4; body = [ Tnode.Leaf e ] } in
-        let c = Benchgen.Traversal.start [ Tnode.Loop { count = 5; body = [ inner ] } ] in
+        let inner = Tnode.loop ~count:4 [ Tnode.Leaf e ] in
+        let c = Benchgen.Traversal.start [ Tnode.loop ~count:5 [ inner ] ] in
         let rec count c n =
           match Benchgen.Traversal.peek c with None -> n | Some (_, c') -> count c' (n + 1)
         in
         Alcotest.(check int) "20 instances" 20 (count c 0));
     t "consumed counts instances" (fun () ->
         let c =
-          Benchgen.Traversal.start [ Tnode.Loop { count = 2; body = [ Tnode.Leaf (mk ()) ] } ]
+          Benchgen.Traversal.start [ Tnode.loop ~count:2 [ Tnode.Leaf (mk ()) ] ]
         in
         match Benchgen.Traversal.peek c with
         | Some (_, c2) ->
@@ -63,7 +64,7 @@ let cursor_tests =
         | None -> Alcotest.fail "peek");
     t "zero-count loop is skipped" (fun () ->
         let c =
-          Benchgen.Traversal.start [ Tnode.Loop { count = 0; body = [ Tnode.Leaf (mk ()) ] } ]
+          Benchgen.Traversal.start [ Tnode.loop ~count:0 [ Tnode.Leaf (mk ()) ] ]
         in
         Alcotest.(check bool) "empty" true (Benchgen.Traversal.peek c = None));
   ]

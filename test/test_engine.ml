@@ -403,4 +403,90 @@ let comm_unit_tests =
            with Invalid_argument _ -> true));
   ]
 
-let suite = p2p_tests @ coll_tests @ engine_tests @ comm_unit_tests
+(* ------------------------------------------------------------------ *)
+(* Differential tests: the hash-indexed matcher must be observationally
+   identical to the original list-scan matcher on every application.  A
+   full outcome comparison (including per-rank finish times, which are
+   bit-exact functions of the match decisions) catches any divergence in
+   matching order. *)
+
+let check_outcomes_equal name (a : Engine.outcome) (b : Engine.outcome) =
+  Alcotest.(check (float 0.)) (name ^ ": elapsed") a.elapsed b.elapsed;
+  Alcotest.(check (array (float 0.)))
+    (name ^ ": finish_times") a.finish_times b.finish_times;
+  Alcotest.(check int) (name ^ ": events") a.events b.events;
+  Alcotest.(check int) (name ^ ": messages") a.messages b.messages;
+  Alcotest.(check int) (name ^ ": p2p_bytes") a.p2p_bytes b.p2p_bytes;
+  Alcotest.(check int) (name ^ ": unexpected") a.unexpected b.unexpected;
+  Alcotest.(check int) (name ^ ": flow_stalls") a.flow_stalls b.flow_stalls
+
+(* Some app/network combinations legitimately deadlock (the paper's
+   Figure 5 scenario); the two matchers must then produce the *same*
+   diagnostic — its queue depths and times are functions of the match
+   decisions. *)
+let check_same_fate name ?net ~nranks program =
+  let run matcher =
+    match Mpi.run ?net ~matcher ~nranks program with
+    | o -> Ok o
+    | exception Engine.Deadlock m -> Error ("deadlock: " ^ m)
+    | exception Engine.Stalled m -> Error ("stalled: " ^ m)
+  in
+  match (run `Reference, run `Indexed) with
+  | Ok a, Ok b -> check_outcomes_equal name a b
+  | Error a, Error b -> Alcotest.(check string) (name ^ ": diagnostic") a b
+  | Ok _, Error e | Error e, Ok _ ->
+      Alcotest.failf "%s: one matcher completed, the other raised: %s" name e
+
+(* Wildcard receives racing concrete ones, several tags per peer, and an
+   unexpected-queue drain out of arrival order — the cases where indexed
+   and list matching could plausibly disagree. *)
+let wildcard_stress (ctx : Mpi.ctx) =
+  let n = ctx.nranks in
+  if ctx.rank = 0 then begin
+    for _ = 1 to (n - 1) * 2 do
+      ignore (Mpi.recv ctx ~src:Call.Any_source ~tag:Call.Any_tag ~bytes:64)
+    done;
+    for r = n - 1 downto 1 do
+      ignore (Mpi.recv ctx ~src:(Call.Rank r) ~tag:(Call.Tag 7) ~bytes:64)
+    done;
+    Mpi.finalize ctx
+  end
+  else begin
+    Mpi.send ctx ~dst:0 ~tag:ctx.rank ~bytes:64;
+    Mpi.send ctx ~dst:0 ~tag:(100 + ctx.rank) ~bytes:64;
+    Mpi.compute ctx (0.001 *. float_of_int ctx.rank);
+    Mpi.send ctx ~dst:0 ~tag:7 ~bytes:64;
+    Mpi.finalize ctx
+  end
+
+let differential_tests =
+  [
+    t "indexed matcher = reference across the app registry" (fun () ->
+        List.iter
+          (fun (app : Apps.Registry.app) ->
+            let nranks = Apps.Registry.fit_nranks app ~wanted:8 in
+            check_same_fate
+              (Printf.sprintf "%s p=%d" app.name nranks)
+              ~nranks (app.program ()))
+          Apps.Registry.all);
+    t "indexed matcher = reference under flow control (small buffers)" (fun () ->
+        let net = Netmodel.ethernet_cluster in
+        List.iter
+          (fun name ->
+            let app = Option.get (Apps.Registry.find name) in
+            let nranks = Apps.Registry.fit_nranks app ~wanted:8 in
+            check_same_fate
+              (Printf.sprintf "%s p=%d ethernet" name nranks)
+              ~net ~nranks (app.program ()))
+          [ "ring"; "stencil2d"; "sweep3d" ]);
+    t "indexed matcher = reference on wildcard stress" (fun () ->
+        List.iter
+          (fun nranks ->
+            check_same_fate
+              (Printf.sprintf "wildcard stress p=%d" nranks)
+              ~nranks wildcard_stress)
+          [ 4; 16; 32 ]);
+  ]
+
+let suite =
+  p2p_tests @ coll_tests @ engine_tests @ comm_unit_tests @ differential_tests

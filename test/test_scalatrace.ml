@@ -12,7 +12,7 @@ let mk_event ?(site = site_a) ?(kind = Event.E_send) ?(peer = Event.P_abs 1)
   Util.Histogram.add h dt;
   {
     Event.site; kind; peer; bytes; vec = None; tag; comm; dtime = h;
-    ranks = Util.Rank_set.singleton rank;
+    ranks = Util.Rank_set.singleton rank; hcache = 0;
   }
 
 let event_tests =
@@ -128,7 +128,7 @@ let compress_tests =
           Compress.push c (mk_event ~site:site_b ~kind:Event.E_recv ())
         done;
         match Compress.contents c with
-        | [ Tnode.Loop { count = 50; body } ] ->
+        | [ Tnode.Loop { count = 50; body; _ } ] ->
             Alcotest.(check int) "body" 2 (List.length body)
         | nodes -> Alcotest.failf "expected one loop, got %d nodes" (List.length nodes));
     t "nested loops detected (paper Figure 2 shape)" (fun () ->
@@ -145,7 +145,7 @@ let compress_tests =
         Alcotest.(check int) "3 RSDs" 3 (count_rsds nodes);
         Alcotest.(check int) "70 events" 70 (count_events nodes);
         match nodes with
-        | [ Tnode.Loop { count = 10; body = [ Tnode.Loop { count = 3; _ }; _ ] } ] -> ()
+        | [ Tnode.Loop { count = 10; body = [ Tnode.Loop { count = 3; _ }; _ ]; _ } ] -> ()
         | _ -> Alcotest.fail "expected 10x [3x [a b]; c]");
     t "different peers do not fold" (fun () ->
         let c = Compress.create ~nranks:8 () in
@@ -155,7 +155,7 @@ let compress_tests =
         Compress.push c (mk_event ~peer:(Event.P_abs 2) ());
         (* butterfly-like: fold allowed only as a 2-body loop, not 4x one event *)
         match Compress.contents c with
-        | [ Tnode.Loop { count = 2; body } ] ->
+        | [ Tnode.Loop { count = 2; body; _ } ] ->
             Alcotest.(check int) "body" 2 (List.length body)
         | nodes -> Alcotest.failf "got %d RSDs" (count_rsds nodes));
     t "timing merges on fold" (fun () ->
@@ -163,7 +163,7 @@ let compress_tests =
         Compress.push c (mk_event ~dt:1.0 ());
         Compress.push c (mk_event ~dt:3.0 ());
         (match Compress.contents c with
-        | [ Tnode.Loop { count = 2; body = [ Tnode.Leaf e ] } ] ->
+        | [ Tnode.Loop { count = 2; body = [ Tnode.Leaf e ]; _ } ] ->
             Alcotest.(check int) "samples" 2 (Util.Histogram.count e.Event.dtime);
             Alcotest.(check (float 1e-9)) "mean" 2.0 (Util.Histogram.mean e.Event.dtime)
         | _ -> Alcotest.fail "expected fold"));

@@ -34,6 +34,32 @@ let rng_tests =
         let base2 = Rng.create ~seed:11 in
         let a' = Rng.split base2 ~index:0 in
         Alcotest.(check int64) "reproducible" (Rng.bits64 a) (Rng.bits64 a'));
+    t "repeated splits at the same index yield distinct streams" (fun () ->
+        (* the split draw advances the parent, so each call derives a new
+           child even for equal indices — the documented contract *)
+        let base = Rng.create ~seed:29 in
+        let children = List.init 8 (fun _ -> Rng.split base ~index:3) in
+        let firsts = List.map Rng.bits64 children in
+        let distinct = List.sort_uniq compare firsts in
+        Alcotest.(check int) "all distinct" (List.length firsts)
+          (List.length distinct));
+    t "int is exactly uniform over small bounds" (fun () ->
+        (* rejection sampling: every residue appears with equal probability;
+           with modulo bias over 2^62 the skew for bound=3 would be
+           invisible here, so instead check the full distribution is close
+           AND that values cover the range *)
+        let r = Rng.create ~seed:31 in
+        let counts = Array.make 3 0 in
+        let n = 30_000 in
+        for _ = 1 to n do
+          let v = Rng.int r 3 in
+          counts.(v) <- counts.(v) + 1
+        done;
+        Array.iter
+          (fun c ->
+            Alcotest.(check bool) "roughly uniform" true
+              (abs (c - (n / 3)) < n / 30))
+          counts);
     t "gaussian truncation" (fun () ->
         let r = Rng.create ~seed:13 in
         for _ = 1 to 500 do
@@ -108,6 +134,143 @@ let pqueue_props =
             | Some (t, ()) -> drain (t :: acc)
           in
           drain [] = List.sort compare times);
+      (* pop order = the reference semantics: sort by (time, insertion seq).
+         A stable sort on time alone is exactly that, payload included. *)
+      QCheck.Test.make ~name:"pqueue pop order is (time, seq) with FIFO ties"
+        ~count:200
+        QCheck.(small_list (int_range 0 5))
+        (fun raw ->
+          let items = List.mapi (fun i t -> (float_of_int t, i)) raw in
+          let q = Pqueue.create () in
+          List.iter (fun (t, i) -> Pqueue.add q ~time:t i) items;
+          let rec drain acc =
+            match Pqueue.pop q with
+            | None -> List.rev acc
+            | Some (t, i) -> drain ((t, i) :: acc)
+          in
+          drain []
+          = List.stable_sort (fun (a, _) (b, _) -> compare a b) items);
+      QCheck.Test.make ~name:"pqueue interleaved add/pop round-trips"
+        ~count:200
+        QCheck.(small_list (pair bool (int_range 0 9)))
+        (fun ops ->
+          (* model: a sorted association list with the same (time, seq) key *)
+          let q = Pqueue.create () in
+          let model = ref [] and seq = ref 0 in
+          List.for_all
+            (fun (is_pop, t) ->
+              if is_pop then begin
+                let expected =
+                  match !model with
+                  | [] -> None
+                  | xs ->
+                      let ((tm, _, v) as m) =
+                        List.fold_left
+                          (fun acc x ->
+                            let (ta, sa, _) = acc and (tx, sx, _) = x in
+                            if (tx, sx) < (ta, sa) then x else acc)
+                          (List.hd xs) (List.tl xs)
+                      in
+                      model := List.filter (fun x -> x != m) !model;
+                      Some (tm, v)
+                in
+                Pqueue.pop q = expected
+              end
+              else begin
+                let tf = float_of_int t in
+                Pqueue.add q ~time:tf !seq;
+                model := (tf, !seq, !seq) :: !model;
+                incr seq;
+                Pqueue.length q = List.length !model
+              end)
+            ops);
+    ]
+
+let deque_tests =
+  [
+    t "fifo order" (fun () ->
+        let d = Deque.create () in
+        List.iter (fun i -> Deque.push_back d i) [ 1; 2; 3 ];
+        Alcotest.(check (option int)) "peek" (Some 1) (Deque.peek_front d);
+        Alcotest.(check (option int)) "1" (Some 1) (Deque.pop_front d);
+        Alcotest.(check (option int)) "2" (Some 2) (Deque.pop_front d);
+        Alcotest.(check (option int)) "3" (Some 3) (Deque.pop_front d);
+        Alcotest.(check (option int)) "empty" None (Deque.pop_front d));
+    t "survives growth past initial capacity" (fun () ->
+        let d = Deque.create ~capacity:2 () in
+        (* ring-buffer wraparound: interleave pushes and pops so head moves *)
+        for i = 0 to 99 do
+          Deque.push_back d i;
+          if i mod 3 = 2 then ignore (Deque.pop_front d)
+        done;
+        let expected =
+          List.filter (fun i -> i > 32) (List.init 100 Fun.id)
+        in
+        Alcotest.(check int) "length" (List.length expected) (Deque.length d);
+        Alcotest.(check (list int)) "contents" expected (Deque.to_list d));
+    t "remove_first removes only the first match" (fun () ->
+        let d = Deque.create () in
+        List.iter (fun i -> Deque.push_back d i) [ 1; 2; 3; 2; 4 ];
+        Alcotest.(check (option int)) "removed" (Some 2)
+          (Deque.remove_first (fun x -> x mod 2 = 0) d);
+        Alcotest.(check (list int)) "rest" [ 1; 3; 2; 4 ] (Deque.to_list d);
+        Alcotest.(check (option int)) "no match" None
+          (Deque.remove_first (fun x -> x > 100) d));
+    t "find_first and exists" (fun () ->
+        let d = Deque.create () in
+        List.iter (fun i -> Deque.push_back d i) [ 5; 6; 7 ];
+        Alcotest.(check (option int)) "find" (Some 6)
+          (Deque.find_first (fun x -> x mod 2 = 0) d);
+        Alcotest.(check bool) "exists" true (Deque.exists (fun x -> x = 7) d);
+        Alcotest.(check bool) "not exists" false (Deque.exists (fun x -> x = 8) d);
+        Alcotest.(check (list int)) "find does not remove" [ 5; 6; 7 ]
+          (Deque.to_list d));
+    t "clear empties" (fun () ->
+        let d = Deque.create () in
+        List.iter (fun i -> Deque.push_back d i) [ 1; 2 ];
+        Deque.clear d;
+        Alcotest.(check bool) "empty" true (Deque.is_empty d);
+        Alcotest.(check (option int)) "pop" None (Deque.pop_front d))
+  ]
+
+let deque_props =
+  List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20260806 |]))
+    [
+      (* model-based: a Deque behaves exactly like a FIFO list under any
+         interleaving of push/pop/remove_first, including across growth *)
+      QCheck.Test.make ~name:"deque matches list model" ~count:300
+        QCheck.(list (pair (int_range 0 2) (int_range 0 9)))
+        (fun ops ->
+          let d = Deque.create ~capacity:1 () in
+          let model = ref [] in
+          List.for_all
+            (fun (op, v) ->
+              match op with
+              | 0 ->
+                  Deque.push_back d v;
+                  model := !model @ [ v ];
+                  Deque.length d = List.length !model
+              | 1 -> (
+                  let got = Deque.pop_front d in
+                  match !model with
+                  | [] -> got = None
+                  | x :: rest ->
+                      model := rest;
+                      got = Some x)
+              | _ -> (
+                  let pred x = x = v in
+                  let got = Deque.remove_first pred d in
+                  match List.find_opt pred !model with
+                  | None -> got = None
+                  | Some x ->
+                      let rec drop = function
+                        | [] -> []
+                        | y :: rest -> if pred y then rest else y :: drop rest
+                      in
+                      model := drop !model;
+                      got = Some x)
+              && Deque.to_list d = !model)
+            ops);
     ]
 
 let callsite_tests =
@@ -158,4 +321,6 @@ let stats_tests =
         Alcotest.(check string) "k" "2.00 KiB" (Table.fbytes 2048));
   ]
 
-let suite = rng_tests @ pqueue_tests @ pqueue_props @ callsite_tests @ stats_tests
+let suite =
+  rng_tests @ pqueue_tests @ pqueue_props @ deque_tests @ deque_props
+  @ callsite_tests @ stats_tests
