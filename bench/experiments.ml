@@ -13,8 +13,30 @@ let fig6_sizes (app : Apps.Registry.app) =
 let cls = Apps.Params.W
 let cls_name = Apps.Params.cls_to_string cls
 
+module Pipeline = Benchgen.Pipeline
+
+(* Local shims over the unified pipeline: the harness has no recovery
+   story, so any typed pipeline error just aborts the experiment. *)
+let gen ?name ?compute_floor_usecs trace =
+  match
+    Pipeline.run
+      { Pipeline.default with name; compute_floor_usecs }
+      (Pipeline.From_trace trace)
+  with
+  | Ok (a, _) -> a.Pipeline.report
+  | Error e -> failwith (Pipeline.error_to_string e)
+
+let gen_app ?name ?net ~nranks app =
+  match
+    Pipeline.run
+      { Pipeline.default with name; net }
+      (Pipeline.From_app { nranks; app })
+  with
+  | Ok (a, _) -> (a.Pipeline.report, Option.get a.Pipeline.trace_outcome)
+  | Error e -> failwith (Pipeline.error_to_string e)
+
 let generate_for (app : Apps.Registry.app) ~nranks =
-  Benchgen.from_app ~name:app.name ~nranks (app.program ~cls ())
+  gen_app ~name:app.name ~nranks (app.program ~cls ())
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                              *)
@@ -32,7 +54,7 @@ let table1 () =
       f ctx;
       Mpisim.Mpi.finalize ~site:(site __POS__) ctx
     in
-    let report, _ = Benchgen.from_app ~name ~nranks:p prog in
+    let report, _ = gen_app ~name ~nranks:p prog in
     let res = Conceptual.Lower.run ~nranks:p report.program in
     let prof_o = Mpip.create () and prof_g = Mpip.create () in
     ignore (Mpisim.Mpi.run ~hooks:[ Mpip.hook prof_o ] ~nranks:p prog);
@@ -166,7 +188,7 @@ let replay_check () =
         (* replay the original trace *)
         let rep = Replay.run trace in
         (* re-trace the generated benchmark and replay that trace *)
-        let report = Benchgen.generate ~name:app.name trace in
+        let report = gen ~name:app.name trace in
         let tracer2 = Scalatrace.Tracer.create ~nranks () in
         ignore
           (Mpisim.Mpi.run
@@ -248,7 +270,7 @@ let fig7 () =
   let nranks = 64 in
   let net = Mpisim.Netmodel.ethernet_cluster in
   let report, _ =
-    Benchgen.from_app ~name:"bt" ~net ~nranks (app.program ~cls:Apps.Params.C ())
+    gen_app ~name:"bt" ~net ~nranks (app.program ~cls:Apps.Params.C ())
   in
   (* ARC-like calibration: the cluster's CPUs are much faster than Blue
      Gene/L's, so the baseline compute is scaled until communication is
@@ -318,7 +340,7 @@ let scaling () =
     List.map
       (fun p ->
         let trace, _ = Scalatrace.Tracer.trace_run ~nranks:p (ring 1000) in
-        let report = Benchgen.generate ~name:"ring" trace in
+        let report = gen ~name:"ring" trace in
         [
           string_of_int p;
           string_of_int (Scalatrace.Trace.event_count trace);
@@ -336,7 +358,7 @@ let scaling () =
     List.map
       (fun iters ->
         let trace, _ = Scalatrace.Tracer.trace_run ~nranks:16 (ring iters) in
-        let report = Benchgen.generate ~name:"ring" trace in
+        let report = gen ~name:"ring" trace in
         [
           string_of_int iters;
           string_of_int (Scalatrace.Trace.event_count trace);
@@ -450,7 +472,7 @@ let extrap () =
             | exception Benchgen.Extrap.Extrap_error msg ->
                 Some [ name; string_of_int target; "-"; "-"; "not extrapolable: " ^ msg ]
             | ex ->
-                let report = Benchgen.generate ~name ex in
+                let report = gen ~name ex in
                 let predicted =
                   (Conceptual.Lower.run ~nranks:target report.program).outcome.elapsed
                 in
@@ -503,7 +525,7 @@ let ablation () =
             [ name; "-"; "-"; "reported potential deadlock" ]
         | resolved -> (
             let cost = Unix.gettimeofday () -. t0 in
-            let report = Benchgen.generate ~name:"lu" resolved in
+            let report = gen ~name:"lu" resolved in
             match Conceptual.Lower.run ~nranks:16 report.program with
             | exception Mpisim.Engine.Deadlock _ ->
                 [ name; Table.fsec cost; "-"; "generated benchmark hangs" ]
@@ -566,7 +588,7 @@ let ablation () =
   let rows =
     List.map
       (fun floor ->
-        let report = Benchgen.generate ~compute_floor_usecs:floor trace_mg in
+        let report = gen ~compute_floor_usecs:floor trace_mg in
         let res = Conceptual.Lower.run ~nranks:8 report.program in
         [
           Printf.sprintf "%g us" floor;

@@ -34,7 +34,14 @@ let lu_trace =
 let ring_trace = lazy (fst (Scalatrace.Tracer.trace_run ~nranks:16 (ring 200)))
 
 let ncptl_text =
-  lazy (Benchgen.generate_text ~name:"lu" (Lazy.force lu_trace))
+  lazy
+    (match
+       Benchgen.Pipeline.run
+         { Benchgen.Pipeline.default with name = Some "lu" }
+         (Benchgen.Pipeline.From_trace (Lazy.force lu_trace))
+     with
+    | Ok (a, _) -> a.Benchgen.Pipeline.report.text
+    | Error e -> failwith (Benchgen.Pipeline.error_to_string e))
 
 let tests =
   [

@@ -103,7 +103,16 @@ let run_app (app : Apps.Registry.app) ~wanted =
   in
   let aligned, align_s = wall (fun () -> Benchgen.Align.run trace) in
   let resolved, wildcard_s = wall (fun () -> Benchgen.Wildcard.run aligned) in
-  let report, generate_s = wall (fun () -> Benchgen.generate ~name:app.name resolved) in
+  let report, generate_s =
+    wall (fun () ->
+        match
+          Benchgen.Pipeline.run
+            { Benchgen.Pipeline.default with name = Some app.name }
+            (Benchgen.Pipeline.From_trace resolved)
+        with
+        | Ok (a, _) -> a.Benchgen.Pipeline.report
+        | Error e -> failwith (Benchgen.Pipeline.error_to_string e))
+  in
   {
     a_name = app.name;
     a_nranks = nranks;
@@ -119,186 +128,77 @@ let run_app (app : Apps.Registry.app) ~wanted =
   }
 
 (* ------------------------------------------------------------------ *)
-(* JSON out (hand-rolled: no JSON library in the tree)                 *)
+(* JSON out, via the observability layer's shared value type            *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let jnum f =
-  if Float.is_integer f && Float.abs f < 1e15 then
-    Printf.sprintf "%.0f" f
-  else Printf.sprintf "%.6g" f
+let jint i = Obs.Json.Num (float_of_int i)
 
 let micro_json m =
-  Printf.sprintf
-    {|{ "wall_s": %s, "events": %d, "events_per_s": %s }|}
-    (jnum m.wall_s) m.events (jnum m.events_per_s)
+  Obs.Json.Obj
+    [
+      ("wall_s", Obs.Json.Num m.wall_s);
+      ("events", jint m.events);
+      ("events_per_s", Obs.Json.Num m.events_per_s);
+    ]
 
 let app_json a =
-  Printf.sprintf
-    {|    { "app": "%s", "nranks": %d, "trace_s": %s, "align_s": %s, "wildcard_s": %s, "generate_s": %s, "events": %d, "events_per_s": %s, "input_rsds": %d, "final_rsds": %d }|}
-    (json_escape a.a_name) a.a_nranks (jnum a.trace_s) (jnum a.align_s)
-    (jnum a.wildcard_s) (jnum a.generate_s) a.a_events (jnum a.a_events_per_s)
-    a.input_rsds a.final_rsds
+  Obs.Json.Obj
+    [
+      ("app", Obs.Json.Str a.a_name);
+      ("nranks", jint a.a_nranks);
+      ("trace_s", Obs.Json.Num a.trace_s);
+      ("align_s", Obs.Json.Num a.align_s);
+      ("wildcard_s", Obs.Json.Num a.wildcard_s);
+      ("generate_s", Obs.Json.Num a.generate_s);
+      ("events", jint a.a_events);
+      ("events_per_s", Obs.Json.Num a.a_events_per_s);
+      ("input_rsds", jint a.input_rsds);
+      ("final_rsds", jint a.final_rsds);
+    ]
 
 let emit ~path ~mode ~micro_nranks ~msgs_per_rank ~reference ~indexed ~apps =
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "bench-engine/1");
+        ("mode", Obs.Json.Str mode);
+        ( "micro",
+          Obs.Json.Obj
+            [
+              ("nranks", jint micro_nranks);
+              ("msgs_per_rank", jint msgs_per_rank);
+              ("reference", micro_json reference);
+              ("indexed", micro_json indexed);
+              ( "speedup",
+                Obs.Json.Num
+                  (indexed.events_per_s /. Float.max reference.events_per_s 1e-9)
+              );
+            ] );
+        ("apps", Obs.Json.Arr (List.map app_json apps));
+      ]
+  in
   let oc = open_out path in
-  Printf.fprintf oc
-    {|{
-  "schema": "bench-engine/1",
-  "mode": "%s",
-  "micro": {
-    "nranks": %d,
-    "msgs_per_rank": %d,
-    "reference": %s,
-    "indexed": %s,
-    "speedup": %s
-  },
-  "apps": [
-%s
-  ]
-}
-|}
-    mode micro_nranks msgs_per_rank (micro_json reference) (micro_json indexed)
-    (jnum (indexed.events_per_s /. Float.max reference.events_per_s 1e-9))
-    (String.concat ",\n" (List.map app_json apps));
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
   close_out oc
 
 (* ------------------------------------------------------------------ *)
-(* JSON self-check: a minimal parser, enough to validate our own output *)
+(* JSON self-check: re-parse our own output                             *)
 
 exception Bad_json of string
-
-let parse_json s =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected %c" c)
-  in
-  let literal w =
-    if !pos + String.length w <= n && String.sub s !pos (String.length w) = w
-    then pos := !pos + String.length w
-    else fail (Printf.sprintf "expected %s" w)
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' ->
-          advance ();
-          (match peek () with
-          | Some (('"' | '\\' | '/' | 'n' | 't' | 'r' | 'b' | 'f') as c) ->
-              advance ();
-              Buffer.add_char b c
-          | Some 'u' ->
-              advance ();
-              if !pos + 4 > n then fail "short \\u escape";
-              pos := !pos + 4
-          | _ -> fail "bad escape");
-          go ()
-      | Some c ->
-          advance ();
-          Buffer.add_char b c;
-          go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let parse_number () =
-    let start = !pos in
-    let num_char = function
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while (match peek () with Some c when num_char c -> true | _ -> false) do
-      advance ()
-    done;
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> f
-    | None -> fail "bad number"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin advance (); `Obj [] end
-        else begin
-          let rec members acc =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' -> advance (); members ((k, v) :: acc)
-            | Some '}' -> advance (); `Obj (List.rev ((k, v) :: acc))
-            | _ -> fail "expected , or }"
-          in
-          members []
-        end
-    | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin advance (); `Arr [] end
-        else begin
-          let rec elems acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' -> advance (); elems (v :: acc)
-            | Some ']' -> advance (); `Arr (List.rev (v :: acc))
-            | _ -> fail "expected , or ]"
-          in
-          elems []
-        end
-    | Some '"' -> `Str (parse_string ())
-    | Some 't' -> literal "true"; `Bool true
-    | Some 'f' -> literal "false"; `Bool false
-    | Some 'n' -> literal "null"; `Null
-    | Some _ -> `Num (parse_number ())
-    | None -> fail "unexpected end of input"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
 
 let validate_json path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let s = really_input_string ic len in
   close_in ic;
-  match parse_json s with
-  | `Obj fields ->
-      let has k = List.mem_assoc k fields in
-      if not (has "schema" && has "micro" && has "apps") then
-        raise (Bad_json "missing top-level key")
+  match Obs.Json.parse (String.trim s) with
+  | exception Obs.Json.Parse_error msg -> raise (Bad_json msg)
+  | Obs.Json.Obj _ as j ->
+      List.iter
+        (fun k ->
+          if Obs.Json.member k j = None then
+            raise (Bad_json ("missing top-level key: " ^ k)))
+        [ "schema"; "micro"; "apps" ]
   | _ -> raise (Bad_json "top level is not an object")
 
 (* ------------------------------------------------------------------ *)

@@ -7,6 +7,7 @@
      benchgen compare  lu  -n 16 -c W          # original vs generated timing *)
 
 open Cmdliner
+module Pipeline = Benchgen.Pipeline
 
 (* ------------------------------------------------------------------ *)
 (* Failure classes -> exit codes.  Every expected failure prints a
@@ -21,6 +22,7 @@ let exit_deadlock = 6 (* simulated run deadlocked *)
 let exit_stalled = 7 (* watchdog budget / retransmission budget hit *)
 let exit_mpi = 8 (* MPI semantic error during simulation *)
 let exit_io = 9 (* file-system failure *)
+let exit_codegen = 10 (* generated/benchmark code failed to parse or lower *)
 
 let fail code msg =
   Printf.eprintf "benchgen: %s\n%!" msg;
@@ -48,8 +50,11 @@ let guarded f =
   | Mpisim.Engine.Stalled msg -> fail exit_stalled msg
   | Mpisim.Engine.Mpi_error msg -> fail exit_mpi ("MPI error: " ^ msg)
   | Replay.Replay_error msg -> fail exit_mpi ("replay error: " ^ msg)
-  | Conceptual.Parse.Parse_error msg -> fail exit_mpi ("parse error: " ^ msg)
-  | Conceptual.Lower.Lower_error msg -> fail exit_mpi ("lowering error: " ^ msg)
+  (* Benchmark-code failures (unparseable or unlowerable .ncptl) are a
+     distinct failure class from MPI semantic errors in a simulated run. *)
+  | Conceptual.Parse.Parse_error msg -> fail exit_codegen ("parse error: " ^ msg)
+  | Conceptual.Lower.Lower_error msg ->
+      fail exit_codegen ("lowering error: " ^ msg)
   | Sys_error msg -> fail exit_io msg
 
 let warn_all warnings =
@@ -137,6 +142,72 @@ let sim_term =
   Term.(
     const make $ fault_seed $ drop_prob $ jitter $ os_noise $ max_retries
     $ max_events $ max_time)
+
+(* ------------------------------------------------------------------ *)
+(* Observability options: record pipeline/engine activity to a Chrome
+   trace-event file (Perfetto-loadable) and/or dump the run's metrics
+   registry as JSONL. *)
+
+type obs_opts = { trace_out : string option; metrics_out : string option }
+
+let obs_term =
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Record pipeline-stage spans and engine samples to $(docv) as \
+             Chrome trace-event JSON (load in Perfetto or chrome://tracing). \
+             Timestamps are deterministic; same-seed runs produce identical \
+             files.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Dump the run's metrics registry (counters, gauges, histograms) \
+             to $(docv) as JSONL, one instrument per line.")
+  in
+  Term.(
+    const (fun trace_out metrics_out -> { trace_out; metrics_out })
+    $ trace_out $ metrics_out)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* The sink to run the pipeline with, plus a finisher that writes the
+   requested artifacts once the run's metrics are known. *)
+let obs_setup (o : obs_opts) =
+  let recorder =
+    match o.trace_out with
+    | None -> None
+    | Some _ -> Some (Obs.Exporter.recorder ())
+  in
+  let sink =
+    match recorder with None -> Obs.Sink.nil | Some r -> Obs.Exporter.sink r
+  in
+  let finish (metrics : Obs.Metrics.t option) =
+    (match (recorder, o.trace_out) with
+    | Some r, Some path ->
+        write_file path (Obs.Exporter.to_chrome_string r);
+        Printf.printf "wrote %s (%d trace events)\n" path
+          (Obs.Exporter.event_count r)
+    | _ -> ());
+    match (o.metrics_out, metrics) with
+    | Some path, Some m ->
+        write_file path (Obs.Metrics.to_jsonl m);
+        Printf.printf "wrote %s\n" path
+    | Some path, None ->
+        write_file path "";
+        Printf.printf "wrote %s (no metrics collected)\n" path
+    | None, _ -> ()
+  in
+  (sink, finish)
 
 let fault_counters (o : Mpisim.Engine.outcome) = function
   | None -> ()
@@ -245,15 +316,14 @@ let generate_from_trace_cmd =
   in
   let run file out =
     guarded @@ fun () ->
-    match Benchgen.generate_checked_file ~path:file () with
+    match Pipeline.run Pipeline.default (Pipeline.From_file file) with
     | Error e -> fail (code_of_gen_error e) (Benchgen.error_to_string e)
-    | Ok (report, warnings) -> (
+    | Ok (artifact, warnings) -> (
         warn_all warnings;
+        let report = artifact.Pipeline.report in
         match out with
         | Some path ->
-            let oc = open_out path in
-            output_string oc report.text;
-            close_out oc;
+            write_file path report.text;
             Printf.printf "wrote %s (%d statements)\n" path report.statements
         | None -> print_string report.text)
   in
@@ -292,41 +362,48 @@ let generate_cmd =
       & opt (enum [ ("conceptual", `Conceptual); ("c", `C) ]) `Conceptual
       & info [ "lang" ] ~docv:"LANG" ~doc:"Target language: conceptual or c.")
   in
-  let run name wanted cls net out lang sim =
+  let run name wanted cls net out lang sim obs =
     guarded @@ fun () ->
     let app, nranks = resolve_app name wanted in
-    let trace, _ =
-      Scalatrace.Tracer.trace_run ~net ?fault:sim.fault
-        ?max_events:sim.max_events ?max_virtual_time:sim.max_virtual_time
-        ~nranks (app.program ~cls ())
+    let sink, finish = obs_setup obs in
+    let cfg =
+      {
+        Pipeline.default with
+        name = Some name;
+        net = Some net;
+        fault = sim.fault;
+        max_events = sim.max_events;
+        max_virtual_time = sim.max_virtual_time;
+        obs = sink;
+      }
     in
-    match Benchgen.generate_checked ~name trace with
+    match
+      Pipeline.run cfg (Pipeline.From_app { nranks; app = app.program ~cls () })
+    with
     | Error e -> fail (code_of_gen_error e) (Benchgen.error_to_string e)
-    | Ok (report, warnings) ->
+    | Ok (artifact, warnings) ->
         warn_all warnings;
+        let report = artifact.Pipeline.report in
         let text =
           match lang with
-          | `Conceptual -> report.Benchgen.text
+          | `Conceptual -> report.text
           | `C ->
-              (* regenerate via the C backend from the same rewritten trace *)
-              let trace, _ = Benchgen.Align.align_if_needed trace in
-              let trace, _ = Benchgen.Wildcard.resolve_if_needed trace in
-              Benchgen.Cgen.program ~name trace
+              (* the C backend consumes the already-rewritten trace *)
+              Benchgen.Cgen.program ~name artifact.Pipeline.resolved_trace
         in
         (match out with
         | Some path ->
-            let oc = open_out path in
-            output_string oc text;
-            close_out oc;
+            write_file path text;
             Printf.printf "wrote %s (%d statements%s%s)\n" path report.statements
               (if report.aligned then "; collectives aligned" else "")
               (if report.resolved then "; wildcards resolved" else "")
-        | None -> print_string text)
+        | None -> print_string text);
+        finish (Some artifact.Pipeline.metrics)
   in
   Cmd.v (Cmd.info "generate" ~doc)
     Term.(
       const run $ app_arg $ nranks_arg $ cls_arg $ net_arg $ out_arg $ lang_arg
-      $ sim_term)
+      $ sim_term $ obs_term)
 
 let run_cmd =
   let doc = "Execute a .ncptl benchmark on the simulator." in
@@ -380,7 +457,16 @@ let stats_cmd =
       & pos 0 (some (enum (List.map (fun n -> (n, n)) apps))) None
       & info [] ~docv:"APP" ~doc:"Application name (omit when using --trace).")
   in
-  let run app_name wanted cls net file =
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Additionally dump the statistics as a JSONL metrics file \
+             (per-operation call/byte counters plus trace-shape gauges).")
+  in
+  let run app_name wanted cls net file metrics_out =
     guarded @@ fun () ->
     let trace =
       match (file, app_name) with
@@ -392,6 +478,7 @@ let stats_cmd =
           prerr_endline "either APP or --trace FILE is required";
           exit 1
     in
+    let op_totals = Scalatrace.Analysis.op_totals trace in
     Printf.printf "ranks: %d; RSDs: %d; MPI events: %d; total compute: %s\n\n"
       (Scalatrace.Trace.nranks trace)
       (Scalatrace.Trace.rsd_count trace)
@@ -400,15 +487,37 @@ let stats_cmd =
     List.iter
       (fun (name, calls, bytes) ->
         Printf.printf "%-20s %10d calls %14s\n" name calls (Util.Table.fbytes bytes))
-      (Scalatrace.Analysis.op_totals trace);
+      op_totals;
     print_newline ();
     if Scalatrace.Trace.nranks trace <= 32 then
       print_string
         (Scalatrace.Analysis.matrix_to_string (Scalatrace.Analysis.comm_matrix trace))
-    else print_endline "(communication matrix omitted for > 32 ranks)"
+    else print_endline "(communication matrix omitted for > 32 ranks)";
+    match metrics_out with
+    | None -> ()
+    | Some path ->
+        let m = Obs.Metrics.create () in
+        Obs.Metrics.set m "trace.nranks"
+          (float_of_int (Scalatrace.Trace.nranks trace));
+        Obs.Metrics.set m "trace.rsds"
+          (float_of_int (Scalatrace.Trace.rsd_count trace));
+        Obs.Metrics.set m "trace.events"
+          (float_of_int (Scalatrace.Trace.event_count trace));
+        Obs.Metrics.set m "trace.total_compute_s"
+          (Scalatrace.Analysis.total_compute trace);
+        List.iter
+          (fun (name, calls, bytes) ->
+            let labels = [ ("op", name) ] in
+            Obs.Metrics.inc m ~labels ~by:calls "trace.calls";
+            Obs.Metrics.inc m ~labels ~by:bytes "trace.bytes")
+          op_totals;
+        write_file path (Obs.Metrics.to_jsonl m);
+        Printf.printf "wrote %s\n" path
   in
   Cmd.v (Cmd.info "stats" ~doc)
-    Term.(const run $ app_opt $ nranks_arg $ cls_arg $ net_arg $ file_arg)
+    Term.(
+      const run $ app_opt $ nranks_arg $ cls_arg $ net_arg $ file_arg
+      $ metrics_arg)
 
 let compare_cmd =
   let doc = "Trace, generate, and compare original vs generated benchmark." in
@@ -422,35 +531,45 @@ let compare_cmd =
              network/fault scenarios and report the timing-error \
              distribution (0 = off).")
   in
-  let run name wanted cls net trials sim =
+  let run name wanted cls net trials sim obs =
     guarded @@ fun () ->
     let app, nranks = resolve_app name wanted in
-    let report, orig =
-      Benchgen.from_app ~name ~net ?fault:sim.fault ?max_events:sim.max_events
-        ?max_virtual_time:sim.max_virtual_time ~nranks (app.program ~cls ())
+    let sink, finish = obs_setup obs in
+    let cfg =
+      {
+        Pipeline.default with
+        name = Some name;
+        net = Some net;
+        fault = sim.fault;
+        max_events = sim.max_events;
+        max_virtual_time = sim.max_virtual_time;
+        obs = sink;
+      }
     in
-    let prof_o = Mpip.create () and prof_g = Mpip.create () in
-    ignore
-      (Mpisim.Mpi.run ~hooks:[ Mpip.hook prof_o ] ~net ?fault:sim.fault
-         ?max_events:sim.max_events ?max_virtual_time:sim.max_virtual_time
-         ~nranks (app.program ~cls ()));
-    let res =
-      Conceptual.Lower.run ~hooks:[ Mpip.hook prof_g ] ~net ?fault:sim.fault
-        ?max_events:sim.max_events ?max_virtual_time:sim.max_virtual_time
-        ~nranks report.program
+    let artifact, warnings =
+      match
+        Pipeline.run cfg
+          (Pipeline.From_app { nranks; app = app.program ~cls () })
+      with
+      | Error e -> fail (code_of_gen_error e) (Benchgen.error_to_string e)
+      | Ok v -> v
     in
+    warn_all warnings;
+    let report = artifact.Pipeline.report in
+    let fid = Pipeline.validate cfg ~nranks (app.program ~cls ()) artifact in
     Printf.printf "original:  %.6f s\ngenerated: %.6f s\nerror:     %+.2f%%\n"
-      orig.elapsed res.outcome.elapsed
-      (100. *. (res.outcome.elapsed -. orig.elapsed) /. orig.elapsed);
+      fid.Pipeline.f_original.elapsed fid.Pipeline.f_generated.elapsed
+      fid.Pipeline.f_error_pct;
     Printf.printf "passes:    align=%b wildcard=%b; %d statements from %d RSDs\n"
       report.aligned report.resolved report.statements report.final_rsds;
-    fault_counters res.outcome sim.fault;
-    let diffs = Mpip.diff prof_o prof_g in
-    if diffs = [] then print_endline "mpiP:      identical per-operation statistics"
-    else begin
-      print_endline "mpiP differences (Table 1 substitutions and AWAIT rewrites):";
-      List.iter (fun d -> print_endline ("  " ^ d)) diffs
-    end;
+    fault_counters fid.Pipeline.f_generated sim.fault;
+    (match fid.Pipeline.f_mpip_diff with
+    | [] -> print_endline "mpiP:      identical per-operation statistics"
+    | diffs ->
+        print_endline
+          "mpiP differences (Table 1 substitutions and AWAIT rewrites):";
+        List.iter (fun d -> print_endline ("  " ^ d)) diffs);
+    finish (Some artifact.Pipeline.metrics);
     if trials > 0 then begin
       let nr =
         Benchgen.validate_under_noise ~net ~trials ?fault:sim.fault ~nranks
@@ -474,7 +593,7 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(
       const run $ app_arg $ nranks_arg $ cls_arg $ net_arg $ noise_arg
-      $ sim_term)
+      $ sim_term $ obs_term)
 
 let extrapolate_cmd =
   let doc =
@@ -512,15 +631,22 @@ let extrapolate_cmd =
         Printf.eprintf "cannot extrapolate %s: %s\n" name msg;
         exit 1
     | trace -> (
+        let cfg =
+          {
+            Pipeline.default with
+            name = Some (Printf.sprintf "%s (extrapolated to %d)" name target);
+          }
+        in
         let report =
-          Benchgen.generate ~name:(Printf.sprintf "%s (extrapolated to %d)" name target)
-            trace
+          match Pipeline.run cfg (Pipeline.From_trace trace) with
+          | Error e -> fail (code_of_gen_error e) (Benchgen.error_to_string e)
+          | Ok (artifact, warnings) ->
+              warn_all warnings;
+              artifact.Pipeline.report
         in
         match out with
         | Some path ->
-            let oc = open_out path in
-            output_string oc report.text;
-            close_out oc;
+            write_file path report.text;
             Printf.printf "wrote %s (%d statements for %d tasks)\n" path
               report.statements target
         | None -> print_string report.text)

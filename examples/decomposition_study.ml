@@ -10,14 +10,19 @@
  * boundaries).  We generate a benchmark from each variant and run both on
  * two candidate machines — four results, zero application ports. *)
 
+module P = Benchgen.Pipeline
+
 let () =
   let nranks = 16 in
   let study name =
     let app = Option.get (Apps.Registry.find name) in
-    let report, _ =
-      Benchgen.from_app ~name ~nranks (app.program ~cls:Apps.Params.A ())
-    in
-    report
+    match
+      P.run
+        { P.default with name = Some name }
+        (P.From_app { nranks; app = app.program ~cls:Apps.Params.A () })
+    with
+    | Ok (artifact, _) -> artifact.P.report
+    | Error e -> failwith (P.error_to_string e)
   in
   let ring = study "ring" and stencil = study "stencil2d" in
   Printf.printf

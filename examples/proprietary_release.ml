@@ -9,13 +9,22 @@
  * ships the .ncptl text, and the vendor — who has only that text — runs
  * it on their machine model. *)
 
+module P = Benchgen.Pipeline
+
 let () =
   let nranks = 16 in
 
   (* ------------- the lab side ------------- *)
   let sweep = Option.get (Apps.Registry.find "sweep3d") in
   let report, original =
-    Benchgen.from_app ~name:"sweep3d" ~nranks (sweep.program ~cls:Apps.Params.W ())
+    match
+      P.run
+        { P.default with name = Some "sweep3d" }
+        (P.From_app { nranks; app = sweep.program ~cls:Apps.Params.W () })
+    with
+    | Ok (artifact, _) ->
+        (artifact.P.report, Option.get artifact.P.trace_outcome)
+    | Error e -> failwith (P.error_to_string e)
   in
   let shipped_text = report.text in
   Printf.printf

@@ -40,8 +40,17 @@ let () =
     (Scalatrace.Trace.rsd_count trace)
     (Util.Table.fbytes (Scalatrace.Trace.text_size trace));
 
-  (* generate the benchmark *)
-  let report = Benchgen.generate ~name:"quickstart stencil" trace in
+  (* generate the benchmark via the unified pipeline *)
+  let module P = Benchgen.Pipeline in
+  let report =
+    match
+      P.run
+        { P.default with name = Some "quickstart stencil" }
+        (P.From_trace trace)
+    with
+    | Ok (artifact, _warnings) -> artifact.P.report
+    | Error e -> failwith (P.error_to_string e)
+  in
   print_endline "generated coNCePTuaL benchmark:";
   print_endline "--------------------------------";
   print_string report.text;

@@ -8,14 +8,22 @@
  * delays, the study is a one-line AST rewrite per point — no porting of
  * the original application required. *)
 
+module P = Benchgen.Pipeline
+
 let () =
   let nranks = 64 in
   let net = Mpisim.Netmodel.ethernet_cluster in
   let bt = Option.get (Apps.Registry.find "bt") in
 
   Printf.printf "tracing BT class C on %d ranks and generating its benchmark...\n%!" nranks;
-  let report, _ =
-    Benchgen.from_app ~name:"bt" ~net ~nranks (bt.program ~cls:Apps.Params.C ())
+  let report =
+    match
+      P.run
+        { P.default with name = Some "bt"; net = Some net }
+        (P.From_app { nranks; app = bt.program ~cls:Apps.Params.C () })
+    with
+    | Ok (artifact, _) -> artifact.P.report
+    | Error e -> failwith (P.error_to_string e)
   in
 
   (* Calibrate the baseline to an ARC-like cluster where communication

@@ -5,8 +5,9 @@ module Collective_map = Collective_map
 module Codegen = Codegen
 module Cgen = Cgen
 module Extrap = Extrap
+module Pipeline = Pipeline
 
-type report = {
+type report = Pipeline.report = {
   program : Conceptual.Ast.program;
   text : string;
   aligned : bool;
@@ -16,106 +17,73 @@ type report = {
   statements : int;
 }
 
-let generate ?name ?compute_floor_usecs trace =
-  let input_rsds = Scalatrace.Trace.rsd_count trace in
-  let trace, aligned = Align.align_if_needed trace in
-  let trace, resolved = Wildcard.resolve_if_needed trace in
-  let program = Codegen.program ?name ?compute_floor_usecs trace in
-  let text = Conceptual.Pretty.program program in
-  {
-    program;
-    text;
-    aligned;
-    resolved;
-    input_rsds;
-    final_rsds = Scalatrace.Trace.rsd_count trace;
-    statements = Conceptual.Ast.size program;
-  }
-
-let generate_text ?name ?compute_floor_usecs trace =
-  (generate ?name ?compute_floor_usecs trace).text
-
-let from_app ?name ?net ?fault ?max_events ?max_virtual_time
-    ?compute_floor_usecs ~nranks app =
-  let trace, outcome =
-    Scalatrace.Tracer.trace_run ?net ?fault ?max_events ?max_virtual_time
-      ~nranks app
-  in
-  (generate ?name ?compute_floor_usecs trace, outcome)
-
-(* ------------------------------------------------------------------ *)
-(* Checked generation: recoverable issues become warnings, expected
-   failures become typed errors instead of escaping exceptions.         *)
-
-type warning =
+type warning = Pipeline.warning =
   | W_aligned of { input_rsds : int; output_rsds : int }
   | W_wildcard_resolved
   | W_wildcard_fallback of string
 
-type gen_error =
+type gen_error = Pipeline.gen_error =
   | E_potential_deadlock of string
   | E_align of string
   | E_wildcard of string
   | E_trace_format of string
   | E_io of string
 
-let warning_to_string = function
-  | W_aligned { input_rsds; output_rsds } ->
-      Printf.sprintf
-        "collective alignment rewrote the trace (%d -> %d RSDs)" input_rsds
-        output_rsds
-  | W_wildcard_resolved ->
-      "wildcard receives were pinned to concrete senders (Algorithm 2)"
-  | W_wildcard_fallback msg -> "wildcard resolution degraded: " ^ msg
+let warning_to_string = Pipeline.warning_to_string
+let error_to_string = Pipeline.error_to_string
 
-let error_to_string = function
-  | E_potential_deadlock msg -> "potential deadlock: " ^ msg
-  | E_align msg -> "collective alignment failed: " ^ msg
-  | E_wildcard msg -> "wildcard resolution failed: " ^ msg
-  | E_trace_format msg -> "malformed trace: " ^ msg
-  | E_io msg -> "I/O error: " ^ msg
+(* The historical entry points raised; reconstruct the exception each
+   typed error stands for. *)
+let raise_gen_error : gen_error -> 'a = function
+  | E_potential_deadlock msg -> raise (Wildcard.Potential_deadlock msg)
+  | E_align msg -> raise (Align.Align_error msg)
+  | E_wildcard msg -> raise (Wildcard.Wildcard_error msg)
+  | E_trace_format msg -> raise (Scalatrace.Trace_io.Format_error msg)
+  | E_io msg -> raise (Sys_error msg)
+
+let generate ?name ?compute_floor_usecs trace =
+  match
+    Pipeline.run
+      { Pipeline.default with name; compute_floor_usecs }
+      (Pipeline.From_trace trace)
+  with
+  | Ok (a, _) -> a.Pipeline.report
+  | Error e -> raise_gen_error e
+
+let generate_text ?name ?compute_floor_usecs trace =
+  (generate ?name ?compute_floor_usecs trace).text
+
+let from_app ?name ?net ?fault ?max_events ?max_virtual_time
+    ?compute_floor_usecs ~nranks app =
+  match
+    Pipeline.run
+      {
+        Pipeline.default with
+        name;
+        net;
+        fault;
+        max_events;
+        max_virtual_time;
+        compute_floor_usecs;
+      }
+      (Pipeline.From_app { nranks; app })
+  with
+  | Ok (a, _) -> (a.Pipeline.report, Option.get a.Pipeline.trace_outcome)
+  | Error e -> raise_gen_error e
 
 let generate_checked ?name ?compute_floor_usecs ?strategy trace =
-  let warnings = ref [] in
-  let warn w = warnings := w :: !warnings in
-  try
-    let input_rsds = Scalatrace.Trace.rsd_count trace in
-    let trace, aligned = Align.align_if_needed trace in
-    if aligned then
-      warn
-        (W_aligned
-           { input_rsds; output_rsds = Scalatrace.Trace.rsd_count trace });
-    let trace, resolved =
-      Wildcard.resolve_if_needed ?strategy
-        ~on_fallback:(fun msg -> warn (W_wildcard_fallback msg))
-        trace
-    in
-    if resolved then warn W_wildcard_resolved;
-    let program = Codegen.program ?name ?compute_floor_usecs trace in
-    let text = Conceptual.Pretty.program program in
-    Ok
-      ( {
-          program;
-          text;
-          aligned;
-          resolved;
-          input_rsds;
-          final_rsds = Scalatrace.Trace.rsd_count trace;
-          statements = Conceptual.Ast.size program;
-        },
-        List.rev !warnings )
-  with
-  | Wildcard.Potential_deadlock msg -> Error (E_potential_deadlock msg)
-  | Align.Align_error msg -> Error (E_align msg)
-  | Wildcard.Wildcard_error msg -> Error (E_wildcard msg)
+  Result.map
+    (fun ((a : Pipeline.artifact), ws) -> (a.Pipeline.report, ws))
+    (Pipeline.run
+       { Pipeline.default with name; compute_floor_usecs; strategy }
+       (Pipeline.From_trace trace))
 
 let generate_checked_file ?name ?compute_floor_usecs ?strategy ~path () =
-  match Scalatrace.Trace_io.load ~path with
-  | exception Scalatrace.Trace_io.Format_error msg -> Error (E_trace_format msg)
-  | exception Sys_error msg -> Error (E_io msg)
-  | trace ->
-      let name = Some (Option.value ~default:path name) in
-      generate_checked ?name ?compute_floor_usecs ?strategy trace
+  Result.map
+    (fun ((a : Pipeline.artifact), ws) -> (a.Pipeline.report, ws))
+    (Pipeline.run
+       { Pipeline.default with name; compute_floor_usecs; strategy }
+       (Pipeline.From_file path))
 
 (* ------------------------------------------------------------------ *)
 (* Fidelity under noise: does the generated benchmark still track the

@@ -1,8 +1,15 @@
-(** End-to-end benchmark generation pipeline (paper Figure 1, right half).
+(** End-to-end benchmark generation (paper Figure 1, right half).
 
     trace → \[collective alignment if needed\] → \[wildcard resolution if
     needed\] → coNCePTuaL code generation.  Both trace-rewriting passes are
-    gated by their O(r) pre-checks. *)
+    gated by their O(r) pre-checks.
+
+    The pipeline lives in {!Pipeline}: one {!Pipeline.config} record, one
+    {!Pipeline.run} entry point, observability built in.  The historical
+    entry points below ({!generate}, {!generate_text}, {!from_app},
+    {!generate_checked}, {!generate_checked_file}) remain as thin
+    deprecated wrappers; new code should build a [Pipeline.config] and
+    call [Pipeline.run]. *)
 
 (** Re-exported pipeline stages. *)
 
@@ -14,7 +21,13 @@ module Codegen = Codegen
 module Cgen = Cgen
 module Extrap = Extrap
 
-type report = {
+(** The unified entry point. *)
+module Pipeline = Pipeline
+
+(** The result/diagnostic types are {!Pipeline}'s, re-exported with
+    equality so existing constructors keep working. *)
+
+type report = Pipeline.report = {
   program : Conceptual.Ast.program;
   text : string;  (** pretty-printed .ncptl source *)
   aligned : bool;  (** Algorithm 1 ran *)
@@ -24,21 +37,44 @@ type report = {
   statements : int;  (** statements in the generated program *)
 }
 
+type warning = Pipeline.warning =
+  | W_aligned of { input_rsds : int; output_rsds : int }
+      (** Algorithm 1 merged partial-participant collectives *)
+  | W_wildcard_resolved  (** Algorithm 2 pinned wildcard receives *)
+  | W_wildcard_fallback of string
+      (** the [`Auto] strategy abandoned the untimed traversal *)
+
+type gen_error = Pipeline.gen_error =
+  | E_potential_deadlock of string  (** paper Figure 5: input can hang *)
+  | E_align of string  (** collective misuse in the trace *)
+  | E_wildcard of string  (** malformed point-to-point structure *)
+  | E_trace_format of string  (** unparseable trace file *)
+  | E_io of string  (** file-system failure *)
+
+val warning_to_string : warning -> string
+val error_to_string : gen_error -> string
+
+(** {1 Deprecated entry points}
+
+    Thin wrappers over {!Pipeline.run}; each is one [config] away from the
+    unified API. *)
+
 (** @raise Wildcard.Potential_deadlock when the input application can
     deadlock (paper Figure 5) — reported rather than generating a hanging
     benchmark.
     @raise Align.Align_error on collective misuse in the trace. *)
 val generate :
   ?name:string -> ?compute_floor_usecs:float -> Scalatrace.Trace.t -> report
+[@@deprecated "use Pipeline.run { Pipeline.default with ... } (From_trace t)"]
 
 (** [generate_text] — just the .ncptl source. *)
 val generate_text :
   ?name:string -> ?compute_floor_usecs:float -> Scalatrace.Trace.t -> string
+[@@deprecated "use Pipeline.run and read report.text from the artifact"]
 
-(** Convenience: trace an application under the given network model and
-    generate its benchmark in one call.  Returns the report plus the
-    original run's outcome (for timing-fidelity comparisons).  [?fault]
-    and the watchdog budgets are forwarded to the tracing run. *)
+(** Trace an application under the given network model and generate its
+    benchmark in one call.  Returns the report plus the original run's
+    outcome (for timing-fidelity comparisons). *)
 val from_app :
   ?name:string ->
   ?net:Mpisim.Netmodel.t ->
@@ -49,32 +85,7 @@ val from_app :
   nranks:int ->
   (Mpisim.Mpi.ctx -> unit) ->
   report * Mpisim.Engine.outcome
-
-(** {1 Checked generation}
-
-    {!generate} raises on every abnormal input; {!generate_checked}
-    instead degrades gracefully: recoverable conditions (a rewriting pass
-    that changed the trace, the wildcard [`Auto] strategy falling back to
-    its timed resolver) are reported as {!warning}s alongside a successful
-    report, while genuine failures come back as typed {!gen_error}s —
-    no exception escapes for any malformed-but-parseable input. *)
-
-type warning =
-  | W_aligned of { input_rsds : int; output_rsds : int }
-      (** Algorithm 1 merged partial-participant collectives *)
-  | W_wildcard_resolved  (** Algorithm 2 pinned wildcard receives *)
-  | W_wildcard_fallback of string
-      (** the [`Auto] strategy abandoned the untimed traversal *)
-
-type gen_error =
-  | E_potential_deadlock of string  (** paper Figure 5: input can hang *)
-  | E_align of string  (** collective misuse in the trace *)
-  | E_wildcard of string  (** malformed point-to-point structure *)
-  | E_trace_format of string  (** unparseable trace file *)
-  | E_io of string  (** file-system failure *)
-
-val warning_to_string : warning -> string
-val error_to_string : gen_error -> string
+[@@deprecated "use Pipeline.run { Pipeline.default with ... } (From_app ...)"]
 
 val generate_checked :
   ?name:string ->
@@ -82,6 +93,7 @@ val generate_checked :
   ?strategy:Wildcard.strategy ->
   Scalatrace.Trace.t ->
   (report * warning list, gen_error) result
+[@@deprecated "use Pipeline.run { Pipeline.default with ... } (From_trace t)"]
 
 (** Load a trace file and generate from it; file-level failures map to
     [E_trace_format] / [E_io]. [?name] defaults to [path]. *)
@@ -92,6 +104,7 @@ val generate_checked_file :
   path:string ->
   unit ->
   (report * warning list, gen_error) result
+[@@deprecated "use Pipeline.run { Pipeline.default with ... } (From_file path)"]
 
 (** {1 Fidelity under noise}
 
@@ -101,7 +114,9 @@ val generate_checked_file :
     factor in [1, 2), bandwidth by a factor in [0.5, 1)) and applies a
     seeded fault plan, then runs the original application and the
     generated benchmark under identical perturbed conditions and records
-    the signed timing error between them. *)
+    the signed timing error between them.  (For a single clean
+    timing/semantics check with span instrumentation, see
+    {!Pipeline.validate}.) *)
 
 type noise_sample = {
   ns_seed : int;  (** fault seed used for this trial *)

@@ -1,0 +1,268 @@
+type config = {
+  name : string option;
+  net : Mpisim.Netmodel.t option;
+  fault : Mpisim.Fault.t option;
+  max_events : int option;
+  max_virtual_time : float option;
+  strategy : Wildcard.strategy option;
+  compute_floor_usecs : float option;
+  obs : Obs.Sink.t;
+}
+
+let default =
+  {
+    name = None;
+    net = None;
+    fault = None;
+    max_events = None;
+    max_virtual_time = None;
+    strategy = None;
+    compute_floor_usecs = None;
+    obs = Obs.Sink.nil;
+  }
+
+type source =
+  | From_trace of Scalatrace.Trace.t
+  | From_file of string
+  | From_app of { nranks : int; app : Mpisim.Mpi.ctx -> unit }
+
+type report = {
+  program : Conceptual.Ast.program;
+  text : string;
+  aligned : bool;
+  resolved : bool;
+  input_rsds : int;
+  final_rsds : int;
+  statements : int;
+}
+
+type warning =
+  | W_aligned of { input_rsds : int; output_rsds : int }
+  | W_wildcard_resolved
+  | W_wildcard_fallback of string
+
+type gen_error =
+  | E_potential_deadlock of string
+  | E_align of string
+  | E_wildcard of string
+  | E_trace_format of string
+  | E_io of string
+
+let warning_to_string = function
+  | W_aligned { input_rsds; output_rsds } ->
+      Printf.sprintf
+        "collective alignment rewrote the trace (%d -> %d RSDs)" input_rsds
+        output_rsds
+  | W_wildcard_resolved ->
+      "wildcard receives were pinned to concrete senders (Algorithm 2)"
+  | W_wildcard_fallback msg -> "wildcard resolution degraded: " ^ msg
+
+let error_to_string = function
+  | E_potential_deadlock msg -> "potential deadlock: " ^ msg
+  | E_align msg -> "collective alignment failed: " ^ msg
+  | E_wildcard msg -> "wildcard resolution failed: " ^ msg
+  | E_trace_format msg -> "malformed trace: " ^ msg
+  | E_io msg -> "I/O error: " ^ msg
+
+type artifact = {
+  report : report;
+  resolved_trace : Scalatrace.Trace.t;
+  trace_outcome : Mpisim.Engine.outcome option;
+  metrics : Obs.Metrics.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation plumbing                                            *)
+
+(* Stage spans are timestamped by a per-run tick clock (one microsecond
+   per emission, starting at 0) rather than the wall clock, so exported
+   traces are a pure function of the run and stay byte-identical across
+   same-seed repetitions. *)
+type clock = { mutable ticks : float }
+
+let fresh_clock () = { ticks = 0. }
+
+let tick c =
+  let t = c.ticks in
+  c.ticks <- t +. 1.;
+  t
+
+(* Open a pipeline-stage span around [f], closing it on any exit. *)
+let with_span (obs : Obs.Sink.t) clock ?(args = []) name f =
+  if not obs.enabled then f ()
+  else begin
+    Obs.Sink.span_begin obs ~pid:Obs.Sink.pipeline_pid ~tid:0 ~cat:"stage"
+      ~args ~ts:(tick clock) name;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Sink.span_end obs ~pid:Obs.Sink.pipeline_pid ~tid:0
+          ~ts:(tick clock) name)
+      f
+  end
+
+(* Count completed collectives per operation via the engine's
+   [on_collective_complete] observation point; composed with the mpiP
+   profiler hook below. *)
+let collective_counter metrics =
+  {
+    Mpisim.Hooks.nil with
+    on_collective_complete =
+      (fun ~time:_ ~comm:_ ~name ~participants:_ ->
+        Obs.Metrics.inc metrics ~labels:[ ("op", name) ] "sim.collectives");
+  }
+
+let record_outcome metrics prefix (o : Mpisim.Engine.outcome) =
+  let c name v = Obs.Metrics.inc metrics ~by:v (prefix ^ "." ^ name) in
+  c "events" o.events;
+  c "messages" o.messages;
+  c "p2p_bytes" o.p2p_bytes;
+  c "unexpected" o.unexpected;
+  c "flow_stalls" o.flow_stalls;
+  c "retries" o.retries;
+  c "timeouts" o.timeouts;
+  c "dropped" o.dropped;
+  Obs.Metrics.set metrics (prefix ^ ".elapsed_s") o.elapsed
+
+(* ------------------------------------------------------------------ *)
+(* The pipeline                                                        *)
+
+let acquire cfg clock metrics source =
+  with_span cfg.obs clock "trace" (fun () ->
+      match source with
+      | From_trace trace -> (trace, None)
+      | From_file path -> (Scalatrace.Trace_io.load ~path, None)
+      | From_app { nranks; app } ->
+          let profile = Mpip.create () in
+          let hooks =
+            Mpisim.Hooks.compose (Mpip.hook profile)
+              (collective_counter metrics)
+          in
+          let trace, outcome =
+            Scalatrace.Tracer.trace_run ?net:cfg.net ?fault:cfg.fault
+              ?max_events:cfg.max_events ?max_virtual_time:cfg.max_virtual_time
+              ~obs:cfg.obs ~extra_hooks:[ hooks ] ~nranks app
+          in
+          Mpip.record_metrics profile metrics;
+          record_outcome metrics "sim" outcome;
+          (trace, Some outcome))
+
+let run cfg source =
+  let clock = fresh_clock () in
+  let metrics = Obs.Metrics.create () in
+  let warnings = ref [] in
+  let warn w =
+    warnings := w :: !warnings;
+    let kind =
+      match w with
+      | W_aligned _ -> "aligned"
+      | W_wildcard_resolved -> "wildcard_resolved"
+      | W_wildcard_fallback _ -> "wildcard_fallback"
+    in
+    Obs.Metrics.inc metrics ~labels:[ ("kind", kind) ] "pipeline.warnings"
+  in
+  let name =
+    match source with
+    | From_file path -> Some (Option.value ~default:path cfg.name)
+    | From_trace _ | From_app _ -> cfg.name
+  in
+  match acquire cfg clock metrics source with
+  | exception Scalatrace.Trace_io.Format_error msg -> Error (E_trace_format msg)
+  | exception Sys_error msg -> Error (E_io msg)
+  | trace, trace_outcome -> (
+      try
+        let input_rsds = Scalatrace.Trace.rsd_count trace in
+        Obs.Metrics.set metrics "trace.input_rsds" (float_of_int input_rsds);
+        let trace, aligned =
+          with_span cfg.obs clock "align" (fun () ->
+              Align.align_if_needed trace)
+        in
+        if aligned then
+          warn
+            (W_aligned
+               { input_rsds; output_rsds = Scalatrace.Trace.rsd_count trace });
+        let trace, resolved =
+          with_span cfg.obs clock "wildcard" (fun () ->
+              Wildcard.resolve_if_needed ?strategy:cfg.strategy
+                ~on_fallback:(fun msg -> warn (W_wildcard_fallback msg))
+                trace)
+        in
+        if resolved then warn W_wildcard_resolved;
+        let report =
+          with_span cfg.obs clock "codegen" (fun () ->
+              let program =
+                Codegen.program ?name
+                  ?compute_floor_usecs:cfg.compute_floor_usecs trace
+              in
+              let text = Conceptual.Pretty.program program in
+              {
+                program;
+                text;
+                aligned;
+                resolved;
+                input_rsds;
+                final_rsds = Scalatrace.Trace.rsd_count trace;
+                statements = Conceptual.Ast.size program;
+              })
+        in
+        Obs.Metrics.set metrics "trace.final_rsds"
+          (float_of_int report.final_rsds);
+        Obs.Metrics.set metrics "program.statements"
+          (float_of_int report.statements);
+        Ok
+          ( { report; resolved_trace = trace; trace_outcome; metrics },
+            List.rev !warnings )
+      with
+      | Wildcard.Potential_deadlock msg -> Error (E_potential_deadlock msg)
+      | Align.Align_error msg -> Error (E_align msg)
+      | Wildcard.Wildcard_error msg -> Error (E_wildcard msg))
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+
+type fidelity = {
+  f_original : Mpisim.Engine.outcome;
+  f_generated : Mpisim.Engine.outcome;
+  f_error_pct : float;
+  f_mpip_diff : string list;
+}
+
+let validate cfg ~nranks app (artifact : artifact) =
+  let clock = fresh_clock () in
+  let metrics = artifact.metrics in
+  let generated =
+    with_span cfg.obs clock "replay" (fun () ->
+        let profile = Mpip.create () in
+        let hooks =
+          Mpisim.Hooks.compose (Mpip.hook profile) (collective_counter metrics)
+        in
+        let r =
+          Conceptual.Lower.run ?net:cfg.net ?fault:cfg.fault
+            ?max_events:cfg.max_events ?max_virtual_time:cfg.max_virtual_time
+            ~hooks:[ hooks ] ~nranks artifact.report.program
+        in
+        (r.Conceptual.Lower.outcome, profile))
+  in
+  with_span cfg.obs clock "compare" (fun () ->
+      let gen_outcome, gen_profile = generated in
+      let orig_profile = Mpip.create () in
+      let orig_outcome =
+        Mpisim.Mpi.run ?net:cfg.net ?fault:cfg.fault ?max_events:cfg.max_events
+          ?max_virtual_time:cfg.max_virtual_time
+          ~hooks:[ Mpip.hook orig_profile ]
+          ~nranks app
+      in
+      record_outcome metrics "replay" gen_outcome;
+      let error_pct =
+        Util.Stats.pct_error ~reference:orig_outcome.Mpisim.Engine.elapsed
+          ~measured:gen_outcome.Mpisim.Engine.elapsed
+      in
+      let mpip_diff = Mpip.diff orig_profile gen_profile in
+      Obs.Metrics.set metrics "fidelity.error_pct" error_pct;
+      Obs.Metrics.inc metrics ~by:(List.length mpip_diff)
+        "fidelity.mpip_discrepancies";
+      {
+        f_original = orig_outcome;
+        f_generated = gen_outcome;
+        f_error_pct = error_pct;
+        f_mpip_diff = mpip_diff;
+      })

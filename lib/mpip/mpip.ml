@@ -65,6 +65,14 @@ let diff a b =
 
 let equal a b = diff a b = []
 
+let record_metrics t (m : Obs.Metrics.t) =
+  List.iter
+    (fun e ->
+      let labels = [ ("op", e.op_name) ] in
+      Obs.Metrics.inc m ~labels ~by:e.calls "mpi.calls";
+      Obs.Metrics.inc m ~labels ~by:e.bytes "mpi.bytes")
+    (entries t)
+
 let pp ppf t =
   List.iter
     (fun e -> Format.fprintf ppf "%-20s %8d calls %12d bytes@." e.op_name e.calls e.bytes)

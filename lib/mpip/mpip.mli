@@ -29,4 +29,8 @@ val diff : t -> t -> string list
 
 val equal : t -> t -> bool
 
+(** Fold the profile into a metrics registry: counters ["mpi.calls"] and
+    ["mpi.bytes"], one label set [("op", <operation>)] per operation. *)
+val record_metrics : t -> Obs.Metrics.t -> unit
+
 val pp : Format.formatter -> t -> unit

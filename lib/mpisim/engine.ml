@@ -109,12 +109,15 @@ type state = {
   fault : Fault.runtime option;
   max_events : int option;
   max_virtual_time : float option;
+  obs : Obs.Sink.t;
+  obs_sample_every : int;
   mutable now : float;
   mutable n_events : int;
   mutable n_msgs : int;
   mutable n_bytes : int;
   mutable n_unexpected : int;
   mutable n_stalls : int;
+  mutable n_inflight_bytes : int; (* bytes injected but not yet delivered *)
 }
 
 let schedule st ~time ev = Util.Pqueue.add st.events ~time ev
@@ -128,6 +131,59 @@ let fire_fault st ev =
 
 let fire_return st rank time call v =
   List.iter (fun (h : Hooks.t) -> h.on_return ~world_rank:rank ~time call v) st.hooks
+
+let fire_collective_complete st ~time ~comm ~name ~participants =
+  List.iter
+    (fun (h : Hooks.t) -> h.on_collective_complete ~time ~comm ~name ~participants)
+    st.hooks
+
+(* ------------------------------------------------------------------ *)
+(* Observability sampling                                              *)
+
+(* Engine virtual time is seconds; trace timestamps are microseconds. *)
+let obs_ts t = t *. 1e6
+
+(* Per-rank queue depths plus engine-wide totals, emitted as Chrome
+   counter tracks.  Purely a function of simulation state at a virtual
+   time, so sampled traces stay deterministic. *)
+let obs_sample st =
+  let ts = obs_ts st.now in
+  Array.iter
+    (fun rs ->
+      Obs.Sink.counter st.obs ~pid:Obs.Sink.engine_pid ~tid:rs.rs_rank ~ts
+        "queues"
+        [
+          ("posted", float_of_int (Mq.Posted.length rs.rs_posted));
+          ("posted_buckets", float_of_int (Mq.Posted.bucket_count rs.rs_posted));
+          ("unexpected", float_of_int (Mq.Unexpected.length rs.rs_unexpected));
+          ( "unexpected_raw",
+            float_of_int (Mq.Unexpected.raw_length rs.rs_unexpected) );
+          ( "unexpected_buckets",
+            float_of_int (Mq.Unexpected.bucket_count rs.rs_unexpected) );
+          ("parked", float_of_int (Util.Deque.length rs.rs_parked));
+          ("buffered_bytes", float_of_int rs.rs_buffered);
+        ])
+    st.ranks;
+  let fault_series =
+    match st.fault with
+    | None -> []
+    | Some f ->
+        let fs = Fault.stats f in
+        [
+          ("retries", float_of_int fs.retries);
+          ("timeouts", float_of_int fs.timeouts);
+          ("dropped", float_of_int fs.dropped);
+        ]
+  in
+  Obs.Sink.counter st.obs ~pid:Obs.Sink.engine_pid ~tid:0 ~ts "engine"
+    ([
+       ("inflight_bytes", float_of_int st.n_inflight_bytes);
+       ("events", float_of_int st.n_events);
+       ("messages", float_of_int st.n_msgs);
+       ("unexpected_total", float_of_int st.n_unexpected);
+       ("flow_stalls", float_of_int st.n_stalls);
+     ]
+    @ fault_series)
 
 let comm_of st cid =
   match Hashtbl.find_opt st.comms cid with
@@ -309,6 +365,7 @@ let transmit st (m : Mq.msg) ~depart ~attempt =
           let lat_f, _, jitter = wire_fault st ~depart in
           depart +. (st.net.latency *. lat_f) +. jitter
     in
+    st.n_inflight_bytes <- st.n_inflight_bytes + m.m_bytes;
     schedule st ~time:arrival (E_deliver { m with m_arrival = arrival })
   end
 
@@ -380,6 +437,7 @@ let recv_status st (m : Mq.msg) : Call.status =
 
 (* A message has physically arrived at its destination. *)
 let deliver st (m : Mq.msg) =
+  st.n_inflight_bytes <- st.n_inflight_bytes - m.m_bytes;
   let d = st.ranks.(m.m_dst) in
   let ta = m.m_arrival in
   match Mq.Posted.take d.rs_posted ~src:m.m_src ~tag:m.m_tag ~comm:m.m_comm with
@@ -683,7 +741,12 @@ let finish_collective st key (c : coll_state) =
   in
   List.iter
     (fun (w, _, _) -> schedule st ~time:done_at (E_resume (w, value_for w)))
-    c.c_arrivals
+    c.c_arrivals;
+  let participants =
+    Array.of_list (List.rev_map (fun (w, _, _) -> w) c.c_arrivals)
+  in
+  fire_collective_complete st ~time:done_at ~comm:(fst key) ~name:c.c_name
+    ~participants
 
 let do_collective st rank (call : Call.t) =
   let comm = call.comm in
@@ -750,8 +813,14 @@ let handle_call st rank (call : Call.t) (k : fiber) =
 (* Run loop                                                            *)
 
 let run ?(hooks = []) ?(net = Netmodel.bluegene_l) ?fault ?max_events
-    ?max_virtual_time ?(matcher : Matchq.impl = `Indexed) ~nranks program =
+    ?max_virtual_time ?(matcher : Matchq.impl = `Indexed)
+    ?(obs = Obs.Sink.nil) ?(obs_sample_every = 256) ~nranks program =
   if nranks < 1 then raise (Mpi_error "run: nranks must be >= 1");
+  if obs_sample_every < 1 then
+    raise (Mpi_error "run: obs_sample_every must be >= 1");
+  (* With a live sink, transport incidents and collective completions are
+     observed through the standard hook mechanism. *)
+  let hooks = if obs.Obs.Sink.enabled then hooks @ [ Hooks.observer obs ] else hooks in
   (match max_events with
   | Some m when m <= 0 -> raise (Mpi_error "run: max_events must be positive")
   | _ -> ());
@@ -792,12 +861,15 @@ let run ?(hooks = []) ?(net = Netmodel.bluegene_l) ?fault ?max_events
       fault;
       max_events;
       max_virtual_time;
+      obs;
+      obs_sample_every;
       now = 0.;
       n_events = 0;
       n_msgs = 0;
       n_bytes = 0;
       n_unexpected = 0;
       n_stalls = 0;
+      n_inflight_bytes = 0;
     }
   in
   Hashtbl.replace st.comms 0 world;
@@ -875,9 +947,12 @@ let run ?(hooks = []) ?(net = Netmodel.bluegene_l) ?fault ?max_events
         | E_resume (rank, v) -> resume rank v
         | E_deliver m -> deliver st m
         | E_retransmit (m, attempt) -> transmit st m ~depart:t ~attempt);
+        if st.obs.Obs.Sink.enabled && st.n_events mod st.obs_sample_every = 0
+        then obs_sample st;
         loop ()
   in
   loop ();
+  if st.obs.Obs.Sink.enabled then obs_sample st;
   let finish_times = Array.map (fun rs -> rs.rs_clock) st.ranks in
   let fstats =
     match st.fault with

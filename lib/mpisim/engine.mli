@@ -61,7 +61,18 @@ type outcome = {
     @param matcher message-matching implementation (default [`Indexed],
       the hash-indexed O(1) matcher; [`Reference] is the original list
       scan, kept as the semantic oracle for differential tests and perf
-      baselines — see {!Matchq}). *)
+      baselines — see {!Matchq}).
+    @param obs observability sink (default {!Obs.Sink.nil}).  With an
+      enabled sink the engine emits per-rank queue-depth counter samples
+      (posted / unexpected / parked depths, matcher bucket and raw deque
+      lengths, buffered bytes), an engine-wide counter track (bytes in
+      flight, event / message / stall totals, fault counters), and — via
+      an automatically appended {!Hooks.observer} — fault and
+      collective-completion instants.  All timestamps are virtual
+      microseconds, so sampled traces are deterministic.  With the [nil]
+      sink every observation point is a single flag test.
+    @param obs_sample_every emit queue-depth samples every this many
+      discrete events (default 256; must be >= 1). *)
 val run :
   ?hooks:Hooks.t list ->
   ?net:Netmodel.t ->
@@ -69,6 +80,8 @@ val run :
   ?max_events:int ->
   ?max_virtual_time:float ->
   ?matcher:Matchq.impl ->
+  ?obs:Obs.Sink.t ->
+  ?obs_sample_every:int ->
   nranks:int ->
   (ctx -> unit) ->
   outcome

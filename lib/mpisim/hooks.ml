@@ -6,6 +6,8 @@ type t = {
   on_enter : world_rank:int -> time:float -> Call.t -> unit;
   on_return : world_rank:int -> time:float -> Call.t -> Call.value -> unit;
   on_fault : time:float -> fault_event -> unit;
+  on_collective_complete :
+    time:float -> comm:int -> name:string -> participants:int array -> unit;
 }
 
 let nil =
@@ -13,4 +15,63 @@ let nil =
     on_enter = (fun ~world_rank:_ ~time:_ _ -> ());
     on_return = (fun ~world_rank:_ ~time:_ _ _ -> ());
     on_fault = (fun ~time:_ _ -> ());
+    on_collective_complete =
+      (fun ~time:_ ~comm:_ ~name:_ ~participants:_ -> ());
   }
+
+let compose a b =
+  {
+    on_enter =
+      (fun ~world_rank ~time call ->
+        a.on_enter ~world_rank ~time call;
+        b.on_enter ~world_rank ~time call);
+    on_return =
+      (fun ~world_rank ~time call v ->
+        a.on_return ~world_rank ~time call v;
+        b.on_return ~world_rank ~time call v);
+    on_fault =
+      (fun ~time ev ->
+        a.on_fault ~time ev;
+        b.on_fault ~time ev);
+    on_collective_complete =
+      (fun ~time ~comm ~name ~participants ->
+        a.on_collective_complete ~time ~comm ~name ~participants;
+        b.on_collective_complete ~time ~comm ~name ~participants);
+  }
+
+(* Engine virtual time is seconds; trace timestamps are microseconds. *)
+let usecs t = t *. 1e6
+
+let observer (sink : Obs.Sink.t) =
+  if not sink.enabled then nil
+  else
+    {
+      nil with
+      on_fault =
+        (fun ~time ev ->
+          let name, src, dst, bytes, attempt =
+            match ev with
+            | F_drop { src; dst; bytes; attempt } ->
+                ("fault.drop", src, dst, bytes, attempt)
+            | F_retransmit { src; dst; bytes; attempt } ->
+                ("fault.retransmit", src, dst, bytes, attempt)
+          in
+          Obs.Sink.instant sink ~pid:Obs.Sink.engine_pid ~tid:src ~cat:"fault"
+            ~args:
+              [
+                ("dst", Obs.Sink.A_int dst);
+                ("bytes", Obs.Sink.A_int bytes);
+                ("attempt", Obs.Sink.A_int attempt);
+              ]
+            ~ts:(usecs time) name);
+      on_collective_complete =
+        (fun ~time ~comm ~name ~participants ->
+          Obs.Sink.instant sink ~pid:Obs.Sink.engine_pid ~tid:0
+            ~cat:"collective"
+            ~args:
+              [
+                ("comm", Obs.Sink.A_int comm);
+                ("participants", Obs.Sink.A_int (Array.length participants));
+              ]
+            ~ts:(usecs time) ("collective." ^ name));
+    }

@@ -142,6 +142,14 @@ module Unexpected = struct
             ix.live <- ix.live - 1;
             compact ix;
             Some c.msg)
+
+  let bucket_count = function
+    | Indexed ix -> Hashtbl.length ix.buckets
+    | Reference _ -> 0
+
+  let raw_length = function
+    | Indexed ix -> Util.Deque.length ix.order
+    | Reference l -> List.length !l
 end
 
 (* ------------------------------------------------------------------ *)
@@ -240,4 +248,8 @@ module Posted = struct
             && match p.p_tag with None -> true | Some t' -> t' = tag)
           !l
     | Indexed ix -> best_bucket ix ~src ~tag ~comm <> None
+
+  let bucket_count = function
+    | Indexed ix -> Hashtbl.length ix.buckets
+    | Reference _ -> 0
 end

@@ -58,6 +58,15 @@ module Unexpected : sig
   (** [take t p] — remove and return the earliest-arriving message
       matching [p], if any. *)
   val take : t -> posted -> msg option
+
+  (** Observability depths.  [bucket_count] is the number of allocated
+      (src, tag, comm) index buckets ([0] for [`Reference], which has no
+      index); [raw_length] is the master arrival deque's physical length
+      including dead cells — [raw_length t - length t] measures garbage
+      awaiting compaction. *)
+  val bucket_count : t -> int
+
+  val raw_length : t -> int
 end
 
 (** Posted-receive queue: receives waiting for their message, consumed in
@@ -75,4 +84,8 @@ module Posted : sig
 
   (** Non-destructive: would [take] succeed? *)
   val mem : t -> src:int -> tag:int -> comm:int -> bool
+
+  (** Allocated pattern-shape buckets in the index; [0] for
+      [`Reference]. *)
+  val bucket_count : t -> int
 end

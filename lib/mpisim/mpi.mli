@@ -21,6 +21,8 @@ val run :
   ?max_events:int ->
   ?max_virtual_time:float ->
   ?matcher:Matchq.impl ->
+  ?obs:Obs.Sink.t ->
+  ?obs_sample_every:int ->
   nranks:int ->
   (ctx -> unit) ->
   Engine.outcome

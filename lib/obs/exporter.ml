@@ -1,0 +1,193 @@
+type recorder = { mutable rev_events : Sink.event list; mutable count : int }
+
+let recorder () = { rev_events = []; count = 0 }
+
+let sink r : Sink.t =
+  {
+    enabled = true;
+    emit =
+      (fun ev ->
+        r.rev_events <- ev :: r.rev_events;
+        r.count <- r.count + 1);
+  }
+
+let events r = List.rev r.rev_events
+let event_count r = r.count
+
+let arg_json : Sink.arg -> Json.t = function
+  | Sink.A_str s -> Json.Str s
+  | Sink.A_int i -> Json.Num (float_of_int i)
+  | Sink.A_float f -> Json.Num f
+
+let args_json args = Json.Obj (List.map (fun (k, a) -> (k, arg_json a)) args)
+
+let base ~ph ~pid ~tid ~name ~ts =
+  [
+    ("name", Json.Str name);
+    ("ph", Json.Str ph);
+    ("pid", Json.Num (float_of_int pid));
+    ("tid", Json.Num (float_of_int tid));
+    ("ts", Json.Num ts);
+  ]
+
+let with_cat cat fields =
+  if cat = "" then fields else fields @ [ ("cat", Json.Str cat) ]
+
+let with_args args fields =
+  if args = [] then fields else fields @ [ ("args", args_json args) ]
+
+let event_json : Sink.event -> Json.t = function
+  | Sink.Span_begin { pid; tid; name; cat; ts; args } ->
+      Json.Obj (base ~ph:"B" ~pid ~tid ~name ~ts |> with_cat cat |> with_args args)
+  | Sink.Span_end { pid; tid; name; ts } ->
+      Json.Obj (base ~ph:"E" ~pid ~tid ~name ~ts)
+  | Sink.Instant { pid; tid; name; cat; ts; args } ->
+      Json.Obj
+        (base ~ph:"i" ~pid ~tid ~name ~ts
+        |> with_cat cat |> with_args args
+        |> fun fs -> fs @ [ ("s", Json.Str "t") ])
+  | Sink.Counter { pid; tid; name; ts; series } ->
+      Json.Obj
+        (base ~ph:"C" ~pid ~tid ~name ~ts
+        @ [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) series)) ])
+
+let pid_name pid =
+  if pid = Sink.pipeline_pid then "pipeline"
+  else if pid = Sink.engine_pid then "engine"
+  else "pid " ^ string_of_int pid
+
+let metadata_events evs =
+  let seen = Hashtbl.create 4 in
+  let pids =
+    List.filter_map
+      (fun (ev : Sink.event) ->
+        let pid =
+          match ev with
+          | Sink.Span_begin { pid; _ }
+          | Sink.Span_end { pid; _ }
+          | Sink.Instant { pid; _ }
+          | Sink.Counter { pid; _ } ->
+              pid
+        in
+        if Hashtbl.mem seen pid then None
+        else begin
+          Hashtbl.replace seen pid ();
+          Some pid
+        end)
+      evs
+  in
+  List.map
+    (fun pid ->
+      Json.Obj
+        [
+          ("name", Json.Str "process_name");
+          ("ph", Json.Str "M");
+          ("pid", Json.Num (float_of_int pid));
+          ("tid", Json.Num 0.);
+          ("args", Json.Obj [ ("name", Json.Str (pid_name pid)) ]);
+        ])
+    (List.sort compare pids)
+
+let to_chrome r =
+  let evs = events r in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (metadata_events evs @ List.map event_json evs));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let to_chrome_string r = Json.to_string (to_chrome r)
+
+let validate_chrome j =
+  let ( let* ) = Result.bind in
+  let* evs =
+    match Json.member "traceEvents" j with
+    | Some (Json.Arr evs) -> Ok evs
+    | Some _ -> Error "traceEvents is not an array"
+    | None -> Error "missing traceEvents"
+  in
+  (* Per-(pid,tid) stack of open B spans; E must match the innermost. *)
+  let stacks : (int * int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack key =
+    match Hashtbl.find_opt stacks key with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.replace stacks key s;
+        s
+  in
+  let str k ev =
+    match Json.member k ev with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "event missing string %S" k)
+  in
+  let num k ev =
+    match Json.member k ev with
+    | Some (Json.Num f) -> Ok f
+    | _ -> Error (Printf.sprintf "event missing number %S" k)
+  in
+  let check ev =
+    let* ph = str "ph" ev in
+    let* name = str "name" ev in
+    let* pid = num "pid" ev in
+    let* tid = num "tid" ev in
+    if ph = "M" then Ok ()
+    else
+      let* _ts = num "ts" ev in
+      let key = (int_of_float pid, int_of_float tid) in
+      match ph with
+      | "B" ->
+          let s = stack key in
+          s := name :: !s;
+          Ok ()
+      | "E" -> (
+          let s = stack key in
+          match !s with
+          | top :: rest when top = name ->
+              s := rest;
+              Ok ()
+          | top :: _ ->
+              Error
+                (Printf.sprintf "E %S does not close innermost span %S" name top)
+          | [] -> Error (Printf.sprintf "E %S with no open span" name))
+      | "i" | "C" -> Ok ()
+      | _ -> Error (Printf.sprintf "unknown phase %S" ph)
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | ev :: rest ->
+        let* () = check ev in
+        go rest
+  in
+  let* () = go evs in
+  Hashtbl.fold
+    (fun (pid, tid) s acc ->
+      let* () = acc in
+      match !s with
+      | [] -> Ok ()
+      | top :: _ ->
+          Error
+            (Printf.sprintf "unclosed span %S on pid %d tid %d" top pid tid))
+    stacks (Ok ())
+
+let validate_chrome_string s =
+  match Json.parse s with
+  | j -> validate_chrome j
+  | exception Json.Parse_error msg -> Error ("parse error: " ^ msg)
+
+let span_names j =
+  match Json.member "traceEvents" j with
+  | Some (Json.Arr evs) ->
+      let seen = Hashtbl.create 8 in
+      List.filter_map
+        (fun ev ->
+          match (Json.member "ph" ev, Json.member "name" ev) with
+          | Some (Json.Str "B"), Some (Json.Str name) ->
+              if Hashtbl.mem seen name then None
+              else begin
+                Hashtbl.replace seen name ();
+                Some name
+              end
+          | _ -> None)
+        evs
+  | _ -> []

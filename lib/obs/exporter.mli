@@ -1,0 +1,42 @@
+(** Turning recorded event streams into artifacts.
+
+    A {!recorder} buffers {!Sink.event}s in emission order;
+    {!to_chrome_string} renders them as Chrome trace-event JSON (the
+    format Perfetto and [chrome://tracing] load), and
+    {!validate_chrome_string} re-parses such output and checks its
+    structural invariants — used by the dune smoke test against real CLI
+    output. *)
+
+type recorder
+
+val recorder : unit -> recorder
+
+(** An enabled sink that appends into the recorder. *)
+val sink : recorder -> Sink.t
+
+val events : recorder -> Sink.event list
+val event_count : recorder -> int
+
+(** Chrome trace-event document:
+    [{"traceEvents":[...],"displayTimeUnit":"ms"}].  Emits one
+    [ph:"M"] [process_name] metadata event per pid present (pipeline /
+    engine / pid N), then the buffered events in order as [ph]
+    ["B"]/["E"]/["i"]/["C"].  Purely a function of the recorded stream,
+    so same-seed runs serialize byte-identically. *)
+val to_chrome : recorder -> Json.t
+
+val to_chrome_string : recorder -> string
+
+(** Structural validation of a Chrome trace document: top-level object
+    with a [traceEvents] array; every event has string [ph]+[name] and
+    numeric [pid]/[tid]/[ts] (metadata events excepted for [ts]); every
+    ["B"] is closed by a matching ["E"] on the same (pid, tid), properly
+    nested.  Returns [Error msg] instead of raising. *)
+val validate_chrome : Json.t -> (unit, string) result
+
+(** Parses then validates. [Error] covers parse failures too. *)
+val validate_chrome_string : string -> (unit, string) result
+
+(** Distinct [name]s of ["B"] span events in a parsed trace, in first-seen
+    order — lets checks assert that every pipeline stage opened a span. *)
+val span_names : Json.t -> string list

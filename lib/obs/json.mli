@@ -1,0 +1,33 @@
+(** A minimal JSON value: enough to emit the observability artifacts
+    (Chrome trace, metrics JSONL) deterministically and to re-parse them
+    in self-checks.  No external JSON library exists in the tree; every
+    exporter and validator shares this one implementation. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** Deterministic compact rendering: object members keep their list
+    order, numbers print as integers when exactly integral (see
+    {!num_to_string}), strings are escaped per RFC 8259. *)
+val to_string : t -> string
+
+val to_buffer : Buffer.t -> t -> unit
+
+(** Integral values in (-1e15, 1e15) render with no fraction or exponent;
+    everything else uses ["%.6g"].  The mapping is a pure function of the
+    double, so identical runs serialize byte-identically. *)
+val num_to_string : float -> string
+
+(** @raise Parse_error on malformed input (with an offset). *)
+val parse : string -> t
+
+(** [member k j] — field [k] of object [j]; [None] when absent or [j] is
+    not an object. *)
+val member : string -> t -> t option

@@ -1,0 +1,127 @@
+type instrument =
+  | Counter of int ref
+  | Gauge of float ref
+  | Histogram of Util.Histogram.t
+
+(* Key: metric name + label set sorted by label key, so label order at the
+   call site doesn't split an instrument in two. *)
+type key = string * (string * string) list
+
+type t = (key, instrument) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let key name labels : key =
+  (name, List.sort (fun (a, _) (b, _) -> String.compare a b) labels)
+
+let find_or_add t k mk =
+  match Hashtbl.find_opt t k with
+  | Some i -> i
+  | None ->
+      let i = mk () in
+      Hashtbl.replace t k i;
+      i
+
+let inc t ?(labels = []) ?(by = 1) name =
+  match find_or_add t (key name labels) (fun () -> Counter (ref 0)) with
+  | Counter r -> r := !r + by
+  | _ -> invalid_arg ("Obs.Metrics.inc: " ^ name ^ " is not a counter")
+
+let set t ?(labels = []) name v =
+  match find_or_add t (key name labels) (fun () -> Gauge (ref 0.)) with
+  | Gauge r -> r := v
+  | _ -> invalid_arg ("Obs.Metrics.set: " ^ name ^ " is not a gauge")
+
+let observe t ?(labels = []) name x =
+  match
+    find_or_add t (key name labels) (fun () ->
+        Histogram (Util.Histogram.create ()))
+  with
+  | Histogram h -> Util.Histogram.add h x
+  | _ -> invalid_arg ("Obs.Metrics.observe: " ^ name ^ " is not a histogram")
+
+let counter_value t ?(labels = []) name =
+  match Hashtbl.find_opt t (key name labels) with
+  | Some (Counter r) -> Some !r
+  | _ -> None
+
+let gauge_value t ?(labels = []) name =
+  match Hashtbl.find_opt t (key name labels) with
+  | Some (Gauge r) -> Some !r
+  | _ -> None
+
+let histogram_stats t ?(labels = []) name =
+  match Hashtbl.find_opt t (key name labels) with
+  | Some (Histogram h) ->
+      let open Util.Histogram in
+      Some (count h, sum h, min_value h, max_value h, mean h)
+  | _ -> None
+
+let merge_into dst src =
+  Hashtbl.iter
+    (fun k i ->
+      match (i, Hashtbl.find_opt dst k) with
+      | Counter r, Some (Counter r') -> r' := !r' + !r
+      | Counter r, None -> Hashtbl.replace dst k (Counter (ref !r))
+      | Gauge r, (Some (Gauge _) | None) -> Hashtbl.replace dst k (Gauge (ref !r))
+      | Histogram h, Some (Histogram h') -> Util.Histogram.merge_into h' h
+      | Histogram h, None ->
+          Hashtbl.replace dst k (Histogram (Util.Histogram.copy h))
+      | _, Some _ ->
+          invalid_arg "Obs.Metrics.merge_into: instrument kind mismatch")
+    src
+
+let compare_key ((n1, l1) : key) ((n2, l2) : key) =
+  match String.compare n1 n2 with 0 -> compare l1 l2 | c -> c
+
+let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let line_json (name, labels) instrument =
+  let base = [ ("name", Json.Str name); ("labels", labels_json labels) ] in
+  let rest =
+    match instrument with
+    | Counter r ->
+        [ ("type", Json.Str "counter"); ("value", Json.Num (float_of_int !r)) ]
+    | Gauge r -> [ ("type", Json.Str "gauge"); ("value", Json.Num !r) ]
+    | Histogram h ->
+        let open Util.Histogram in
+        [
+          ("type", Json.Str "histogram");
+          ("count", Json.Num (float_of_int (count h)));
+          ("sum", Json.Num (sum h));
+          ("min", Json.Num (min_value h));
+          ("max", Json.Num (max_value h));
+          ("mean", Json.Num (mean h));
+        ]
+  in
+  Json.Obj (base @ rest)
+
+let to_jsonl t =
+  let entries = Hashtbl.fold (fun k i acc -> (k, i) :: acc) t [] in
+  let entries = List.sort (fun (k1, _) (k2, _) -> compare_key k1 k2) entries in
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (k, i) ->
+      Json.to_buffer b (line_json k i);
+      Buffer.add_char b '\n')
+    entries;
+  Buffer.contents b
+
+let line_of_string line =
+  let j = Json.parse line in
+  let name =
+    match Json.member "name" j with
+    | Some (Json.Str s) -> s
+    | _ -> raise (Json.Parse_error "metrics line: missing name")
+  in
+  let labels =
+    match Json.member "labels" j with
+    | Some (Json.Obj kvs) ->
+        List.map
+          (function
+            | k, Json.Str v -> (k, v)
+            | _ -> raise (Json.Parse_error "metrics line: non-string label"))
+          kvs
+    | _ -> raise (Json.Parse_error "metrics line: missing labels")
+  in
+  (name, labels, j)

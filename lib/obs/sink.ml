@@ -1,0 +1,57 @@
+type arg = A_str of string | A_int of int | A_float of float
+
+type event =
+  | Span_begin of {
+      pid : int;
+      tid : int;
+      name : string;
+      cat : string;
+      ts : float;
+      args : (string * arg) list;
+    }
+  | Span_end of { pid : int; tid : int; name : string; ts : float }
+  | Instant of {
+      pid : int;
+      tid : int;
+      name : string;
+      cat : string;
+      ts : float;
+      args : (string * arg) list;
+    }
+  | Counter of {
+      pid : int;
+      tid : int;
+      name : string;
+      ts : float;
+      series : (string * float) list;
+    }
+
+type t = { enabled : bool; emit : event -> unit }
+
+let nil = { enabled = false; emit = ignore }
+let pipeline_pid = 1
+let engine_pid = 2
+
+let tee a b =
+  if not a.enabled then b
+  else if not b.enabled then a
+  else
+    {
+      enabled = true;
+      emit =
+        (fun ev ->
+          a.emit ev;
+          b.emit ev);
+    }
+
+let span_begin t ~pid ~tid ?(cat = "") ?(args = []) ~ts name =
+  if t.enabled then t.emit (Span_begin { pid; tid; name; cat; ts; args })
+
+let span_end t ~pid ~tid ~ts name =
+  if t.enabled then t.emit (Span_end { pid; tid; name; ts })
+
+let instant t ~pid ~tid ?(cat = "") ?(args = []) ~ts name =
+  if t.enabled then t.emit (Instant { pid; tid; name; cat; ts; args })
+
+let counter t ~pid ~tid ~ts name series =
+  if t.enabled then t.emit (Counter { pid; tid; name; ts; series })

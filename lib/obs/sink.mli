@@ -1,0 +1,77 @@
+(** The observability event stream.
+
+    Every instrumented layer — the pipeline stages in {!Benchgen}, the
+    discrete-event engine, the {!Mpisim.Hooks.observer} interposition
+    client — pushes {!event}s into a {!t}.  A sink is a plain record of a
+    flag plus an emit function; the {!nil} sink is disabled, and hot
+    paths guard on {!field-enabled} so an uninstrumented run pays a single
+    branch per candidate observation point.
+
+    Timestamps ([ts]) are microseconds on a *deterministic* timeline:
+    engine events carry virtual time, pipeline-stage spans carry a
+    monotonic tick clock.  No wall-clock value ever enters the stream, so
+    two runs with the same seed emit byte-identical traces. *)
+
+(** Argument payload attached to spans and instants. *)
+type arg = A_str of string | A_int of int | A_float of float
+
+(** Events mirror the Chrome trace-event phases the exporter targets:
+    [B]/[E] duration spans, [i] instants, and [C] counters (a counter
+    event carries one or more named series sampled at [ts]).  [pid]/[tid]
+    address a track; see {!pipeline_pid} / {!engine_pid}. *)
+type event =
+  | Span_begin of {
+      pid : int;
+      tid : int;
+      name : string;
+      cat : string;
+      ts : float;
+      args : (string * arg) list;
+    }
+  | Span_end of { pid : int; tid : int; name : string; ts : float }
+  | Instant of {
+      pid : int;
+      tid : int;
+      name : string;
+      cat : string;
+      ts : float;
+      args : (string * arg) list;
+    }
+  | Counter of {
+      pid : int;
+      tid : int;
+      name : string;
+      ts : float;
+      series : (string * float) list;
+    }
+
+type t = { enabled : bool; emit : event -> unit }
+
+(** Disabled sink: [emit] is [ignore] and [enabled] is [false], so guarded
+    call sites compile to a load and a branch. *)
+val nil : t
+
+(** Conventional track ids: pipeline-stage spans live on [pid]
+    {!pipeline_pid} (tid 0); per-rank engine samples live on [pid]
+    {!engine_pid} with [tid] = world rank. *)
+
+val pipeline_pid : int
+val engine_pid : int
+
+(** [tee a b] forwards every event to both sinks; enabled iff either is. *)
+val tee : t -> t -> t
+
+(** Emission helpers; each is a no-op on a disabled sink. *)
+
+val span_begin :
+  t -> pid:int -> tid:int -> ?cat:string -> ?args:(string * arg) list ->
+  ts:float -> string -> unit
+
+val span_end : t -> pid:int -> tid:int -> ts:float -> string -> unit
+
+val instant :
+  t -> pid:int -> tid:int -> ?cat:string -> ?args:(string * arg) list ->
+  ts:float -> string -> unit
+
+val counter :
+  t -> pid:int -> tid:int -> ts:float -> string -> (string * float) list -> unit

@@ -19,7 +19,7 @@ let uniform_vec ~p ~total =
 type compute_mode = Mean | Draw of int
 
 let run ?(net = Mpisim.Netmodel.bluegene_l) ?(hooks = []) ?fault ?max_events
-    ?max_virtual_time ?(compute_scale = 1.0) ?(compute = Mean) trace =
+    ?max_virtual_time ?obs ?(compute_scale = 1.0) ?(compute = Mean) trace =
   let nranks = Trace.nranks trace in
   let comm_table = List.filter (fun (id, _) -> id <> 0) (Trace.comms trace) in
   (* leaf index by physical identity (iter_leaves order) *)
@@ -193,7 +193,7 @@ let run ?(net = Mpisim.Netmodel.bluegene_l) ?(hooks = []) ?fault ?max_events
     walk (Trace.project trace ~rank:r)
   in
   let outcome =
-    Mpisim.Mpi.run ~hooks ~net ?fault ?max_events ?max_virtual_time ~nranks
+    Mpisim.Mpi.run ~hooks ~net ?fault ?max_events ?max_virtual_time ?obs ~nranks
       program
   in
   let wildcard_matches =

@@ -32,13 +32,15 @@ type compute_mode = Mean | Draw of int
     @param compute reconstruction mode (default [Mean])
     @param fault seeded fault-injection plan forwarded to the simulator
     @param max_events / max_virtual_time watchdog budgets forwarded to the
-      simulator (a wedged replay raises {!Mpisim.Engine.Stalled}) *)
+      simulator (a wedged replay raises {!Mpisim.Engine.Stalled})
+    @param obs observability sink forwarded to the simulator *)
 val run :
   ?net:Mpisim.Netmodel.t ->
   ?hooks:Mpisim.Hooks.t list ->
   ?fault:Mpisim.Fault.t ->
   ?max_events:int ->
   ?max_virtual_time:float ->
+  ?obs:Obs.Sink.t ->
   ?compute_scale:float ->
   ?compute:compute_mode ->
   Scalatrace.Trace.t ->

@@ -47,11 +47,11 @@ let finish t =
   let comms = List.sort compare t.comms in
   Merge.merge ~nranks:t.nranks ~comms locals
 
-let trace_run ?window ?net ?fault ?max_events ?max_virtual_time
+let trace_run ?window ?net ?fault ?max_events ?max_virtual_time ?obs
     ?(extra_hooks = []) ~nranks program =
   let t = create ?window ~nranks () in
   let outcome =
     Mpisim.Mpi.run ~hooks:(hook t :: extra_hooks) ?net ?fault ?max_events
-      ?max_virtual_time ~nranks program
+      ?max_virtual_time ?obs ~nranks program
   in
   (finish t, outcome)

@@ -32,6 +32,7 @@ val trace_run :
   ?fault:Mpisim.Fault.t ->
   ?max_events:int ->
   ?max_virtual_time:float ->
+  ?obs:Obs.Sink.t ->
   ?extra_hooks:Mpisim.Hooks.t list ->
   nranks:int ->
   (Mpisim.Mpi.ctx -> unit) ->

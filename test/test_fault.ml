@@ -1,3 +1,8 @@
+(* Deliberately exercises the deprecated Benchgen wrappers: they must
+   keep behaving exactly like Pipeline.run until they are removed (the
+   differential check lives in test_obs.ml). *)
+[@@@alert "-deprecated"]
+
 (* Fault injection, watchdog, and graceful-degradation tests. *)
 
 open Mpisim

@@ -1,3 +1,8 @@
+(* Deliberately exercises the deprecated Benchgen wrappers: they must
+   keep behaving exactly like Pipeline.run until they are removed (the
+   differential check lives in test_obs.ml). *)
+[@@@alert "-deprecated"]
+
 (* Pipeline fuzzing: random *correct* SPMD programs are pushed through
    trace -> align -> wildcard -> codegen -> parse -> run, and the result
    must terminate with exactly the original point-to-point statistics.

@@ -15,4 +15,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("trace_io", Test_trace_io.suite);
       ("timing", Test_timing.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,48 @@
+(* Smoke validator for CLI observability artifacts, driven from the dune
+   runtest rule: two same-seed `benchgen generate` runs must export
+   byte-identical Chrome traces covering every pipeline stage, and a
+   metrics JSONL dump in which every line re-parses.
+
+   Usage: validate_obs TRACE1 TRACE2 METRICS *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("validate_obs: " ^ msg); exit 1) fmt
+
+let () =
+  let trace1, trace2, metrics =
+    match Sys.argv with
+    | [| _; a; b; c |] -> (a, b, c)
+    | _ -> die "usage: validate_obs TRACE1 TRACE2 METRICS"
+  in
+  let t1 = read_file trace1 and t2 = read_file trace2 in
+  if t1 <> t2 then die "same-seed traces differ: %s vs %s" trace1 trace2;
+  (match Obs.Exporter.validate_chrome_string (String.trim t1) with
+  | Ok () -> ()
+  | Error msg -> die "%s: %s" trace1 msg);
+  let names = Obs.Exporter.span_names (Obs.Json.parse (String.trim t1)) in
+  List.iter
+    (fun stage ->
+      if not (List.mem stage names) then
+        die "%s: missing %S stage span (saw: %s)" trace1 stage
+          (String.concat ", " names))
+    [ "trace"; "align"; "wildcard"; "codegen" ];
+  let lines =
+    String.split_on_char '\n' (read_file metrics)
+    |> List.filter (fun l -> l <> "")
+  in
+  if lines = [] then die "%s: empty metrics dump" metrics;
+  List.iter
+    (fun line ->
+      match Obs.Metrics.line_of_string line with
+      | _ -> ()
+      | exception Obs.Json.Parse_error msg ->
+          die "%s: bad line %S: %s" metrics line msg)
+    lines;
+  Printf.printf
+    "validate_obs: OK (%d trace bytes, stages %s, %d metric lines)\n"
+    (String.length t1) (String.concat "," names) (List.length lines)
