@@ -23,6 +23,7 @@ let exit_stalled = 7 (* watchdog budget / retransmission budget hit *)
 let exit_mpi = 8 (* MPI semantic error during simulation *)
 let exit_io = 9 (* file-system failure *)
 let exit_codegen = 10 (* generated/benchmark code failed to parse or lower *)
+let exit_fuzz_violation = 11 (* fuzz campaign found a fidelity violation *)
 
 let fail code msg =
   Printf.eprintf "benchgen: %s\n%!" msg;
@@ -34,6 +35,7 @@ let code_of_gen_error = function
   | Benchgen.E_wildcard _ -> exit_mpi
   | Benchgen.E_trace_format _ -> exit_trace_format
   | Benchgen.E_io _ -> exit_io
+  | Benchgen.E_codegen _ -> exit_codegen
 
 let guarded f =
   try f () with
@@ -654,10 +656,141 @@ let extrapolate_cmd =
   Cmd.v (Cmd.info "extrapolate" ~doc)
     Term.(const run $ app_arg $ cls_arg $ net_arg $ from_arg $ target_arg $ out_arg)
 
+let fuzz_cmd =
+  let doc =
+    "Differential fuzzing: random SPMD programs through the full pipeline, \
+     checked against a semantic oracle."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Draws deadlock-free random programs (collectives from distinct call \
+         sites, ANY_SOURCE/any-tag receives with unique matchings, split \
+         communicators, every Table 1 collective), runs each through the \
+         pipeline, and compares the original run, the resolved trace's \
+         replay, and the generated benchmark on per-channel message \
+         counts/bytes/order and collective participant sets.  Violations \
+         are minimized by a deterministic shrinker and written to --out as \
+         replayable .prog files.  Exit status is 11 when any violation was \
+         found.";
+    ]
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "seeds" ] ~docv:"N" ~doc:"Number of consecutive seeds to run.")
+  in
+  let seed_start_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed-start" ] ~docv:"SEED" ~doc:"First seed (inclusive).")
+  in
+  let defect_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "defect" ] ~docv:"DEFECT"
+          ~doc:
+            "Deliberately break the pipeline under test (self-test of the \
+             oracle): skip-wildcard, scale-bytes[:K], or drop-tail.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "Write minimized counterexamples to $(docv)/cx-<seed>.prog (plus \
+             a latest.prog alias).")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "time-budget" ] ~docv:"SECONDS"
+          ~doc:"Stop starting new cases after $(docv) seconds of CPU time.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Instead of a campaign, re-check one saved .prog file (a \
+             counterexample or corpus entry).  A defect recorded in the file \
+             is honored unless --defect overrides it.")
+  in
+  let parse_defect s =
+    match Pipeline.defect_of_string s with
+    | Ok d -> d
+    | Error m -> fail exit_invalid m
+  in
+  let run seeds seed_start defect out budget replay obs =
+    guarded @@ fun () ->
+    let defect = Option.map parse_defect defect in
+    let sink, finish = obs_setup obs in
+    match replay with
+    | Some path -> (
+        match Check.Corpus.of_string (Check.Corpus.load ~path) with
+        | Error m -> fail exit_invalid (path ^ ": " ^ m)
+        | Ok (prog, meta) -> (
+            let defect =
+              match (defect, meta.Check.Corpus.defect) with
+              | (Some _ as d), _ -> d
+              | None, Some s -> Some (parse_defect s)
+              | None, None -> None
+            in
+            match Check.Oracle.check ?defect prog with
+            | Ok st ->
+                Printf.printf
+                  "replay %s: PASS (%d messages on %d channels, %d \
+                   collectives)\n"
+                  path st.Check.Oracle.s_messages st.Check.Oracle.s_channels
+                  st.Check.Oracle.s_collectives;
+                finish None
+            | Error v ->
+                Printf.printf "replay %s: VIOLATION: %s\n" path
+                  (Check.Oracle.to_string v);
+                finish None;
+                exit exit_fuzz_violation))
+    | None ->
+        let cfg =
+          {
+            Check.Campaign.default with
+            seed_start;
+            seeds;
+            defect;
+            out_dir = out;
+            time_budget_s = budget;
+            sink;
+            log = (fun m -> Printf.eprintf "benchgen: fuzz: %s\n%!" m);
+          }
+        in
+        let s = Check.Campaign.run cfg in
+        Printf.printf "fuzz: %d cases, %d passed, %d violations, %d skipped\n"
+          s.Check.Campaign.cases s.Check.Campaign.passed
+          (List.length s.Check.Campaign.counterexamples)
+          s.Check.Campaign.skipped;
+        List.iter
+          (fun (cx : Check.Campaign.counterexample) ->
+            Printf.printf "  seed %d: %s (%d phases%s)\n" cx.cx_seed
+              (Check.Oracle.to_string cx.cx_violation)
+              (List.length cx.cx_prog.Check.Gen.phases)
+              (match cx.cx_path with Some p -> "; " ^ p | None -> ""))
+          s.Check.Campaign.counterexamples;
+        finish (Some s.Check.Campaign.metrics);
+        if s.Check.Campaign.counterexamples <> [] then exit exit_fuzz_violation
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc ~man)
+    Term.(
+      const run $ seeds_arg $ seed_start_arg $ defect_arg $ out_arg
+      $ budget_arg $ replay_arg $ obs_term)
+
 let () =
   let doc = "automatic generation of executable communication specifications" in
   let info = Cmd.info "benchgen" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info [
           list_cmd; trace_cmd; generate_cmd; generate_from_trace_cmd; run_cmd;
-          replay_cmd; compare_cmd; extrapolate_cmd; stats_cmd;
+          replay_cmd; compare_cmd; extrapolate_cmd; stats_cmd; fuzz_cmd;
         ]))

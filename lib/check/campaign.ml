@@ -1,0 +1,154 @@
+type config = {
+  seed_start : int;
+  seeds : int;
+  defect : Benchgen.Pipeline.defect option;
+  out_dir : string option;
+  time_budget_s : float option;
+  max_shrink_steps : int;
+  sink : Obs.Sink.t;
+  log : string -> unit;
+}
+
+let default =
+  {
+    seed_start = 1;
+    seeds = 100;
+    defect = None;
+    out_dir = None;
+    time_budget_s = None;
+    max_shrink_steps = 500;
+    sink = Obs.Sink.nil;
+    log = ignore;
+  }
+
+type counterexample = {
+  cx_seed : int;
+  cx_violation : Oracle.violation;
+  cx_prog : Gen.prog;  (** minimized *)
+  cx_shrink_steps : int;
+  cx_path : string option;
+}
+
+type summary = {
+  cases : int;
+  passed : int;
+  skipped : int;  (** seeds not run: time budget exhausted *)
+  counterexamples : counterexample list;
+  metrics : Obs.Metrics.t;
+}
+
+let ensure_dir path = if not (Sys.file_exists path) then Sys.mkdir path 0o755
+
+let write_counterexample cfg ~seed ~violation prog =
+  match cfg.out_dir with
+  | None -> None
+  | Some dir ->
+      ensure_dir dir;
+      let meta =
+        {
+          Corpus.seed = Some seed;
+          defect = Option.map Benchgen.Pipeline.defect_to_string cfg.defect;
+          note = Some (Oracle.to_string violation);
+        }
+      in
+      let text = Corpus.to_string ~meta prog in
+      let path = Filename.concat dir (Printf.sprintf "cx-%d.prog" seed) in
+      Corpus.save ~path text;
+      (* stable alias to the most recent counterexample, for scripting *)
+      Corpus.save ~path:(Filename.concat dir "latest.prog") text;
+      Some path
+
+(* One seed: generate, check, shrink on failure. *)
+let run_case cfg metrics ~case_index seed =
+  let defect = cfg.defect in
+  let prog = Gen.generate ~seed in
+  let result = Oracle.check ?defect prog in
+  let emit name args =
+    Obs.Sink.instant cfg.sink ~pid:Obs.Sink.pipeline_pid ~tid:0 ~cat:"fuzz"
+      ~args ~ts:(float_of_int case_index) name
+  in
+  match result with
+  | Ok stats ->
+      Obs.Metrics.inc metrics ~labels:[ ("result", "pass") ] "fuzz.cases";
+      Obs.Metrics.inc metrics ~by:stats.Oracle.s_messages "fuzz.messages";
+      Obs.Metrics.inc metrics ~by:stats.Oracle.s_collectives "fuzz.collectives";
+      emit "fuzz.pass" [ ("seed", Obs.Sink.A_int seed) ];
+      None
+  | Error v0 ->
+      Obs.Metrics.inc metrics ~labels:[ ("result", "violation") ] "fuzz.cases";
+      Obs.Metrics.inc metrics
+        ~labels:[ ("kind", Oracle.kind v0) ]
+        "fuzz.violations";
+      cfg.log
+        (Printf.sprintf "seed %d: VIOLATION (%s); shrinking..." seed
+           (Oracle.to_string v0));
+      let still_fails p = Result.is_error (Oracle.check ?defect p) in
+      let minimized, steps =
+        Shrink.minimize ~max_steps:cfg.max_shrink_steps ~still_fails prog
+      in
+      (* the minimized program's own violation is the one worth reporting *)
+      let violation =
+        match Oracle.check ?defect minimized with Error v -> v | Ok _ -> v0
+      in
+      Obs.Metrics.inc metrics ~by:steps "fuzz.shrink_evals";
+      let path = write_counterexample cfg ~seed ~violation minimized in
+      emit "fuzz.violation"
+        [
+          ("seed", Obs.Sink.A_int seed);
+          ("kind", Obs.Sink.A_str (Oracle.kind violation));
+          ("phases", Obs.Sink.A_int (List.length minimized.Gen.phases));
+        ];
+      cfg.log
+        (Printf.sprintf "seed %d: minimized to %d phase(s) in %d evals%s" seed
+           (List.length minimized.Gen.phases)
+           steps
+           (match path with Some p -> "; wrote " ^ p | None -> ""));
+      Some
+        {
+          cx_seed = seed;
+          cx_violation = violation;
+          cx_prog = minimized;
+          cx_shrink_steps = steps;
+          cx_path = path;
+        }
+
+let run cfg =
+  let metrics = Obs.Metrics.create () in
+  let t0 = Sys.time () in
+  let over_budget () =
+    match cfg.time_budget_s with
+    | None -> false
+    | Some b -> Sys.time () -. t0 > b
+  in
+  let rec go i acc =
+    if i >= cfg.seeds then (i, acc)
+    else if over_budget () then begin
+      cfg.log
+        (Printf.sprintf "time budget exhausted after %d/%d seeds" i cfg.seeds);
+      (i, acc)
+    end
+    else
+      let seed = cfg.seed_start + i in
+      let acc =
+        match run_case cfg metrics ~case_index:i seed with
+        | None -> acc
+        | Some cx -> cx :: acc
+      in
+      go (i + 1) acc
+  in
+  let cases, cxs = go 0 [] in
+  let counterexamples = List.rev cxs in
+  let skipped = cfg.seeds - cases in
+  if skipped > 0 then
+    Obs.Metrics.inc metrics ~by:skipped
+      ~labels:[ ("result", "skipped") ]
+      "fuzz.cases";
+  Obs.Metrics.set metrics "fuzz.seed_start" (float_of_int cfg.seed_start);
+  Obs.Metrics.set metrics "fuzz.elapsed_s" (Sys.time () -. t0);
+  {
+    cases;
+    passed = cases - List.length counterexamples;
+    skipped;
+    counterexamples;
+    metrics;
+  }

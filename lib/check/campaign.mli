@@ -1,0 +1,47 @@
+(** Seeded fuzzing campaigns: drive {!Gen} → {!Oracle} → {!Shrink} over a
+    seed range, minimize and serialize every counterexample, and
+    aggregate a report into an {!Obs.Metrics.t} registry (dumpable as
+    JSONL) with per-case instants on the configured {!Obs.Sink.t}. *)
+
+type config = {
+  seed_start : int;  (** first seed (inclusive) *)
+  seeds : int;  (** number of consecutive seeds to run *)
+  defect : Benchgen.Pipeline.defect option;
+      (** deliberately break the pipeline under test *)
+  out_dir : string option;
+      (** where to write counterexamples ([cx-<seed>.prog] plus a
+          [latest.prog] alias); created if missing *)
+  time_budget_s : float option;
+      (** stop starting new cases after this much CPU time *)
+  max_shrink_steps : int;  (** oracle-evaluation budget per shrink *)
+  sink : Obs.Sink.t;  (** per-case instants (category ["fuzz"]) *)
+  log : string -> unit;  (** progress lines (violations, shrinking) *)
+}
+
+(** 100 seeds from 1, no defect, no output directory, no budget,
+    silent. *)
+val default : config
+
+type counterexample = {
+  cx_seed : int;
+  cx_violation : Oracle.violation;  (** the minimized program's violation *)
+  cx_prog : Gen.prog;  (** minimized *)
+  cx_shrink_steps : int;
+  cx_path : string option;  (** where it was written, if [out_dir] was set *)
+}
+
+type summary = {
+  cases : int;  (** seeds actually run *)
+  passed : int;
+  skipped : int;  (** seeds not run: time budget exhausted *)
+  counterexamples : counterexample list;
+  metrics : Obs.Metrics.t;
+      (** [fuzz.cases{result}], [fuzz.violations{kind}],
+          [fuzz.shrink_evals], [fuzz.messages], [fuzz.collectives],
+          [fuzz.elapsed_s] *)
+}
+
+(** Deterministic apart from [fuzz.elapsed_s] and time-budget cutoffs:
+    the same seed range and defect always yield the same counterexample
+    files. *)
+val run : config -> summary

@@ -1,0 +1,137 @@
+open Gen
+
+type meta = { seed : int option; defect : string option; note : string option }
+
+let no_meta = { seed = None; defect = None; note = None }
+
+let magic = "# benchgen-check program v1"
+
+(* One phase per line, space-separated positional fields.  The format is
+   deliberately dumb: diffable in review, byte-stable under re-serialization
+   (the shrinker-determinism test relies on that). *)
+let phase_to_line = function
+  | P_ring { offset; bytes } -> Printf.sprintf "phase ring %d %d" offset bytes
+  | P_pairwise { bytes } -> Printf.sprintf "phase pairwise %d" bytes
+  | P_fan_in { root; tag; bytes; any_tag } ->
+      Printf.sprintf "phase fan_in %d %d %d %d" root tag bytes
+        (if any_tag then 1 else 0)
+  | P_coll { op; root; bytes; skewed } ->
+      Printf.sprintf "phase coll %s %d %d %d" (coll_to_string op) root bytes
+        (if skewed then 1 else 0)
+  | P_sub_coll { parts; op; root; bytes } ->
+      Printf.sprintf "phase sub_coll %d %s %d %d" parts (coll_to_string op)
+        root bytes
+  | P_compute { usecs } -> Printf.sprintf "phase compute %d" usecs
+
+let to_string ?(meta = no_meta) (p : prog) =
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  line "%s" magic;
+  Option.iter (fun s -> line "seed %d" s) meta.seed;
+  Option.iter (fun d -> line "defect %s" d) meta.defect;
+  Option.iter (fun n -> line "# %s" n) meta.note;
+  line "nranks %d" p.nranks;
+  line "reps %d" p.reps;
+  List.iter (fun ph -> line "%s" (phase_to_line ph)) p.phases;
+  Buffer.contents b
+
+let parse_error fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let bool_field ln = function
+  | "0" -> Ok false
+  | "1" -> Ok true
+  | s -> parse_error "line %d: expected 0 or 1, got %S" ln s
+
+let int_field ln s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> parse_error "line %d: expected an integer, got %S" ln s
+
+let coll_field ln s =
+  match coll_of_string s with
+  | Some c -> Ok c
+  | None -> parse_error "line %d: unknown collective %S" ln s
+
+let ( let* ) = Result.bind
+
+let phase_of_fields ln = function
+  | [ "ring"; offset; bytes ] ->
+      let* offset = int_field ln offset in
+      let* bytes = int_field ln bytes in
+      Ok (P_ring { offset; bytes })
+  | [ "pairwise"; bytes ] ->
+      let* bytes = int_field ln bytes in
+      Ok (P_pairwise { bytes })
+  | [ "fan_in"; root; tag; bytes; any_tag ] ->
+      let* root = int_field ln root in
+      let* tag = int_field ln tag in
+      let* bytes = int_field ln bytes in
+      let* any_tag = bool_field ln any_tag in
+      Ok (P_fan_in { root; tag; bytes; any_tag })
+  | [ "coll"; op; root; bytes; skewed ] ->
+      let* op = coll_field ln op in
+      let* root = int_field ln root in
+      let* bytes = int_field ln bytes in
+      let* skewed = bool_field ln skewed in
+      Ok (P_coll { op; root; bytes; skewed })
+  | [ "sub_coll"; parts; op; root; bytes ] ->
+      let* parts = int_field ln parts in
+      let* op = coll_field ln op in
+      let* root = int_field ln root in
+      let* bytes = int_field ln bytes in
+      Ok (P_sub_coll { parts; op; root; bytes })
+  | [ "compute"; usecs ] ->
+      let* usecs = int_field ln usecs in
+      Ok (P_compute { usecs })
+  | kind :: _ -> parse_error "line %d: unknown phase kind %S" ln kind
+  | [] -> parse_error "line %d: empty phase" ln
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "")
+  in
+  let meta = ref no_meta in
+  let nranks = ref None and reps = ref None in
+  let phases = ref [] in
+  let rec go = function
+    | [] -> Ok ()
+    | (_, l) :: tl when String.length l > 0 && l.[0] = '#' -> go tl
+    | (ln, l) :: tl -> (
+        match String.split_on_char ' ' l |> List.filter (( <> ) "") with
+        | [ "seed"; s ] ->
+            let* s = int_field ln s in
+            meta := { !meta with seed = Some s };
+            go tl
+        | [ "defect"; d ] ->
+            meta := { !meta with defect = Some d };
+            go tl
+        | [ "nranks"; n ] ->
+            let* n = int_field ln n in
+            nranks := Some n;
+            go tl
+        | [ "reps"; r ] ->
+            let* r = int_field ln r in
+            reps := Some r;
+            go tl
+        | "phase" :: fields ->
+            let* ph = phase_of_fields ln fields in
+            phases := ph :: !phases;
+            go tl
+        | _ -> parse_error "line %d: unrecognized line %S" ln l)
+  in
+  let* () = go lines in
+  match (!nranks, !reps) with
+  | None, _ -> Error "missing nranks"
+  | _, None -> Error "missing reps"
+  | Some nranks, Some reps ->
+      let p = { nranks; reps; phases = List.rev !phases } in
+      let* () = validate p in
+      Ok (p, !meta)
+
+let save ~path text =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+
+let load ~path = In_channel.with_open_text path In_channel.input_all

@@ -1,0 +1,282 @@
+open Mpisim
+
+type coll =
+  | C_barrier
+  | C_bcast
+  | C_reduce
+  | C_allreduce
+  | C_gather
+  | C_gatherv
+  | C_allgather
+  | C_allgatherv
+  | C_scatter
+  | C_scatterv
+  | C_alltoall
+  | C_alltoallv
+  | C_reduce_scatter
+
+let all_colls =
+  [
+    C_barrier; C_bcast; C_reduce; C_allreduce; C_gather; C_gatherv;
+    C_allgather; C_allgatherv; C_scatter; C_scatterv; C_alltoall;
+    C_alltoallv; C_reduce_scatter;
+  ]
+
+let coll_to_string = function
+  | C_barrier -> "barrier"
+  | C_bcast -> "bcast"
+  | C_reduce -> "reduce"
+  | C_allreduce -> "allreduce"
+  | C_gather -> "gather"
+  | C_gatherv -> "gatherv"
+  | C_allgather -> "allgather"
+  | C_allgatherv -> "allgatherv"
+  | C_scatter -> "scatter"
+  | C_scatterv -> "scatterv"
+  | C_alltoall -> "alltoall"
+  | C_alltoallv -> "alltoallv"
+  | C_reduce_scatter -> "reduce_scatter"
+
+let coll_of_string s =
+  List.find_opt (fun c -> coll_to_string c = s) all_colls
+
+type phase =
+  | P_ring of { offset : int; bytes : int }
+  | P_pairwise of { bytes : int }
+  | P_fan_in of { root : int; tag : int; bytes : int; any_tag : bool }
+  | P_coll of { op : coll; root : int; bytes : int; skewed : bool }
+  | P_sub_coll of { parts : int; op : coll; root : int; bytes : int }
+  | P_compute of { usecs : int }
+
+type prog = { nranks : int; reps : int; phases : phase list }
+
+(* ------------------------------------------------------------------ *)
+(* Invariants                                                          *)
+
+let max_nranks = 64
+
+let validate (p : prog) =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if p.nranks < 2 || p.nranks > max_nranks then
+    err "nranks %d outside [2, %d]" p.nranks max_nranks
+  else if p.reps < 1 then err "reps %d < 1" p.reps
+  else
+    let fan_tags = ref [] in
+    let check_phase i = function
+      | P_ring { offset; bytes } ->
+          if offset < 1 || offset >= p.nranks then
+            err "phase %d: ring offset %d outside [1, %d]" i offset
+              (p.nranks - 1)
+          else if bytes < 1 then err "phase %d: ring bytes %d < 1" i bytes
+          else Ok ()
+      | P_pairwise { bytes } ->
+          if bytes < 1 then err "phase %d: pairwise bytes %d < 1" i bytes
+          else Ok ()
+      | P_fan_in { root; tag; bytes; any_tag = _ } ->
+          if root < 0 || root >= p.nranks then
+            err "phase %d: fan_in root %d outside [0, %d)" i root p.nranks
+          else if tag < 1 then
+            (* tag 0 is the ring/pairwise channel; fan-in must not share it *)
+            err "phase %d: fan_in tag %d < 1" i tag
+          else if List.mem tag !fan_tags then
+            err "phase %d: fan_in tag %d reused (matchings must be unique)" i
+              tag
+          else if bytes < 1 then err "phase %d: fan_in bytes %d < 1" i bytes
+          else begin
+            fan_tags := tag :: !fan_tags;
+            Ok ()
+          end
+      | P_coll { op = _; root; bytes; skewed = _ } ->
+          if root < 0 || root >= p.nranks then
+            err "phase %d: coll root %d outside [0, %d)" i root p.nranks
+          else if bytes < 1 then err "phase %d: coll bytes %d < 1" i bytes
+          else Ok ()
+      | P_sub_coll { parts; op = _; root; bytes } ->
+          if parts < 1 then err "phase %d: sub_coll parts %d < 1" i parts
+          else if parts >= 2 && 2 * parts > p.nranks then
+            (* every split group must keep >= 2 members *)
+            err "phase %d: sub_coll parts %d would leave a group of < 2 ranks"
+              i parts
+          else if root < 0 then err "phase %d: sub_coll root %d < 0" i root
+          else if bytes < 1 then err "phase %d: sub_coll bytes %d < 1" i bytes
+          else Ok ()
+      | P_compute { usecs } ->
+          if usecs < 1 then err "phase %d: compute usecs %d < 1" i usecs
+          else Ok ()
+    in
+    let rec go i = function
+      | [] -> Ok ()
+      | ph :: tl -> (
+          match check_phase i ph with Ok () -> go (i + 1) tl | e -> e)
+    in
+    go 0 p.phases
+
+(* ------------------------------------------------------------------ *)
+(* Interpretation: a prog is a deterministic SPMD application           *)
+
+(* Synthetic call sites keyed by (phase index, role): stable across reps
+   (so loop compression sees one site per static "source location") and
+   distinct across phases (so Algorithm 1 sees distinct collective call
+   sites). *)
+let site idx role = Util.Callsite.synthetic (Printf.sprintf "check.p%d.%s" idx role)
+let fin_site = Util.Callsite.synthetic "check.finalize"
+
+let coll_call ~site ?comm (ctx : Mpi.ctx) op ~root ~bytes ~p =
+  (* per-member variation in the vector collectives, deterministic in the
+     member index so every rank passes the same arrays *)
+  let vec salt = Array.init p (fun i -> bytes * (1 + ((i + salt) mod 3))) in
+  match op with
+  | C_barrier -> Mpi.barrier ~site ?comm ctx
+  | C_bcast -> Mpi.bcast ~site ?comm ctx ~root ~bytes
+  | C_reduce -> Mpi.reduce ~site ?comm ctx ~root ~bytes
+  | C_allreduce -> Mpi.allreduce ~site ?comm ctx ~bytes
+  | C_gather -> Mpi.gather ~site ?comm ctx ~root ~bytes_per_rank:bytes
+  | C_gatherv -> Mpi.gatherv ~site ?comm ctx ~root ~bytes_from:(vec 0)
+  | C_allgather -> Mpi.allgather ~site ?comm ctx ~bytes_per_rank:bytes
+  | C_allgatherv -> Mpi.allgatherv ~site ?comm ctx ~bytes_from:(vec 1)
+  | C_scatter -> Mpi.scatter ~site ?comm ctx ~root ~bytes_per_rank:bytes
+  | C_scatterv -> Mpi.scatterv ~site ?comm ctx ~root ~bytes_to:(vec 2)
+  | C_alltoall -> Mpi.alltoall ~site ?comm ctx ~bytes_per_pair:bytes
+  | C_alltoallv -> Mpi.alltoallv ~site ?comm ctx ~bytes_to:(vec 0)
+  | C_reduce_scatter -> Mpi.reduce_scatter ~site ?comm ctx ~bytes_per_rank:(vec 1)
+
+let run_phase idx (ctx : Mpi.ctx) phase =
+  let n = ctx.nranks in
+  match phase with
+  | P_ring { offset; bytes } ->
+      (* concrete tag 0: an any-tag receive here could steal a fan-in
+         message and make the program racy *)
+      let r =
+        Mpi.irecv ~site:(site idx "ring.recv") ~tag:(Call.Tag 0) ctx
+          ~src:(Call.Rank ((ctx.rank + n - offset) mod n))
+          ~bytes
+      in
+      let s =
+        Mpi.isend ~site:(site idx "ring.send") ctx
+          ~dst:((ctx.rank + offset) mod n)
+          ~bytes
+      in
+      ignore (Mpi.waitall ~site:(site idx "ring.wait") ctx [ r; s ])
+  | P_pairwise { bytes } ->
+      (* disjoint pairs 2k <-> 2k+1; with odd n the last rank sits out *)
+      let mate = if ctx.rank land 1 = 0 then ctx.rank + 1 else ctx.rank - 1 in
+      if mate < n then
+        ignore
+          (Mpi.sendrecv ~site:(site idx "pair") ctx ~dst:mate ~send_bytes:bytes
+             ~src:(Call.Rank mate) ~recv_bytes:bytes)
+  | P_fan_in { root; tag; bytes; any_tag } ->
+      (if ctx.rank = root then
+         let tm = if any_tag then Call.Any_tag else Call.Tag tag in
+         for _ = 2 to n do
+           ignore
+             (Mpi.recv ~site:(site idx "fan.recv") ~tag:tm ctx
+                ~src:Call.Any_source ~bytes)
+         done
+       else begin
+         (* rank-dependent skew decorrelates arrival order from rank order,
+            so Algorithm 2 has real work to do *)
+         Mpi.compute ctx (float_of_int (((ctx.rank * 7) mod n) + 1) *. 1e-6);
+         Mpi.send ~site:(site idx "fan.send") ~tag ctx ~dst:root ~bytes
+       end);
+      (* an any-tag wildcard could steal messages from ranks already in
+         the next phase; fence the phase so matchings stay unique *)
+      if any_tag then Mpi.barrier ~site:(site idx "fan.fence") ctx
+  | P_coll { op; root; bytes; skewed } ->
+      (* [skewed] issues the same collective from two distinct call sites
+         (by rank parity) — the misalignment Algorithm 1 must repair *)
+      let s =
+        if skewed && ctx.rank land 1 = 1 then site idx "coll.odd"
+        else site idx "coll.even"
+      in
+      coll_call ~site:s ctx op ~root ~bytes ~p:n
+  | P_sub_coll { parts; op; root; bytes } ->
+      let c =
+        if parts = 1 then Mpi.comm_dup ~site:(site idx "sub.dup") ctx
+        else
+          Mpi.comm_split ~site:(site idx "sub.split") ctx
+            ~color:(ctx.rank * parts / n) ~key:ctx.rank
+      in
+      let p = Mpi.comm_size c in
+      coll_call ~site:(site idx "sub.coll") ~comm:c ctx op ~root:(root mod p)
+        ~bytes ~p
+  | P_compute { usecs } -> Mpi.compute ctx (float_of_int usecs *. 1e-6)
+
+let to_app (p : prog) (ctx : Mpi.ctx) =
+  for _ = 1 to p.reps do
+    List.iteri
+      (fun idx ph ->
+        run_phase idx ctx ph;
+        Mpi.compute ctx 5e-6)
+      p.phases
+  done;
+  Mpi.finalize ~site:fin_site ctx
+
+(* ------------------------------------------------------------------ *)
+(* Random generation                                                   *)
+
+let gen_phase ~nranks ~idx rng =
+  let bytes = 64 * (1 + Util.Rng.int rng 64) in
+  match Util.Rng.int rng 10 with
+  | 0 | 1 ->
+      (* offset in [1, nranks-1]: never 0 (self-send) even at nranks = 2 *)
+      P_ring { offset = 1 + Util.Rng.int rng (nranks - 1); bytes }
+  | 2 -> P_pairwise { bytes }
+  | 3 | 4 ->
+      P_fan_in
+        {
+          root = Util.Rng.int rng nranks;
+          tag = 100 + idx;
+          bytes;
+          any_tag = Util.Rng.int rng 4 = 0;
+        }
+  | 5 | 6 | 7 ->
+      let op = List.nth all_colls (Util.Rng.int rng (List.length all_colls)) in
+      P_coll
+        {
+          op;
+          root = Util.Rng.int rng nranks;
+          bytes;
+          skewed = Util.Rng.int rng 3 = 0;
+        }
+  | 8 ->
+      let op = List.nth all_colls (Util.Rng.int rng (List.length all_colls)) in
+      let parts =
+        (* split only when every group keeps >= 2 members; otherwise (or
+           one time in four) duplicate the whole communicator instead *)
+        if nranks < 4 || Util.Rng.int rng 4 = 0 then 1
+        else 2 + Util.Rng.int rng ((nranks / 2) - 1)
+      in
+      P_sub_coll { parts; op; root = Util.Rng.int rng nranks; bytes }
+  | _ -> P_compute { usecs = 1 + Util.Rng.int rng 20 }
+
+let generate ~seed =
+  let rng = Util.Rng.create ~seed in
+  let nranks = 2 + Util.Rng.int rng 11 in
+  let reps = 1 + Util.Rng.int rng 3 in
+  let nphases = 1 + Util.Rng.int rng 7 in
+  let phases = List.init nphases (fun idx -> gen_phase ~nranks ~idx rng) in
+  { nranks; reps; phases }
+
+(* ------------------------------------------------------------------ *)
+
+let pp_phase ppf = function
+  | P_ring { offset; bytes } ->
+      Format.fprintf ppf "ring offset=%d bytes=%d" offset bytes
+  | P_pairwise { bytes } -> Format.fprintf ppf "pairwise bytes=%d" bytes
+  | P_fan_in { root; tag; bytes; any_tag } ->
+      Format.fprintf ppf "fan_in root=%d tag=%d bytes=%d any_tag=%b" root tag
+        bytes any_tag
+  | P_coll { op; root; bytes; skewed } ->
+      Format.fprintf ppf "coll %s root=%d bytes=%d skewed=%b"
+        (coll_to_string op) root bytes skewed
+  | P_sub_coll { parts; op; root; bytes } ->
+      Format.fprintf ppf "sub_coll parts=%d %s root=%d bytes=%d" parts
+        (coll_to_string op) root bytes
+  | P_compute { usecs } -> Format.fprintf ppf "compute usecs=%d" usecs
+
+let pp ppf (p : prog) =
+  Format.fprintf ppf "@[<v>nranks=%d reps=%d@," p.nranks p.reps;
+  List.iteri (fun i ph -> Format.fprintf ppf "  %d: %a@," i pp_phase ph) p.phases;
+  Format.fprintf ppf "@]"
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,233 @@
+module Pipeline = Benchgen.Pipeline
+
+type violation =
+  | V_invalid of string
+  | V_original of string
+  | V_pipeline_error of string
+  | V_roundtrip of string
+  | V_replay of { side : string; detail : string }
+  | V_channels of { side : string; detail : string }
+  | V_collectives of { side : string; detail : string }
+
+let kind = function
+  | V_invalid _ -> "invalid"
+  | V_original _ -> "original"
+  | V_pipeline_error _ -> "pipeline_error"
+  | V_roundtrip _ -> "roundtrip"
+  | V_replay _ -> "replay"
+  | V_channels _ -> "channels"
+  | V_collectives _ -> "collectives"
+
+let to_string = function
+  | V_invalid m -> "invalid program: " ^ m
+  | V_original m -> "original program failed: " ^ m
+  | V_pipeline_error m -> "pipeline error: " ^ m
+  | V_roundtrip m -> "pretty/parse round-trip: " ^ m
+  | V_replay { side; detail } -> Printf.sprintf "%s failed: %s" side detail
+  | V_channels { side; detail } ->
+      Printf.sprintf "%s: p2p channel mismatch: %s" side detail
+  | V_collectives { side; detail } ->
+      Printf.sprintf "%s: collective mismatch: %s" side detail
+
+(* ------------------------------------------------------------------ *)
+(* Observation: one [side] per run                                     *)
+
+(* Per-channel (src, dst, tag — world ranks, message tag) byte sequences
+   in matching order.  Per-channel matching is FIFO, so this is exactly
+   the sender's program order on that channel: a happens-before order
+   both runs must reproduce.  Cross-channel interleaving at a receiver is
+   timing, not semantics, and is deliberately not compared. *)
+type side = {
+  chans : (int * int * int, int list ref) Hashtbl.t;
+  colls : (string * int list, int ref) Hashtbl.t;
+      (* multiset of normalized (operation, sorted world participants) *)
+}
+
+let new_side () = { chans = Hashtbl.create 64; colls = Hashtbl.create 32 }
+
+(* Table 1 normalization, applied to BOTH runs: the original issues
+   MPI_Gather, the generated benchmark the substituted MPI_Reduce — both
+   normalize to ["RED"] over the same participant set. *)
+let norm_ops ~p = function
+  | "MPI_Barrier" -> [ "SYNC" ]
+  | "MPI_Bcast" | "MPI_Scatter" | "MPI_Scatterv" -> [ "MCAST" ]
+  | "MPI_Reduce" | "MPI_Gather" | "MPI_Gatherv" -> [ "RED" ]
+  | "MPI_Allreduce" -> [ "REDALL" ]
+  | "MPI_Allgather" | "MPI_Allgatherv" -> [ "RED"; "MCAST" ]
+  | "MPI_Alltoall" | "MPI_Alltoallv" -> [ "A2A" ]
+  | "MPI_Reduce_scatter" -> List.init p (fun _ -> "RED")
+  | _ -> [] (* communicator management, MPI_Finalize: Table 1 skips *)
+
+let collector side =
+  {
+    Mpisim.Hooks.nil with
+    on_p2p_match =
+      (fun ~time:_ ~src ~dst ~tag ~bytes ~comm:_ ->
+        let key = (src, dst, tag) in
+        match Hashtbl.find_opt side.chans key with
+        | Some l -> l := bytes :: !l
+        | None -> Hashtbl.add side.chans key (ref [ bytes ]));
+    on_collective_complete =
+      (fun ~time:_ ~comm:_ ~name ~participants ->
+        let parts = List.sort compare (Array.to_list participants) in
+        (* singleton groups generate no code (Lower skips them) *)
+        if List.length parts > 1 then
+          List.iter
+            (fun op ->
+              let key = (op, parts) in
+              match Hashtbl.find_opt side.colls key with
+              | Some c -> incr c
+              | None -> Hashtbl.add side.colls key (ref 1))
+            (norm_ops ~p:(List.length parts) name));
+  }
+
+let sorted_chans s =
+  Hashtbl.fold (fun k v acc -> (k, List.rev !v) :: acc) s.chans []
+  |> List.sort compare
+
+let sorted_colls s =
+  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) s.colls [] |> List.sort compare
+
+let bytes_sig l =
+  String.concat "," (List.map string_of_int l)
+
+let parts_sig l = "[" ^ String.concat "," (List.map string_of_int l) ^ "]"
+
+(* First discrepancy between two sorted association lists, reported
+   through [pp_key]. *)
+let rec assoc_diff pp_key pp_val a b =
+  match (a, b) with
+  | [], [] -> None
+  | (k, v) :: _, [] ->
+      Some
+        (Printf.sprintf "%s (%s) missing from the reproduction" (pp_key k)
+           (pp_val v))
+  | [], (k, v) :: _ ->
+      Some
+        (Printf.sprintf "%s (%s) absent from the original" (pp_key k)
+           (pp_val v))
+  | (ka, va) :: ta, (kb, vb) :: tb ->
+      if ka < kb then
+        Some
+          (Printf.sprintf "%s (%s) missing from the reproduction" (pp_key ka)
+             (pp_val va))
+      else if kb < ka then
+        Some
+          (Printf.sprintf "%s (%s) absent from the original" (pp_key kb)
+             (pp_val vb))
+      else if va <> vb then
+        Some
+          (Printf.sprintf "%s: original %s, reproduction %s" (pp_key ka)
+             (pp_val va) (pp_val vb))
+      else assoc_diff pp_key pp_val ta tb
+
+let chan_key (src, dst, tag) = Printf.sprintf "%d->%d tag %d" src dst tag
+let coll_key (op, parts) = Printf.sprintf "%s %s" op (parts_sig parts)
+
+let compare_sides ~side_name ~original ~reproduction =
+  match
+    assoc_diff chan_key bytes_sig (sorted_chans original)
+      (sorted_chans reproduction)
+  with
+  | Some detail -> Error (V_channels { side = side_name; detail })
+  | None -> (
+      match
+        assoc_diff coll_key string_of_int (sorted_colls original)
+          (sorted_colls reproduction)
+      with
+      | Some detail -> Error (V_collectives { side = side_name; detail })
+      | None -> Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* The property                                                        *)
+
+type stats = { s_channels : int; s_messages : int; s_collectives : int }
+
+let stats_of side =
+  {
+    s_channels = Hashtbl.length side.chans;
+    s_messages =
+      Hashtbl.fold (fun _ l acc -> acc + List.length !l) side.chans 0;
+    s_collectives = Hashtbl.fold (fun _ c acc -> acc + !c) side.colls 0;
+  }
+
+(* Generous watchdog: a faithful run is tiny; a wedged one must not hang
+   the campaign. *)
+let budget_events (p : Gen.prog) =
+  20_000 + (p.nranks * p.nranks * p.reps * (List.length p.phases + 2) * 64)
+
+let guard side_name f =
+  match f () with
+  | exception Mpisim.Engine.Deadlock m ->
+      Error (V_replay { side = side_name; detail = "deadlock: " ^ m })
+  | exception Mpisim.Engine.Stalled m ->
+      Error (V_replay { side = side_name; detail = "stalled: " ^ m })
+  | exception Mpisim.Engine.Mpi_error m ->
+      Error (V_replay { side = side_name; detail = "MPI error: " ^ m })
+  | exception Conceptual.Lower.Lower_error m ->
+      Error (V_replay { side = side_name; detail = "lowering: " ^ m })
+  | exception Replay.Replay_error m ->
+      Error (V_replay { side = side_name; detail = "replay: " ^ m })
+  | v -> Ok v
+
+let ( let* ) = Result.bind
+
+let check ?defect (prog : Gen.prog) =
+  let* () = Result.map_error (fun m -> V_invalid m) (Gen.validate prog) in
+  let app = Gen.to_app prog in
+  let nranks = prog.nranks in
+  let max_events = budget_events prog in
+  (* side 1: the original application, observed directly *)
+  let original = new_side () in
+  let* _ =
+    Result.map_error
+      (function
+        | V_replay { detail; _ } -> V_original detail | v -> v)
+      (guard "original" (fun () ->
+           Mpisim.Mpi.run ~hooks:[ collector original ] ~max_events ~nranks app))
+  in
+  (* the pipeline under test *)
+  let cfg =
+    {
+      Pipeline.default with
+      name = Some "check";
+      max_events = Some max_events;
+      defect;
+    }
+  in
+  let* artifact, _warnings =
+    match Pipeline.run cfg (Pipeline.From_app { nranks; app }) with
+    | Ok v -> Ok v
+    | Error e -> Error (V_pipeline_error (Pipeline.error_to_string e))
+    | exception e -> Error (V_pipeline_error (Printexc.to_string e))
+  in
+  (* the emitted text must parse back to the same program *)
+  let report = artifact.Pipeline.report in
+  let* reparsed =
+    match Conceptual.Parse.program report.Pipeline.text with
+    | exception Conceptual.Parse.Parse_error m ->
+        Error (V_roundtrip ("parse error: " ^ m))
+    | p when not (Conceptual.Ast.equal report.Pipeline.program p) ->
+        Error (V_roundtrip "re-parsed program differs from the generated AST")
+    | p -> Ok p
+  in
+  (* side 2: the resolved trace replayed on the simulator (ScalaReplay) *)
+  let replayed = new_side () in
+  let* _ =
+    guard "trace replay" (fun () ->
+        Replay.run ~hooks:[ collector replayed ] ~max_events
+          artifact.Pipeline.resolved_trace)
+  in
+  let* () = compare_sides ~side_name:"trace replay" ~original ~reproduction:replayed in
+  (* side 3: the generated benchmark, lowered and run *)
+  let generated = new_side () in
+  let* _ =
+    guard "generated benchmark" (fun () ->
+        Conceptual.Lower.run ~hooks:[ collector generated ] ~max_events ~nranks
+          reparsed)
+  in
+  let* () =
+    compare_sides ~side_name:"generated benchmark" ~original
+      ~reproduction:generated
+  in
+  Ok (stats_of original)

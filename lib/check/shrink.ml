@@ -1,0 +1,99 @@
+open Gen
+
+(* Strictly decreasing size measure: every candidate move reduces this
+   lexicographic tuple, so greedy shrinking terminates without a step
+   budget (one is kept anyway as a backstop). *)
+let phase_weight = function
+  | P_sub_coll _ -> 3
+  | P_fan_in { any_tag = true; _ } -> 3
+  | P_fan_in { any_tag = false; _ } -> 2
+  | P_coll { skewed = true; _ } -> 2
+  | P_coll { skewed = false; _ } -> 1
+  | P_ring _ | P_pairwise _ -> 1
+  | P_compute _ -> 0
+
+let phase_bytes = function
+  | P_ring { bytes; _ }
+  | P_pairwise { bytes }
+  | P_fan_in { bytes; _ }
+  | P_coll { bytes; _ }
+  | P_sub_coll { bytes; _ } ->
+      bytes
+  | P_compute { usecs } -> usecs
+
+let measure (p : prog) =
+  ( List.length p.phases,
+    p.reps,
+    p.nranks,
+    List.fold_left (fun a ph -> a + phase_weight ph) 0 p.phases,
+    List.fold_left (fun a ph -> a + phase_bytes ph) 0 p.phases )
+
+(* Re-target a phase after a rank-count reduction. *)
+let remap_phase ~nranks = function
+  | P_ring { offset; bytes } ->
+      P_ring { offset = 1 + ((offset - 1) mod (nranks - 1)); bytes }
+  | P_pairwise _ as ph -> ph
+  | P_fan_in f -> P_fan_in { f with root = f.root mod nranks }
+  | P_coll c -> P_coll { c with root = c.root mod nranks }
+  | P_sub_coll s ->
+      let parts = if s.parts >= 2 && 2 * s.parts <= nranks then s.parts else 1 in
+      P_sub_coll { s with parts; root = s.root mod nranks }
+  | P_compute _ as ph -> ph
+
+let with_nranks nranks (p : prog) =
+  { p with nranks; phases = List.map (remap_phase ~nranks) p.phases }
+
+(* Simpler variants of one phase, most aggressive first. *)
+let simplify_phase = function
+  | P_fan_in ({ any_tag = true; _ } as f) -> [ P_fan_in { f with any_tag = false } ]
+  | P_coll ({ skewed = true; _ } as c) -> [ P_coll { c with skewed = false } ]
+  | P_sub_coll { op; root; bytes; _ } -> [ P_coll { op; root; bytes; skewed = false } ]
+  | P_ring ({ bytes; _ } as r) when bytes > 64 -> [ P_ring { r with bytes = 64 } ]
+  | P_pairwise { bytes } when bytes > 64 -> [ P_pairwise { bytes = 64 } ]
+  | P_fan_in ({ bytes; _ } as f) when bytes > 64 -> [ P_fan_in { f with bytes = 64 } ]
+  | P_coll ({ bytes; _ } as c) when bytes > 64 -> [ P_coll { c with bytes = 64 } ]
+  | P_compute { usecs } when usecs > 1 -> [ P_compute { usecs = 1 } ]
+  | _ -> []
+
+let nth_replaced l i v = List.mapi (fun j x -> if j = i then v else x) l
+
+let nth_removed l i = List.filteri (fun j _ -> j <> i) l
+
+(* Candidate successors in a fixed order: structural deletions first
+   (phases, then reps, then ranks), local simplifications last.  Order is
+   what makes greedy shrinking deterministic. *)
+let candidates (p : prog) =
+  let drop_phases =
+    List.mapi (fun i _ -> { p with phases = nth_removed p.phases i }) p.phases
+  in
+  let drop_reps = if p.reps > 1 then [ { p with reps = 1 } ] else [] in
+  let drop_ranks =
+    if p.nranks > 2 then
+      let shrunk = if p.nranks > 4 then [ with_nranks 2 p ] else [] in
+      shrunk @ [ with_nranks (p.nranks - 1) p ]
+    else []
+  in
+  let simpler =
+    List.concat
+      (List.mapi
+         (fun i ph ->
+           List.map (fun ph' -> { p with phases = nth_replaced p.phases i ph' })
+             (simplify_phase ph))
+         p.phases)
+  in
+  List.filter
+    (fun c -> Result.is_ok (validate c) && measure c < measure p)
+    (drop_phases @ drop_reps @ drop_ranks @ simpler)
+
+let minimize ?(max_steps = 500) ~still_fails prog =
+  let steps = ref 0 in
+  let rec go prog =
+    if !steps >= max_steps then prog
+    else
+      match List.find_opt (fun c -> incr steps; still_fails c) (candidates prog)
+      with
+      | Some c -> go c
+      | None -> prog
+  in
+  let minimized = go prog in
+  (minimized, !steps)

@@ -1,0 +1,22 @@
+(** Greedy deterministic program shrinking.
+
+    [minimize ~still_fails prog] repeatedly replaces [prog] with the
+    first candidate successor (in a fixed order: drop a phase, drop
+    repetitions, drop ranks, simplify one phase) for which [still_fails]
+    holds, until no candidate fails.  Every candidate strictly decreases
+    a lexicographic size measure, so shrinking terminates; because both
+    the candidate order and the oracle are deterministic, the same
+    failing program always minimizes to the same counterexample —
+    byte-identical once serialized ({!Corpus}).
+
+    [prog] itself is assumed to fail.  Every candidate satisfies
+    {!Gen.validate} (rank-count reductions re-target roots and offsets).
+
+    Returns the minimized program and the number of [still_fails]
+    evaluations spent.  [max_steps] (default 500) bounds those
+    evaluations as a backstop. *)
+val minimize :
+  ?max_steps:int ->
+  still_fails:(Gen.prog -> bool) ->
+  Gen.prog ->
+  Gen.prog * int

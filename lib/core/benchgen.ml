@@ -28,6 +28,7 @@ type gen_error = Pipeline.gen_error =
   | E_wildcard of string
   | E_trace_format of string
   | E_io of string
+  | E_codegen of string
 
 let warning_to_string = Pipeline.warning_to_string
 let error_to_string = Pipeline.error_to_string
@@ -40,6 +41,7 @@ let raise_gen_error : gen_error -> 'a = function
   | E_wildcard msg -> raise (Wildcard.Wildcard_error msg)
   | E_trace_format msg -> raise (Scalatrace.Trace_io.Format_error msg)
   | E_io msg -> raise (Sys_error msg)
+  | E_codegen msg -> raise (Codegen.Codegen_error msg)
 
 let generate ?name ?compute_floor_usecs trace =
   match

@@ -50,6 +50,7 @@ type gen_error = Pipeline.gen_error =
   | E_wildcard of string  (** malformed point-to-point structure *)
   | E_trace_format of string  (** unparseable trace file *)
   | E_io of string  (** file-system failure *)
+  | E_codegen of string  (** code generation rejected the trace *)
 
 val warning_to_string : warning -> string
 val error_to_string : gen_error -> string

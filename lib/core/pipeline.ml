@@ -1,3 +1,33 @@
+(* Deliberate pipeline defects, for differential-fuzzing self-tests
+   (lib/check): each one breaks a distinct fidelity property so the
+   oracle and shrinker can be exercised against a known-bad pipeline.
+   [None] (the default) is the production pipeline. *)
+type defect =
+  | D_skip_wildcard  (** leave ANY_SOURCE receives unresolved (no Algorithm 2) *)
+  | D_scale_bytes of int  (** multiply every point-to-point payload *)
+  | D_drop_tail  (** silently drop the trace's last communication node *)
+
+let defect_to_string = function
+  | D_skip_wildcard -> "skip-wildcard"
+  | D_scale_bytes k -> Printf.sprintf "scale-bytes:%d" k
+  | D_drop_tail -> "drop-tail"
+
+let defect_of_string s =
+  match String.split_on_char ':' s with
+  | [ "skip-wildcard" ] -> Ok D_skip_wildcard
+  | [ "drop-tail" ] -> Ok D_drop_tail
+  | [ "scale-bytes" ] -> Ok (D_scale_bytes 2)
+  | [ "scale-bytes"; k ] -> (
+      match int_of_string_opt k with
+      | Some k when k >= 2 -> Ok (D_scale_bytes k)
+      | _ -> Error (Printf.sprintf "bad scale-bytes factor %S (want int >= 2)" k))
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown defect %S (expected skip-wildcard, scale-bytes[:K], \
+            drop-tail)"
+           s)
+
 type config = {
   name : string option;
   net : Mpisim.Netmodel.t option;
@@ -7,6 +37,7 @@ type config = {
   strategy : Wildcard.strategy option;
   compute_floor_usecs : float option;
   obs : Obs.Sink.t;
+  defect : defect option;
 }
 
 let default =
@@ -19,6 +50,7 @@ let default =
     strategy = None;
     compute_floor_usecs = None;
     obs = Obs.Sink.nil;
+    defect = None;
   }
 
 type source =
@@ -47,6 +79,7 @@ type gen_error =
   | E_wildcard of string
   | E_trace_format of string
   | E_io of string
+  | E_codegen of string
 
 let warning_to_string = function
   | W_aligned { input_rsds; output_rsds } ->
@@ -63,6 +96,7 @@ let error_to_string = function
   | E_wildcard msg -> "wildcard resolution failed: " ^ msg
   | E_trace_format msg -> "malformed trace: " ^ msg
   | E_io msg -> "I/O error: " ^ msg
+  | E_codegen msg -> "code generation failed: " ^ msg
 
 type artifact = {
   report : report;
@@ -124,6 +158,38 @@ let record_outcome metrics prefix (o : Mpisim.Engine.outcome) =
   Obs.Metrics.set metrics (prefix ^ ".elapsed_s") o.elapsed
 
 (* ------------------------------------------------------------------ *)
+(* Defect injection (differential-fuzzing self-tests)                  *)
+
+let scale_p2p_bytes k trace =
+  let nodes =
+    Scalatrace.Tnode.map_leaves
+      (fun (e : Scalatrace.Event.t) ->
+        if Scalatrace.Event.is_p2p e.kind && e.bytes > 0 then
+          (* [hcache] covers [bytes]; reset it on the altered copy. *)
+          { (Scalatrace.Event.copy e) with bytes = e.bytes * k; hcache = 0 }
+        else e)
+      (Scalatrace.Trace.nodes trace)
+  in
+  Scalatrace.Trace.with_nodes trace nodes
+
+(* Drop the last communication node, keeping any trailing MPI_Finalize
+   (which generates no code, so dropping it would be a no-op defect). *)
+let drop_tail_node trace =
+  let is_finalize = function
+    | Scalatrace.Tnode.Leaf e -> e.Scalatrace.Event.kind = Scalatrace.Event.E_finalize
+    | Scalatrace.Tnode.Loop _ -> false
+  in
+  let rec drop_first_non_finalize = function
+    | [] -> []
+    | x :: tl when is_finalize x -> x :: drop_first_non_finalize tl
+    | _ :: tl -> tl
+  in
+  let nodes =
+    List.rev (drop_first_non_finalize (List.rev (Scalatrace.Trace.nodes trace)))
+  in
+  Scalatrace.Trace.with_nodes trace nodes
+
+(* ------------------------------------------------------------------ *)
 (* The pipeline                                                        *)
 
 let acquire cfg clock metrics source =
@@ -182,11 +248,20 @@ let run cfg source =
                { input_rsds; output_rsds = Scalatrace.Trace.rsd_count trace });
         let trace, resolved =
           with_span cfg.obs clock "wildcard" (fun () ->
-              Wildcard.resolve_if_needed ?strategy:cfg.strategy
-                ~on_fallback:(fun msg -> warn (W_wildcard_fallback msg))
-                trace)
+              match cfg.defect with
+              | Some D_skip_wildcard -> (trace, false)
+              | _ ->
+                  Wildcard.resolve_if_needed ?strategy:cfg.strategy
+                    ~on_fallback:(fun msg -> warn (W_wildcard_fallback msg))
+                    trace)
         in
         if resolved then warn W_wildcard_resolved;
+        let trace =
+          match cfg.defect with
+          | Some (D_scale_bytes k) -> scale_p2p_bytes k trace
+          | Some D_drop_tail -> drop_tail_node trace
+          | Some D_skip_wildcard | None -> trace
+        in
         let report =
           with_span cfg.obs clock "codegen" (fun () ->
               let program =
@@ -214,7 +289,8 @@ let run cfg source =
       with
       | Wildcard.Potential_deadlock msg -> Error (E_potential_deadlock msg)
       | Align.Align_error msg -> Error (E_align msg)
-      | Wildcard.Wildcard_error msg -> Error (E_wildcard msg))
+      | Wildcard.Wildcard_error msg -> Error (E_wildcard msg)
+      | Codegen.Codegen_error msg -> Error (E_codegen msg))
 
 (* ------------------------------------------------------------------ *)
 (* Validation                                                          *)

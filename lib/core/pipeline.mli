@@ -19,6 +19,25 @@
 
 (** {1 Configuration} *)
 
+(** A deliberate pipeline defect, for differential-fuzzing self-tests
+    ({!page-index} lib/check): each constructor breaks one fidelity
+    property, so the oracle and shrinker can be validated against a
+    known-bad pipeline.  Production code never sets one. *)
+type defect =
+  | D_skip_wildcard
+      (** skip Algorithm 2: [ANY_SOURCE] receives reach codegen unresolved
+          and fail with {!gen_error.E_codegen} *)
+  | D_scale_bytes of int
+      (** multiply every point-to-point payload (byte-volume infidelity) *)
+  | D_drop_tail
+      (** drop the trace's last communication node (count infidelity) *)
+
+val defect_to_string : defect -> string
+
+(** Parse a CLI spelling: ["skip-wildcard"], ["scale-bytes"] (factor 2),
+    ["scale-bytes:<k>"], ["drop-tail"]. *)
+val defect_of_string : string -> (defect, string) result
+
 type config = {
   name : string option;  (** benchmark name in the generated program *)
   net : Mpisim.Netmodel.t option;
@@ -32,6 +51,9 @@ type config = {
   compute_floor_usecs : float option;
       (** drop compute statements shorter than this *)
   obs : Obs.Sink.t;  (** observability sink (default {!Obs.Sink.nil}) *)
+  defect : defect option;
+      (** deliberately broken pipeline for fuzzing self-tests (default
+          [None] — the correct pipeline) *)
 }
 
 (** All-defaults configuration; build variants with
@@ -70,6 +92,9 @@ type gen_error =
   | E_wildcard of string  (** malformed point-to-point structure *)
   | E_trace_format of string  (** unparseable trace file *)
   | E_io of string  (** file-system failure *)
+  | E_codegen of string
+      (** code generation rejected the trace (e.g. unresolved wildcards
+          under {!defect.D_skip_wildcard}) *)
 
 val warning_to_string : warning -> string
 val error_to_string : gen_error -> string

@@ -435,6 +435,17 @@ let recv_status st (m : Mq.msg) : Call.status =
   in
   { actual_source = local; actual_tag = m.m_tag; received_bytes = m.m_bytes }
 
+(* Every path that pairs a message with a posted receive funnels through
+   here, so [on_p2p_match] fires exactly once per message, in matching
+   order. *)
+let complete_recv st (m : Mq.msg) recv_req ~time =
+  List.iter
+    (fun (h : Hooks.t) ->
+      h.on_p2p_match ~time ~src:m.m_src ~dst:m.m_dst ~tag:m.m_tag
+        ~bytes:m.m_bytes ~comm:m.m_comm)
+    st.hooks;
+  complete_req st recv_req ~time ~status:(recv_status st m) ()
+
 (* A message has physically arrived at its destination. *)
 let deliver st (m : Mq.msg) =
   st.n_inflight_bytes <- st.n_inflight_bytes - m.m_bytes;
@@ -448,7 +459,7 @@ let deliver st (m : Mq.msg) =
           let tc = rx_complete st d ~ready:ta ~bytes:m.m_bytes ~unexpected:false in
           (* the receive buffer holds the payload until it is processed *)
           if m.m_reserved then release_buffer st d ~bytes:m.m_bytes ~time:tc;
-          complete_req st recv_req ~time:tc ~status:(recv_status st m) ()
+          complete_recv st m recv_req ~time:tc
       | Mq.Rendezvous ->
           (* Handshake completes on RTS arrival; then the payload moves. *)
           let data_arrival = wire_arrival st d ~depart:ta ~bytes:m.m_bytes in
@@ -456,7 +467,7 @@ let deliver st (m : Mq.msg) =
           let tc =
             rx_complete st d ~ready:data_arrival ~bytes:m.m_bytes ~unexpected:false
           in
-          complete_req st recv_req ~time:tc ~status:(recv_status st m) ())
+          complete_recv st m recv_req ~time:tc)
   | None ->
       Mq.Unexpected.add d.rs_unexpected m;
       st.n_unexpected <- st.n_unexpected + 1
@@ -480,14 +491,14 @@ let post_recv st rank (p : Mq.posted) =
             rx_complete st d ~ready:p.p_time ~bytes:m.m_bytes ~unexpected:true
           in
           if m.m_reserved then release_buffer st d ~bytes:m.m_bytes ~time:tc;
-          complete_req st recv_req ~time:tc ~status:(recv_status st m) ()
+          complete_recv st m recv_req ~time:tc
       | Mq.Rendezvous ->
           let data_arrival = wire_arrival st d ~depart:p.p_time ~bytes:m.m_bytes in
           complete_req st (find_req st m.m_send_req) ~time:data_arrival ();
           let tc =
             rx_complete st d ~ready:data_arrival ~bytes:m.m_bytes ~unexpected:false
           in
-          complete_req st recv_req ~time:tc ~status:(recv_status st m) ())
+          complete_recv st m recv_req ~time:tc)
   | None -> (
       Mq.Posted.add d.rs_posted p;
       (* Liveness: if the message this receive is waiting for is parked at

@@ -8,6 +8,11 @@ type t = {
   on_fault : time:float -> fault_event -> unit;
   on_collective_complete :
     time:float -> comm:int -> name:string -> participants:int array -> unit;
+  on_p2p_match :
+    time:float -> src:int -> dst:int -> tag:int -> bytes:int -> comm:int -> unit;
+      (* fired once per point-to-point message, at the moment it pairs
+         with a posted receive; [src]/[dst] are world ranks, so per-channel
+         firing order is the message-matching (happens-before) order *)
 }
 
 let nil =
@@ -17,6 +22,8 @@ let nil =
     on_fault = (fun ~time:_ _ -> ());
     on_collective_complete =
       (fun ~time:_ ~comm:_ ~name:_ ~participants:_ -> ());
+    on_p2p_match =
+      (fun ~time:_ ~src:_ ~dst:_ ~tag:_ ~bytes:_ ~comm:_ -> ());
   }
 
 let compose a b =
@@ -37,6 +44,10 @@ let compose a b =
       (fun ~time ~comm ~name ~participants ->
         a.on_collective_complete ~time ~comm ~name ~participants;
         b.on_collective_complete ~time ~comm ~name ~participants);
+    on_p2p_match =
+      (fun ~time ~src ~dst ~tag ~bytes ~comm ->
+        a.on_p2p_match ~time ~src ~dst ~tag ~bytes ~comm;
+        b.on_p2p_match ~time ~src ~dst ~tag ~bytes ~comm);
   }
 
 (* Engine virtual time is seconds; trace timestamps are microseconds. *)

@@ -37,6 +37,11 @@ type t = {
       (** [time] is the operation's completion time; [comm] the
           communicator id; [name] the operation ([Call.op_name]);
           [participants] the world ranks involved, in arrival order. *)
+  on_p2p_match :
+    time:float -> src:int -> dst:int -> tag:int -> bytes:int -> comm:int -> unit;
+      (** Fires once per point-to-point message, at the moment it pairs
+          with a posted receive.  [src]/[dst] are world ranks; per-channel
+          firing order is the message-matching (happens-before) order. *)
 }
 
 (** A hook that does nothing; override the fields you need. *)

@@ -1,0 +1,182 @@
+(* The fuzzing subsystem's own tests (lib/check): the fixed corpus under
+   corpus/ (the shapes the old ad-hoc test_fuzz generator drew from, now
+   written down), serialization round-trips, the n = 2 degenerate cases,
+   shrinker determinism, and the oracle's ability to catch each deliberate
+   pipeline defect. *)
+
+open Check.Gen
+module Oracle = Check.Oracle
+module Shrink = Check.Shrink
+module Corpus = Check.Corpus
+
+let t name f = Alcotest.test_case name `Quick f
+let ok = Alcotest.(check bool)
+let fail = Alcotest.fail
+
+(* ---------------------------------------------------------------- *)
+(* Fixed corpus *)
+
+let corpus_files =
+  [
+    "ring"; "collectives"; "pairwise"; "fan_in"; "sub_comm"; "alltoall";
+    "mixed"; "n2";
+  ]
+
+(* `dune runtest` runs in test/, `dune exec test/test_main.exe` in the
+   project root: accept either working directory. *)
+let corpus_path name =
+  let p = Filename.concat "corpus" (name ^ ".prog") in
+  if Sys.file_exists p then p else Filename.concat "test" p
+
+let load name =
+  let text = Corpus.load ~path:(corpus_path name) in
+  match Corpus.of_string text with
+  | Ok (p, meta) -> (p, meta)
+  | Error e -> fail (Printf.sprintf "%s.prog: %s" name e)
+
+let corpus_parses () = List.iter (fun name -> ignore (load name)) corpus_files
+
+let corpus_passes_oracle () =
+  List.iter
+    (fun name ->
+      let p, _ = load name in
+      match Oracle.check p with
+      | Ok stats -> ok (name ^ ": communicates") true (stats.s_messages > 0 || stats.s_collectives > 0)
+      | Error v -> fail (Printf.sprintf "%s.prog: %s" name (Oracle.to_string v)))
+    corpus_files
+
+let corpus_roundtrip () =
+  List.iter
+    (fun name ->
+      let p, _ = load name in
+      let text = Corpus.to_string p in
+      match Corpus.of_string text with
+      | Ok (p', _) ->
+          ok (name ^ ": program round-trips") true (p = p');
+          ok (name ^ ": byte-stable") true (Corpus.to_string p' = text)
+      | Error e -> fail (Printf.sprintf "%s.prog reserialized: %s" name e))
+    corpus_files
+
+let meta_roundtrip () =
+  let p = generate ~seed:7 in
+  let meta =
+    { Corpus.seed = Some 7; defect = Some "scale-bytes:3"; note = Some "why" }
+  in
+  match Corpus.of_string (Corpus.to_string ~meta p) with
+  | Ok (p', m) ->
+      ok "program survives" true (p = p');
+      ok "seed survives" true (m.seed = Some 7);
+      ok "defect survives" true (m.defect = Some "scale-bytes:3")
+  | Error e -> fail e
+
+(* ---------------------------------------------------------------- *)
+(* Generator and validation *)
+
+let generator_always_valid () =
+  for seed = 1 to 200 do
+    match validate (generate ~seed) with
+    | Ok () -> ()
+    | Error e -> fail (Printf.sprintf "seed %d: %s" seed e)
+  done
+
+let rejects p msg =
+  match validate p with Ok () -> fail msg | Error _ -> ()
+
+(* n = 2 is where the off-by-ones live: a ring offset of 0 or n would
+   self-send or wrap onto itself, and a 2-way split would leave singleton
+   groups the lowering elides. *)
+let n2_guards () =
+  let base phases = { nranks = 2; reps = 1; phases } in
+  rejects (base [ P_ring { offset = 0; bytes = 64 } ]) "ring offset 0";
+  rejects (base [ P_ring { offset = 2; bytes = 64 } ]) "ring offset = nranks";
+  rejects
+    (base [ P_sub_coll { parts = 2; op = C_allreduce; root = 0; bytes = 64 } ])
+    "2-way split of 2 ranks (singleton groups)";
+  rejects
+    (base [ P_fan_in { root = 0; tag = 0; bytes = 64; any_tag = false } ])
+    "fan-in tag 0 (collides with the ring/pairwise channel)";
+  rejects
+    (base
+       [
+         P_fan_in { root = 0; tag = 5; bytes = 64; any_tag = false };
+         P_fan_in { root = 1; tag = 5; bytes = 64; any_tag = true };
+       ])
+    "duplicate fan-in tags";
+  rejects { nranks = 1; reps = 1; phases = [] } "nranks = 1";
+  match validate (base [ P_ring { offset = 1; bytes = 64 } ]) with
+  | Ok () -> ()
+  | Error e -> fail ("legal n = 2 ring rejected: " ^ e)
+
+(* ---------------------------------------------------------------- *)
+(* Defect detection: each deliberately broken pipeline must be caught,
+   with the violation classified as the kind the defect breaks. *)
+
+let detects name defect expected_kinds () =
+  let rec go seed =
+    if seed > 12 then fail (name ^ ": no violation across 12 seeds")
+    else
+      match Oracle.check ~defect (generate ~seed) with
+      | Ok _ -> go (seed + 1)
+      | Error v ->
+          if List.mem (Oracle.kind v) expected_kinds then ()
+          else
+            fail
+              (Printf.sprintf "%s: unexpected violation class: %s" name
+                 (Oracle.to_string v))
+  in
+  go 1
+
+(* ---------------------------------------------------------------- *)
+(* Shrinking *)
+
+let first_failing defect =
+  let rec go seed =
+    if seed > 20 then fail "no violation across 20 seeds"
+    else
+      let p = generate ~seed in
+      if Result.is_error (Oracle.check ~defect p) then p else go (seed + 1)
+  in
+  go 1
+
+let shrinker_deterministic () =
+  let defect = Benchgen.Pipeline.D_scale_bytes 2 in
+  let p = first_failing defect in
+  let still_fails q = Result.is_error (Oracle.check ~defect q) in
+  let m1, s1 = Shrink.minimize ~still_fails p in
+  let m2, s2 = Shrink.minimize ~still_fails p in
+  ok "same evaluation count" true (s1 = s2);
+  ok "byte-identical counterexample" true
+    (Corpus.to_string m1 = Corpus.to_string m2);
+  ok "minimized program still fails" true (still_fails m1);
+  ok "minimal: at most 6 phases" true (List.length m1.phases <= 6);
+  ok "minimal: no candidate still fails" true
+    (let m3, _ = Shrink.minimize ~still_fails m1 in
+     m3 = m1)
+
+let shrinker_strictly_decreases () =
+  (* a program that cannot fail under the real pipeline shrinks zero
+     steps of progress: minimize must return it unchanged *)
+  let p = { nranks = 4; reps = 1; phases = [ P_pairwise { bytes = 64 } ] } in
+  let m, _ = Shrink.minimize ~still_fails:(fun _ -> true) p in
+  ok "floor program is a fixpoint under always-fails" true
+    (List.length m.phases <= 1)
+
+let suite =
+  [
+    t "corpus files parse and validate" corpus_parses;
+    t "corpus files pass the oracle" corpus_passes_oracle;
+    t "corpus serialization round-trips byte-stably" corpus_roundtrip;
+    t "seed/defect metadata round-trips" meta_roundtrip;
+    t "generator output always validates (200 seeds)" generator_always_valid;
+    t "n = 2 degenerate forms are guarded" n2_guards;
+    t "oracle catches scale-bytes (channel bytes)"
+      (detects "scale-bytes" (Benchgen.Pipeline.D_scale_bytes 2) [ "channels" ]);
+    t "oracle catches skip-wildcard (codegen error)"
+      (detects "skip-wildcard" Benchgen.Pipeline.D_skip_wildcard
+         [ "pipeline_error" ]);
+    t "oracle catches drop-tail (missing traffic)"
+      (detects "drop-tail" Benchgen.Pipeline.D_drop_tail
+         [ "channels"; "collectives"; "replay" ]);
+    t "shrinker is deterministic and reaches a fixpoint" shrinker_deterministic;
+    t "shrinker terminates on an always-failing floor" shrinker_strictly_decreases;
+  ]

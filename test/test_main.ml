@@ -13,6 +13,7 @@ let () =
       ("extrap", Test_extrap.suite);
       ("codegen", Test_codegen.suite);
       ("fuzz", Test_fuzz.suite);
+      ("check", Test_check.suite);
       ("trace_io", Test_trace_io.suite);
       ("timing", Test_timing.suite);
       ("obs", Test_obs.suite);
