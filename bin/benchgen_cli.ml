@@ -24,6 +24,7 @@ let exit_mpi = 8 (* MPI semantic error during simulation *)
 let exit_io = 9 (* file-system failure *)
 let exit_codegen = 10 (* generated/benchmark code failed to parse or lower *)
 let exit_fuzz_violation = 11 (* fuzz campaign found a fidelity violation *)
+let exit_unrecoverable = 12 (* damaged trace kept nothing usable *)
 
 let fail code msg =
   Printf.eprintf "benchgen: %s\n%!" msg;
@@ -36,6 +37,7 @@ let code_of_gen_error = function
   | Benchgen.E_trace_format _ -> exit_trace_format
   | Benchgen.E_io _ -> exit_io
   | Benchgen.E_codegen _ -> exit_codegen
+  | Benchgen.E_unrecoverable_trace _ -> exit_unrecoverable
 
 let guarded f =
   try f () with
@@ -304,6 +306,27 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(const run $ app_arg $ nranks_arg $ cls_arg $ net_arg $ out_arg $ sim_term)
 
+(* Shared --recovery flag: how much trace damage the pipeline tolerates.
+   [generate-from-trace] defaults to strict; [salvage] is tolerant by
+   definition, so there strict is the opt-in. *)
+let recovery_arg default =
+  let recovery_conv =
+    Arg.conv
+      ( (fun s ->
+          Result.map_error (fun m -> `Msg m) (Pipeline.recovery_of_string s)),
+        fun ppf r -> Format.pp_print_string ppf (Pipeline.recovery_to_string r)
+      )
+  in
+  Arg.(
+    value
+    & opt recovery_conv default
+    & info [ "recovery" ] ~docv:"MODE"
+        ~doc:
+          "Damage tolerance for the input trace: $(b,strict) (any corruption \
+           is an error), $(b,salvage) (load what survives, refuse if it \
+           cannot be aligned), or $(b,best-effort) (additionally truncate to \
+           the last consistent collective frontier).")
+
 let generate_from_trace_cmd =
   let doc = "Generate a coNCePTuaL benchmark from a saved trace file." in
   let file_arg =
@@ -316,9 +339,11 @@ let generate_from_trace_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the benchmark to $(docv).")
   in
-  let run file out =
+  let run file out recovery =
     guarded @@ fun () ->
-    match Pipeline.run Pipeline.default (Pipeline.From_file file) with
+    match
+      Pipeline.run { Pipeline.default with recovery } (Pipeline.From_file file)
+    with
     | Error e -> fail (code_of_gen_error e) (Benchgen.error_to_string e)
     | Ok (artifact, warnings) -> (
         warn_all warnings;
@@ -329,7 +354,55 @@ let generate_from_trace_cmd =
             Printf.printf "wrote %s (%d statements)\n" path report.statements
         | None -> print_string report.text)
   in
-  Cmd.v (Cmd.info "generate-from-trace" ~doc) Term.(const run $ file_arg $ out_arg)
+  Cmd.v
+    (Cmd.info "generate-from-trace" ~doc)
+    Term.(const run $ file_arg $ out_arg $ recovery_arg `Strict)
+
+let salvage_cmd =
+  let doc = "Inspect and recover a damaged trace file." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Loads $(i,TRACE) with the tolerant salvage loader: damaged frames \
+         are skipped, each rank stream is cut back to its longest \
+         well-formed prefix, and a recovery report (frames dropped, ranks \
+         missing, events lost per rank) is printed.  With $(b,-o) the \
+         recovered trace is re-saved as a clean framed (v2) file.  Exit \
+         status is 12 when nothing usable survived, or when \
+         $(b,--recovery=strict) and the file shows any damage.";
+    ]
+  in
+  let file_arg =
+    Arg.(
+      required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Re-save the recovered trace to $(docv).")
+  in
+  let run file out recovery =
+    guarded @@ fun () ->
+    match Scalatrace.Salvage.load ~path:file with
+    | Error msg -> fail exit_unrecoverable (file ^ ": unrecoverable: " ^ msg)
+    | Ok (trace, report) ->
+        print_string (Scalatrace.Salvage.report_to_string report);
+        if recovery = `Strict && Scalatrace.Salvage.is_degraded report then
+          fail exit_unrecoverable
+            (file ^ ": trace is damaged and --recovery=strict was requested");
+        (match out with
+        | Some path ->
+            Scalatrace.Trace_io.save ~path trace;
+            Printf.printf "wrote %s (%d events, %d ranks)\n" path
+              (Scalatrace.Trace.event_count trace)
+              (Scalatrace.Trace.nranks trace)
+        | None -> ())
+  in
+  Cmd.v (Cmd.info "salvage" ~doc ~man)
+    Term.(const run $ file_arg $ out_arg $ recovery_arg `Salvage)
 
 let replay_cmd =
   let doc = "Replay a saved trace on the simulator (ScalaReplay)." in
@@ -721,15 +794,53 @@ let fuzz_cmd =
              counterexample or corpus entry).  A defect recorded in the file \
              is honored unless --defect overrides it.")
   in
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("differential", `Differential); ("corruption", `Corruption) ])
+          `Differential
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Campaign kind: $(b,differential) (random programs vs a semantic \
+             oracle, the default) or $(b,corruption) (seeded damage to framed \
+             trace files, checking that every outcome is typed and that \
+             best-effort recovery still yields replayable benchmarks).")
+  in
   let parse_defect s =
     match Pipeline.defect_of_string s with
     | Ok d -> d
     | Error m -> fail exit_invalid m
   in
-  let run seeds seed_start defect out budget replay obs =
+  let run seeds seed_start defect out budget replay mode obs =
     guarded @@ fun () ->
     let defect = Option.map parse_defect defect in
     let sink, finish = obs_setup obs in
+    match (mode, replay) with
+    | `Corruption, _ ->
+        let cfg =
+          {
+            Check.Corrupt.default with
+            seed_start;
+            seeds;
+            log = (fun m -> Printf.eprintf "benchgen: fuzz: %s\n%!" m);
+          }
+        in
+        let s = Check.Corrupt.run cfg in
+        Printf.printf
+          "corruption fuzz: %d cases (%d strict-ok, %d salvaged, %d \
+           unrecoverable); %d generated, %d replayed; %d violations\n"
+          s.Check.Corrupt.cases s.Check.Corrupt.strict_ok
+          s.Check.Corrupt.salvaged s.Check.Corrupt.unrecoverable
+          s.Check.Corrupt.generated s.Check.Corrupt.replayed
+          (List.length s.Check.Corrupt.violations);
+        List.iter
+          (fun (v : Check.Corrupt.violation) ->
+            Printf.printf "  seed %d app %s %s: %s\n" v.v_seed v.v_app
+              v.v_mutation v.v_what)
+          s.Check.Corrupt.violations;
+        finish (Some s.Check.Corrupt.metrics);
+        if s.Check.Corrupt.violations <> [] then exit exit_fuzz_violation
+    | `Differential, replay -> (
     match replay with
     | Some path -> (
         match Check.Corpus.of_string (Check.Corpus.load ~path) with
@@ -780,12 +891,12 @@ let fuzz_cmd =
               (match cx.cx_path with Some p -> "; " ^ p | None -> ""))
           s.Check.Campaign.counterexamples;
         finish (Some s.Check.Campaign.metrics);
-        if s.Check.Campaign.counterexamples <> [] then exit exit_fuzz_violation
+        if s.Check.Campaign.counterexamples <> [] then exit exit_fuzz_violation)
   in
   Cmd.v (Cmd.info "fuzz" ~doc ~man)
     Term.(
       const run $ seeds_arg $ seed_start_arg $ defect_arg $ out_arg
-      $ budget_arg $ replay_arg $ obs_term)
+      $ budget_arg $ replay_arg $ mode_arg $ obs_term)
 
 let () =
   let doc = "automatic generation of executable communication specifications" in
@@ -793,4 +904,5 @@ let () =
   exit (Cmd.eval (Cmd.group info [
           list_cmd; trace_cmd; generate_cmd; generate_from_trace_cmd; run_cmd;
           replay_cmd; compare_cmd; extrapolate_cmd; stats_cmd; fuzz_cmd;
+          salvage_cmd;
         ]))

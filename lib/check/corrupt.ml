@@ -1,0 +1,304 @@
+(* Corruption-robustness campaigns.
+
+   Where {!Campaign} fuzzes the pipeline's *semantics* with random
+   programs, this module fuzzes its *ingestion* with damaged trace
+   files: take a known-good framed trace, mutilate it (bit flips,
+   truncations — including one at every frame boundary — whole-rank
+   ablation, garbled headers), and assert the robustness contract:
+
+   - no mutation may crash or hang the loader or the pipeline — every
+     outcome is typed (strict load, salvage report, typed [gen_error]);
+   - under best-effort recovery, every salvaged trace with at least two
+     surviving ranks must still yield a parseable, replayable benchmark.
+
+   All mutations are deterministic functions of the seed. *)
+
+type outcome_kind =
+  | O_strict_ok  (** damage missed everything the strict loader checks *)
+  | O_salvaged_generated  (** salvage + best-effort pipeline succeeded *)
+  | O_salvaged_error of string  (** salvaged, but the pipeline said no *)
+  | O_unrecoverable  (** the salvage loader itself gave up (typed) *)
+
+type violation = {
+  v_seed : int;
+  v_app : string;
+  v_mutation : string;
+  v_what : string;  (** what broke the contract *)
+}
+
+type config = {
+  seed_start : int;
+  seeds : int;
+  apps : string list;  (** registry apps to draw baselines from *)
+  nranks : int;
+  sweep_boundaries : bool;
+      (** additionally truncate each baseline at every frame boundary *)
+  replay_max_events : int;  (** watchdog for the replay check *)
+  log : string -> unit;
+}
+
+let default =
+  {
+    seed_start = 1;
+    seeds = 100;
+    apps = [ "ring"; "stencil2d"; "butterfly"; "cg" ];
+    nranks = 8;
+    sweep_boundaries = true;
+    replay_max_events = 500_000;
+    log = ignore;
+  }
+
+type summary = {
+  cases : int;
+  strict_ok : int;
+  salvaged : int;
+  unrecoverable : int;
+  generated : int;
+  replayed : int;
+  violations : violation list;
+  metrics : Obs.Metrics.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Baselines                                                            *)
+
+let baseline_cache : (string * int, string) Hashtbl.t = Hashtbl.create 8
+
+let baseline ~nranks name =
+  match Hashtbl.find_opt baseline_cache (name, nranks) with
+  | Some bytes -> bytes
+  | None ->
+      let app =
+        match Apps.Registry.find name with
+        | Some a -> a
+        | None -> invalid_arg (Printf.sprintf "Corrupt: unknown app %S" name)
+      in
+      let nranks = Apps.Registry.fit_nranks app ~wanted:nranks in
+      let trace, _ =
+        Scalatrace.Tracer.trace_run ~nranks (app.program ())
+      in
+      let bytes = Scalatrace.Trace_io.to_framed trace in
+      Hashtbl.replace baseline_cache (name, nranks) bytes;
+      bytes
+
+(* Byte offsets of every frame-header line — the interesting truncation
+   points. *)
+let frame_boundaries bytes =
+  let n = String.length bytes in
+  let rec go pos acc =
+    if pos >= n then List.rev acc
+    else
+      let acc =
+        if
+          n - pos >= 6
+          && String.sub bytes pos 6 = "frame "
+          && (pos = 0 || bytes.[pos - 1] = '\n')
+        then pos :: acc
+        else acc
+      in
+      match String.index_from_opt bytes pos '\n' with
+      | Some nl -> go (nl + 1) acc
+      | None -> List.rev acc
+  in
+  go 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Mutations                                                            *)
+
+let mutate rng bytes =
+  let n = String.length bytes in
+  match Random.State.int rng 5 with
+  | 0 ->
+      let i = Random.State.int rng n in
+      let b = Bytes.of_string bytes in
+      let bit = 1 lsl Random.State.int rng 8 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor bit));
+      (Printf.sprintf "bit-flip@%d" i, Bytes.to_string b)
+  | 1 ->
+      let i = Random.State.int rng n in
+      (Printf.sprintf "truncate@%d" i, String.sub bytes 0 i)
+  | 2 -> (
+      match frame_boundaries bytes with
+      | [] -> ("truncate@0", "")
+      | bs ->
+          let i = List.nth bs (Random.State.int rng (List.length bs)) in
+          (Printf.sprintf "truncate-boundary@%d" i, String.sub bytes 0 i))
+  | 3 -> (
+      (* ablate one whole rank frame: header line + payload + separator *)
+      let bs = frame_boundaries bytes in
+      let rank_frames =
+        List.filter
+          (fun pos ->
+            String.length bytes - pos > 11
+            && String.sub bytes pos 11 = "frame rank:")
+          bs
+      in
+      match rank_frames with
+      | [] -> ("noop", bytes)
+      | rf ->
+          let start = List.nth rf (Random.State.int rng (List.length rf)) in
+          let stop =
+            match List.find_opt (fun b -> b > start) bs with
+            | Some b -> b
+            | None -> String.length bytes
+          in
+          ( Printf.sprintf "ablate-frame@%d" start,
+            String.sub bytes 0 start
+            ^ String.sub bytes stop (String.length bytes - stop) ))
+  | _ -> (
+      (* garble a frame-header line *)
+      match frame_boundaries bytes with
+      | [] -> ("noop", bytes)
+      | bs ->
+          let pos = List.nth bs (Random.State.int rng (List.length bs)) in
+          let b = Bytes.of_string bytes in
+          Bytes.set b (pos + 2) '?';
+          (Printf.sprintf "garble-header@%d" pos, Bytes.to_string b))
+
+(* ------------------------------------------------------------------ *)
+(* One case                                                             *)
+
+let surviving_ranks (report : Scalatrace.Salvage.report) =
+  List.length
+    (List.filter
+       (fun (rr : Scalatrace.Salvage.rank_recovery) -> rr.rr_events > 0)
+       report.per_rank)
+
+(* Run one mutated byte string through load → salvage → best-effort
+   pipeline → parse → replay, classifying the outcome and returning the
+   contract violation, if any. *)
+let check_case cfg ~seed ~app ~mutation bytes =
+  let violation what = Some { v_seed = seed; v_app = app; v_mutation = mutation; v_what = what } in
+  match Scalatrace.Trace_io.of_string bytes with
+  | _trace -> (O_strict_ok, None, false)
+  | exception Scalatrace.Trace_io.Format_error _ -> (
+      match Scalatrace.Salvage.of_string bytes with
+      | Error _ -> (O_unrecoverable, None, false)
+      | exception e ->
+          ( O_unrecoverable,
+            violation
+              ("salvage loader raised " ^ Printexc.to_string e),
+            false )
+      | Ok (trace, report) -> (
+          let survivors = surviving_ranks report in
+          let cfg' =
+            {
+              Benchgen.Pipeline.default with
+              recovery = `Best_effort;
+              max_events = Some cfg.replay_max_events;
+            }
+          in
+          match
+            Benchgen.Pipeline.run cfg' (Benchgen.Pipeline.From_trace trace)
+          with
+          | exception e ->
+              ( O_salvaged_error (Printexc.to_string e),
+                violation ("pipeline raised " ^ Printexc.to_string e),
+                false )
+          | Error e ->
+              let msg = Benchgen.Pipeline.error_to_string e in
+              ( O_salvaged_error msg,
+                (if survivors >= 2 then
+                   violation
+                     (Printf.sprintf
+                        "best-effort generation refused a trace with %d \
+                         surviving ranks: %s"
+                        survivors msg)
+                 else None),
+                false )
+          | Ok (artifact, _warnings) -> (
+              let text = artifact.Benchgen.Pipeline.report.text in
+              match Conceptual.Parse.program text with
+              | exception e ->
+                  ( O_salvaged_generated,
+                    violation
+                      ("generated benchmark does not parse: "
+                     ^ Printexc.to_string e),
+                    false )
+              | program -> (
+                  match
+                    Conceptual.Lower.run
+                      ~max_events:cfg.replay_max_events
+                      ~nranks:(Scalatrace.Trace.nranks trace)
+                      program
+                  with
+                  | _res -> (O_salvaged_generated, None, true)
+                  | exception e ->
+                      ( O_salvaged_generated,
+                        violation
+                          ("generated benchmark does not replay: "
+                         ^ Printexc.to_string e),
+                        false )))))
+
+(* ------------------------------------------------------------------ *)
+(* Campaign                                                             *)
+
+let run cfg =
+  let metrics = Obs.Metrics.create () in
+  let strict_ok = ref 0
+  and salvaged = ref 0
+  and unrecoverable = ref 0
+  and generated = ref 0
+  and replayed = ref 0
+  and cases = ref 0 in
+  let violations = ref [] in
+  let record (kind, viol, did_replay) =
+    incr cases;
+    let k =
+      match kind with
+      | O_strict_ok ->
+          incr strict_ok;
+          "strict_ok"
+      | O_salvaged_generated ->
+          incr salvaged;
+          incr generated;
+          "salvaged_generated"
+      | O_salvaged_error _ ->
+          incr salvaged;
+          "salvaged_error"
+      | O_unrecoverable ->
+          incr unrecoverable;
+          "unrecoverable"
+    in
+    if did_replay then incr replayed;
+    Obs.Metrics.inc metrics ~labels:[ ("outcome", k) ] "corrupt.cases";
+    match viol with
+    | None -> ()
+    | Some v ->
+        violations := v :: !violations;
+        Obs.Metrics.inc metrics "corrupt.violations";
+        cfg.log
+          (Printf.sprintf "VIOLATION seed=%d app=%s %s: %s" v.v_seed v.v_app
+             v.v_mutation v.v_what)
+  in
+  (* exhaustive frame-boundary truncation sweep *)
+  if cfg.sweep_boundaries then
+    List.iter
+      (fun app ->
+        let bytes = baseline ~nranks:cfg.nranks app in
+        List.iter
+          (fun pos ->
+            let mutation = Printf.sprintf "sweep-truncate@%d" pos in
+            record
+              (check_case cfg ~seed:0 ~app ~mutation
+                 (String.sub bytes 0 pos)))
+          (frame_boundaries bytes))
+      cfg.apps;
+  (* seeded random mutations *)
+  for seed = cfg.seed_start to cfg.seed_start + cfg.seeds - 1 do
+    let app = List.nth cfg.apps (seed mod List.length cfg.apps) in
+    let bytes = baseline ~nranks:cfg.nranks app in
+    let rng = Random.State.make [| seed; 0x5eed |] in
+    let mutation, mutated = mutate rng bytes in
+    record (check_case cfg ~seed ~app ~mutation mutated)
+  done;
+  {
+    cases = !cases;
+    strict_ok = !strict_ok;
+    salvaged = !salvaged;
+    unrecoverable = !unrecoverable;
+    generated = !generated;
+    replayed = !replayed;
+    violations = List.rev !violations;
+    metrics;
+  }

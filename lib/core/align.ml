@@ -2,6 +2,22 @@ open Scalatrace
 
 exception Align_error of string
 
+type policy = [ `Strict | `Best_effort ]
+
+type stall = {
+  st_edges : Util.Waitgraph.edge list;
+  st_missing : int list;
+}
+
+exception Incomplete of stall
+
+type outcome = {
+  out : Trace.t;
+  stall : stall option;
+  cut_anchors : int option;
+  dropped_events : int;
+}
+
 type node_state = {
   rank : int;
   mutable cursor : Traversal.cursor;
@@ -87,7 +103,50 @@ let merge_collective key arrivals members =
         hcache = 0;
       }
 
-let run (trace : Trace.t) =
+(* The wait-for graph at a stall: one edge per rank parked at a pending
+   collective, naming the members whose arrival it still needs and — as
+   [missing] — those that can never arrive because their stream ended. *)
+let stall_of_waits waits states =
+  let edges = ref [] in
+  Hashtbl.iter
+    (fun (comm, slot) (w : coll_wait) ->
+      let arrived = List.map (fun (r, _, _) -> r) w.arrivals in
+      let absent =
+        Util.Rank_set.to_list w.members
+        |> List.filter (fun r -> not (List.mem r arrived))
+      in
+      let dead = List.filter (fun r -> states.(r).finished) absent in
+      List.iter
+        (fun (r, (e : Event.t), _) ->
+          edges :=
+            Util.Waitgraph.edge ~rank:r
+              ~what:
+                (Printf.sprintf "%s at %s (communicator %d, slot %d)"
+                   (Event.kind_name e.kind)
+                   (Util.Callsite.to_string e.site)
+                   comm slot)
+              ~waiting_on:absent ~missing:dead ()
+            :: !edges)
+        w.arrivals)
+    waits;
+  let edges = !edges in
+  { st_edges = edges; st_missing = Util.Waitgraph.missing_ranks edges }
+
+let stall_message stall =
+  Util.Waitgraph.format
+    ~header:
+      "alignment cannot complete: collective participants will never arrive \
+       (trace truncated?)"
+    stall.st_edges
+
+(* Algorithm 1 with a safety net: the traversal carries an iteration
+   budget (it is linear in the event count when the trace is well-formed,
+   so the budget only trips on internal errors) and detects *dead waits*
+   — a parked collective whose missing member's stream already ended —
+   instead of spinning on them.  Under [`Strict] a dead wait raises; under
+   [`Best_effort] the traversal stops and the output is cut back to the
+   last channel-balanced world frontier (see {!Frontier}). *)
+let run_policy ?(policy : policy = `Strict) (trace : Trace.t) =
   let nranks = Trace.nranks trace in
   let comms = Trace.comms trace in
   let members_of cid =
@@ -127,11 +186,15 @@ let run (trace : Trace.t) =
     | Some r -> r
     | None -> assert false
   in
-  (* Jump over nodes blocked on other collectives, detecting cycles. *)
+  (* Jump over nodes blocked on other collectives.  [`Run r] — r can make
+     progress; [`Dead] — the chain reached a rank whose stream already
+     ended, so the wait can never complete; cycles mean mismatched
+     collective ordering in the application and always raise. *)
   let resolve_runnable start =
     let rec go r seen =
-      match states.(r).blocked with
-      | None -> r
+      let s = states.(r) in
+      match s.blocked with
+      | None -> if s.finished then `Dead else `Run r
       | Some key ->
           if List.mem r seen then
             raise
@@ -155,15 +218,28 @@ let run (trace : Trace.t) =
     (* resume at the first (smallest) node blocked on this collective *)
     List.fold_left (fun acc (r, _, _) -> min acc r) max_int w.arrivals
   in
+  (* Linear in events for well-formed traces; generous slack for the
+     park/resume bookkeeping.  Tripping it means an internal invariant
+     broke — better a typed error than a hang. *)
+  let budget = ref ((2 * Trace.event_count trace) + (16 * nranks) + 64) in
+  let stall = ref None in
   let current = ref (Some 0) in
-  while !current <> None do
+  while !current <> None && !stall = None do
+    decr budget;
+    if !budget < 0 then
+      raise (Align_error "internal: alignment exceeded its traversal budget");
     let r = Option.get !current in
     let s = states.(r) in
+    let continue_at step =
+      match step with
+      | Some (`Run r') -> current := Some r'
+      | Some `Dead -> stall := Some (stall_of_waits waits states)
+      | None -> current := None
+    in
     match Traversal.peek s.cursor with
     | None ->
         s.finished <- true;
-        current :=
-          Option.map resolve_runnable (next_unfinished r)
+        continue_at (Option.map resolve_runnable (next_unfinished r))
     | Some (e, after) ->
         if not (Event.is_collective e.kind) then begin
           Traversal.emit_single rebuild ~rank:r e;
@@ -188,17 +264,37 @@ let run (trace : Trace.t) =
             current := Some (finish_collective key)
           else begin
             s.blocked <- Some key;
-            current := Some (resolve_runnable (next_missing key))
+            continue_at (Some (resolve_runnable (next_missing key)))
           end
         end
   done;
-  (match next_unfinished 0 with
-  | Some r ->
-      raise
-        (Align_error
-           (Printf.sprintf "rank %d never reached MPI_Finalize during alignment" r))
-  | None -> ());
-  Traversal.rebuild_finish rebuild
+  match (!stall, policy) with
+  | Some st, `Strict -> raise (Incomplete st)
+  | Some st, `Best_effort ->
+      let out, anchors = Frontier.cut ~rebuild () in
+      {
+        out;
+        stall = Some st;
+        cut_anchors = Some anchors;
+        dropped_events = Trace.event_count trace - Trace.event_count out;
+      }
+  | None, _ ->
+      let out = Traversal.rebuild_finish rebuild in
+      if policy = `Best_effort && not (Frontier.balanced out) then
+        (* no collective ever went unanswered, but a p2p conversation was
+           cut mid-flight (pure point-to-point truncation) *)
+        let out', anchors = Frontier.cut ~rebuild () in
+        {
+          out = out';
+          stall = None;
+          cut_anchors = Some anchors;
+          dropped_events = Trace.event_count trace - Trace.event_count out';
+        }
+      else { out; stall = None; cut_anchors = None; dropped_events = 0 }
+
+let run trace =
+  try (run_policy ~policy:`Strict trace).out
+  with Incomplete st -> raise (Align_error (stall_message st))
 
 let align_if_needed trace =
   if Trace.has_unaligned_collectives trace then (run trace, true)

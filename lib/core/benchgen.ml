@@ -21,6 +21,9 @@ type warning = Pipeline.warning =
   | W_aligned of { input_rsds : int; output_rsds : int }
   | W_wildcard_resolved
   | W_wildcard_fallback of string
+  | W_salvaged of Scalatrace.Salvage.report
+  | W_truncated_frontier of { anchors : int; dropped_events : int }
+  | W_missing_participants of { missing : int list; detail : string }
 
 type gen_error = Pipeline.gen_error =
   | E_potential_deadlock of string
@@ -29,6 +32,7 @@ type gen_error = Pipeline.gen_error =
   | E_trace_format of string
   | E_io of string
   | E_codegen of string
+  | E_unrecoverable_trace of string
 
 let warning_to_string = Pipeline.warning_to_string
 let error_to_string = Pipeline.error_to_string
@@ -42,6 +46,7 @@ let raise_gen_error : gen_error -> 'a = function
   | E_trace_format msg -> raise (Scalatrace.Trace_io.Format_error msg)
   | E_io msg -> raise (Sys_error msg)
   | E_codegen msg -> raise (Codegen.Codegen_error msg)
+  | E_unrecoverable_trace msg -> raise (Scalatrace.Trace_io.Format_error msg)
 
 let generate ?name ?compute_floor_usecs trace =
   match

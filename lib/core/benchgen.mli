@@ -43,6 +43,15 @@ type warning = Pipeline.warning =
   | W_wildcard_resolved  (** Algorithm 2 pinned wildcard receives *)
   | W_wildcard_fallback of string
       (** the [`Auto] strategy abandoned the untimed traversal *)
+  | W_salvaged of Scalatrace.Salvage.report
+      (** the trace file was damaged; generation continued from what the
+          salvage loader recovered *)
+  | W_truncated_frontier of { anchors : int; dropped_events : int }
+      (** best-effort recovery cut the benchmark at the last globally
+          consistent collective frontier *)
+  | W_missing_participants of { missing : int list; detail : string }
+      (** a collective could never complete ([detail] is the wait-for
+          graph) *)
 
 type gen_error = Pipeline.gen_error =
   | E_potential_deadlock of string  (** paper Figure 5: input can hang *)
@@ -51,6 +60,9 @@ type gen_error = Pipeline.gen_error =
   | E_trace_format of string  (** unparseable trace file *)
   | E_io of string  (** file-system failure *)
   | E_codegen of string  (** code generation rejected the trace *)
+  | E_unrecoverable_trace of string
+      (** the damaged trace kept nothing usable, or recovery policy
+          forbids generating from what remains *)
 
 val warning_to_string : warning -> string
 val error_to_string : gen_error -> string

@@ -28,6 +28,22 @@ let defect_of_string s =
             drop-tail)"
            s)
 
+type recovery = [ `Strict | `Salvage | `Best_effort ]
+
+let recovery_to_string = function
+  | `Strict -> "strict"
+  | `Salvage -> "salvage"
+  | `Best_effort -> "best-effort"
+
+let recovery_of_string = function
+  | "strict" -> Ok `Strict
+  | "salvage" -> Ok `Salvage
+  | "best-effort" | "best_effort" -> Ok `Best_effort
+  | s ->
+      Error
+        (Printf.sprintf
+           "unknown recovery mode %S (expected strict, salvage, best-effort)" s)
+
 type config = {
   name : string option;
   net : Mpisim.Netmodel.t option;
@@ -38,6 +54,7 @@ type config = {
   compute_floor_usecs : float option;
   obs : Obs.Sink.t;
   defect : defect option;
+  recovery : recovery;
 }
 
 let default =
@@ -51,6 +68,7 @@ let default =
     compute_floor_usecs = None;
     obs = Obs.Sink.nil;
     defect = None;
+    recovery = `Strict;
   }
 
 type source =
@@ -72,6 +90,9 @@ type warning =
   | W_aligned of { input_rsds : int; output_rsds : int }
   | W_wildcard_resolved
   | W_wildcard_fallback of string
+  | W_salvaged of Scalatrace.Salvage.report
+  | W_truncated_frontier of { anchors : int; dropped_events : int }
+  | W_missing_participants of { missing : int list; detail : string }
 
 type gen_error =
   | E_potential_deadlock of string
@@ -80,6 +101,7 @@ type gen_error =
   | E_trace_format of string
   | E_io of string
   | E_codegen of string
+  | E_unrecoverable_trace of string
 
 let warning_to_string = function
   | W_aligned { input_rsds; output_rsds } ->
@@ -89,6 +111,22 @@ let warning_to_string = function
   | W_wildcard_resolved ->
       "wildcard receives were pinned to concrete senders (Algorithm 2)"
   | W_wildcard_fallback msg -> "wildcard resolution degraded: " ^ msg
+  | W_salvaged report ->
+      "trace was damaged; loaded what survived — "
+      ^ Scalatrace.Salvage.report_to_string report
+  | W_truncated_frontier { anchors; dropped_events } ->
+      Printf.sprintf
+        "benchmark truncated to the last globally consistent frontier (%d \
+         world collective%s kept, %d trace events dropped)"
+        anchors
+        (if anchors = 1 then "" else "s")
+        dropped_events
+  | W_missing_participants { missing; detail } ->
+      Printf.sprintf
+        "collective participants missing from the trace (rank%s %s): %s"
+        (if List.length missing = 1 then "" else "s")
+        (String.concat "," (List.map string_of_int missing))
+        detail
 
 let error_to_string = function
   | E_potential_deadlock msg -> "potential deadlock: " ^ msg
@@ -97,6 +135,7 @@ let error_to_string = function
   | E_trace_format msg -> "malformed trace: " ^ msg
   | E_io msg -> "I/O error: " ^ msg
   | E_codegen msg -> "code generation failed: " ^ msg
+  | E_unrecoverable_trace msg -> "unrecoverable trace: " ^ msg
 
 type artifact = {
   report : report;
@@ -192,11 +231,41 @@ let drop_tail_node trace =
 (* ------------------------------------------------------------------ *)
 (* The pipeline                                                        *)
 
-let acquire cfg clock metrics source =
+(* Internal escape from [acquire] when even the salvage loader finds
+   nothing usable; surfaced as [E_unrecoverable_trace]. *)
+exception Unrecoverable of string
+
+(* Load a trace file under the configured recovery mode: [`Strict] takes
+   the fast strict parser (any damage is a format error); the tolerant
+   modes fall back to the salvage loader and report what was recovered. *)
+let load_with_recovery cfg ~warn metrics path =
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  match cfg.recovery with
+  | `Strict -> Scalatrace.Trace_io.of_string ~path text
+  | `Salvage | `Best_effort -> (
+      match Scalatrace.Trace_io.of_string ~path text with
+      | trace -> trace
+      | exception Scalatrace.Trace_io.Format_error _ -> (
+          match Scalatrace.Salvage.of_string ~path text with
+          | Error msg -> raise (Unrecoverable (path ^ ": " ^ msg))
+          | Ok (trace, report) ->
+              Obs.Metrics.inc metrics ~by:report.frames_dropped
+                "salvage.frames_dropped";
+              Obs.Metrics.inc metrics
+                ~by:(List.length report.ranks_missing)
+                "salvage.ranks_missing";
+              (match Scalatrace.Salvage.events_lost report with
+              | Some n -> Obs.Metrics.inc metrics ~by:n "salvage.events_lost"
+              | None -> ());
+              if Scalatrace.Salvage.is_degraded report then
+                warn (W_salvaged report);
+              trace))
+
+let acquire cfg ~warn clock metrics source =
   with_span cfg.obs clock "trace" (fun () ->
       match source with
       | From_trace trace -> (trace, None)
-      | From_file path -> (Scalatrace.Trace_io.load ~path, None)
+      | From_file path -> (load_with_recovery cfg ~warn metrics path, None)
       | From_app { nranks; app } ->
           let profile = Mpip.create () in
           let hooks =
@@ -223,6 +292,9 @@ let run cfg source =
       | W_aligned _ -> "aligned"
       | W_wildcard_resolved -> "wildcard_resolved"
       | W_wildcard_fallback _ -> "wildcard_fallback"
+      | W_salvaged _ -> "salvaged"
+      | W_truncated_frontier _ -> "truncated_frontier"
+      | W_missing_participants _ -> "missing_participants"
     in
     Obs.Metrics.inc metrics ~labels:[ ("kind", kind) ] "pipeline.warnings"
   in
@@ -231,16 +303,54 @@ let run cfg source =
     | From_file path -> Some (Option.value ~default:path cfg.name)
     | From_trace _ | From_app _ -> cfg.name
   in
-  match acquire cfg clock metrics source with
+  match acquire cfg ~warn clock metrics source with
   | exception Scalatrace.Trace_io.Format_error msg -> Error (E_trace_format msg)
   | exception Sys_error msg -> Error (E_io msg)
+  | exception Unrecoverable msg -> Error (E_unrecoverable_trace msg)
   | trace, trace_outcome -> (
       try
         let input_rsds = Scalatrace.Trace.rsd_count trace in
         Obs.Metrics.set metrics "trace.input_rsds" (float_of_int input_rsds);
         let trace, aligned =
           with_span cfg.obs clock "align" (fun () ->
-              Align.align_if_needed trace)
+              let needs_align =
+                Scalatrace.Trace.has_unaligned_collectives trace
+              in
+              (* Under best-effort recovery, a trace whose channels do not
+                 close (truncated streams) is cut back to the last
+                 globally consistent frontier even when no collective
+                 needs aligning. *)
+              let needs_cut =
+                cfg.recovery = `Best_effort
+                && (not needs_align)
+                && not (Frontier.balanced trace)
+              in
+              if not (needs_align || needs_cut) then (trace, false)
+              else
+                let policy =
+                  match cfg.recovery with
+                  | `Best_effort -> `Best_effort
+                  | `Strict | `Salvage -> `Strict
+                in
+                let o = Align.run_policy ~policy trace in
+                (match o.Align.stall with
+                | Some st ->
+                    warn
+                      (W_missing_participants
+                         {
+                           missing = st.Align.st_missing;
+                           detail = Align.stall_message st;
+                         })
+                | None -> ());
+                (match o.Align.cut_anchors with
+                | Some anchors ->
+                    Obs.Metrics.inc metrics ~by:o.Align.dropped_events
+                      "salvage.events_truncated";
+                    warn
+                      (W_truncated_frontier
+                         { anchors; dropped_events = o.Align.dropped_events })
+                | None -> ());
+                (o.Align.out, needs_align))
         in
         if aligned then
           warn
@@ -288,9 +398,11 @@ let run cfg source =
             List.rev !warnings )
       with
       | Wildcard.Potential_deadlock msg -> Error (E_potential_deadlock msg)
+      | Align.Incomplete st -> Error (E_unrecoverable_trace (Align.stall_message st))
       | Align.Align_error msg -> Error (E_align msg)
       | Wildcard.Wildcard_error msg -> Error (E_wildcard msg)
-      | Codegen.Codegen_error msg -> Error (E_codegen msg))
+      | Codegen.Codegen_error msg -> Error (E_codegen msg)
+      | Sys_error msg -> Error (E_io msg))
 
 (* ------------------------------------------------------------------ *)
 (* Validation                                                          *)

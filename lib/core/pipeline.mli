@@ -38,6 +38,21 @@ val defect_to_string : defect -> string
     ["scale-bytes:<k>"], ["drop-tail"]. *)
 val defect_of_string : string -> (defect, string) result
 
+(** How much damage the pipeline tolerates in its input trace:
+    - [`Strict] — any corruption or truncation is an error (the default);
+    - [`Salvage] — load what survives of a damaged file (with a
+      {!warning.W_salvaged} report), but refuse to generate if the
+      surviving trace cannot be fully aligned;
+    - [`Best_effort] — additionally cut a truncated trace back to its
+      last globally consistent collective frontier so a runnable (if
+      shorter) benchmark is still generated. *)
+type recovery = [ `Strict | `Salvage | `Best_effort ]
+
+val recovery_to_string : recovery -> string
+
+(** Parse a CLI spelling: ["strict"], ["salvage"], ["best-effort"]. *)
+val recovery_of_string : string -> (recovery, string) result
+
 type config = {
   name : string option;  (** benchmark name in the generated program *)
   net : Mpisim.Netmodel.t option;
@@ -54,6 +69,8 @@ type config = {
   defect : defect option;
       (** deliberately broken pipeline for fuzzing self-tests (default
           [None] — the correct pipeline) *)
+  recovery : recovery;
+      (** damage tolerance for input traces (default [`Strict]) *)
 }
 
 (** All-defaults configuration; build variants with
@@ -85,6 +102,16 @@ type warning =
   | W_wildcard_resolved  (** Algorithm 2 pinned wildcard receives *)
   | W_wildcard_fallback of string
       (** the [`Auto] strategy abandoned the untimed traversal *)
+  | W_salvaged of Scalatrace.Salvage.report
+      (** the trace file was damaged; generation continued from what the
+          salvage loader recovered *)
+  | W_truncated_frontier of { anchors : int; dropped_events : int }
+      (** best-effort mode cut the benchmark at the last globally
+          consistent world-collective frontier *)
+  | W_missing_participants of { missing : int list; detail : string }
+      (** a collective could never complete: [missing] ranks' streams
+          ended before arriving; [detail] is the formatted wait-for
+          graph *)
 
 type gen_error =
   | E_potential_deadlock of string  (** paper Figure 5: input can hang *)
@@ -95,6 +122,9 @@ type gen_error =
   | E_codegen of string
       (** code generation rejected the trace (e.g. unresolved wildcards
           under {!defect.D_skip_wildcard}) *)
+  | E_unrecoverable_trace of string
+      (** nothing usable survived the damage, or the surviving trace
+          cannot be aligned and [config.recovery] forbids truncation *)
 
 val warning_to_string : warning -> string
 val error_to_string : gen_error -> string

@@ -95,7 +95,35 @@ let emit_group t ~ranks e =
   in
   t.items <- { anchor = e'; pre } :: t.items
 
-let rebuild_finish t =
+let is_world_anchor t { anchor; _ } =
+  Util.Rank_set.cardinal anchor.Event.ranks = t.nranks
+
+let world_anchor_count t =
+  List.fold_left
+    (fun acc it -> if is_world_anchor t it then acc + 1 else acc)
+    0 t.items
+
+(* When [upto_world_anchor = Some k], keep only the emission prefix up to
+   and including the k-th world-spanning anchor — the "globally consistent
+   frontier" of degraded-mode generation: every rank is provably at the
+   same program point right after a world collective, so cutting there
+   leaves all send/recv channels balanced. *)
+let rebuild_finish ?upto_world_anchor t =
+  let items = List.rev t.items in
+  let items, truncating =
+    match upto_world_anchor with
+    | None -> (items, false)
+    | Some k when k <= 0 -> ([], true)
+    | Some k ->
+        let rec take n = function
+          | [] -> []
+          | it :: rest ->
+              if is_world_anchor t it then
+                if n <= 1 then [ it ] else it :: take (n - 1) rest
+              else it :: take n rest
+        in
+        (take k items, true)
+  in
   let out = Compress.create ~nranks:t.nranks () in
   let flush_segments segments =
     List.iter
@@ -105,13 +133,17 @@ let rebuild_finish t =
   List.iter
     (fun { anchor; pre } ->
       flush_segments pre;
-      Compress.push_node out (Tnode.Leaf anchor))
-    (List.rev t.items);
-  (* events of ranks whose stream ends without a final anchor *)
-  flush_segments
-    (Array.to_list t.per_rank
-    |> List.filter_map (fun c ->
-           match Compress.contents c with [] -> None | seg -> Some seg));
+      (* anchors are copied so finish can run more than once (the
+         degraded-mode driver probes successively earlier frontiers) *)
+      Compress.push_node out (Tnode.Leaf (Event.copy anchor)))
+    items;
+  (* events of ranks whose stream ends without a final anchor; dropped
+     when truncating to a frontier — they lie beyond the cut *)
+  if not truncating then
+    flush_segments
+      (Array.to_list t.per_rank
+      |> List.filter_map (fun c ->
+             match Compress.contents c with [] -> None | seg -> Some seg));
   let nodes =
     Tnode.map_leaves
       (fun e ->

@@ -44,4 +44,14 @@ val emit_single : rebuild -> rank:int -> Scalatrace.Event.t -> unit
     per collective instance, when all participants have arrived. *)
 val emit_group : rebuild -> ranks:Util.Rank_set.t -> Scalatrace.Event.t -> unit
 
-val rebuild_finish : rebuild -> Scalatrace.Trace.t
+(** Number of world-spanning collective anchors emitted so far — the
+    candidate cut points for degraded-mode truncation. *)
+val world_anchor_count : rebuild -> int
+
+(** Build the output trace.  With [upto_world_anchor:k], keep only the
+    emission prefix up to and including the [k]-th world-spanning anchor
+    and drop the open per-rank segments beyond it — the "globally
+    consistent frontier" cut of degraded-mode generation.  May be called
+    more than once on the same rebuild (e.g. probing successively earlier
+    frontiers). *)
+val rebuild_finish : ?upto_world_anchor:int -> rebuild -> Scalatrace.Trace.t

@@ -285,10 +285,78 @@ let rank_lines st buf =
       end)
     st.ranks
 
+(* Who is each unfinished rank actually waiting for?  Point-to-point calls
+   name their peer directly; a rank parked in a collective waits for the
+   members that have not reached its pending instance.  Peers that have
+   already finished can never arrive — those are the [missing] set. *)
+let wait_edges st =
+  let finished w = w >= 0 && w < st.nranks && st.ranks.(w).rs_finished in
+  let edges = ref [] in
+  Array.iter
+    (fun rs ->
+      if not rs.rs_finished then
+        match rs.rs_current with
+        | None -> ()
+        | Some c ->
+            let what =
+              Format.asprintf "%a at %a" Call.pp_op c.Call.op Util.Callsite.pp
+                c.Call.site
+            in
+            let world_of l = Comm.world_of_local c.Call.comm l in
+            let waiting_on =
+              match c.Call.op with
+              | Call.Recv { src = Call.Rank s; _ }
+              | Call.Irecv { src = Call.Rank s; _ } ->
+                  [ world_of s ]
+              | Call.Send { dst; _ } | Call.Isend { dst; _ } -> [ world_of dst ]
+              | Call.Recv { src = Call.Any_source; _ }
+              | Call.Irecv { src = Call.Any_source; _ }
+              | Call.Wait _ | Call.Waitall _ | Call.Compute _ | Call.Wtime ->
+                  []
+              | _ ->
+                  (* collective: comm members absent from the pending
+                     instance this rank has arrived at *)
+                  let cid = Comm.id c.Call.comm in
+                  let pending =
+                    Hashtbl.fold
+                      (fun (kcid, _) cs acc ->
+                        if
+                          kcid = cid
+                          && List.exists
+                               (fun (w, _, _) -> w = rs.rs_rank)
+                               cs.c_arrivals
+                        then Some cs
+                        else acc)
+                      st.colls None
+                  in
+                  (match pending with
+                  | None -> []
+                  | Some cs ->
+                      Comm.members cs.c_comm |> Array.to_list
+                      |> List.filter (fun w ->
+                             not
+                               (List.exists
+                                  (fun (a, _, _) -> a = w)
+                                  cs.c_arrivals)))
+            in
+            let missing = List.filter finished waiting_on in
+            edges :=
+              Util.Waitgraph.edge ~rank:rs.rs_rank ~what ~waiting_on ~missing
+                ()
+              :: !edges)
+    st.ranks;
+  List.rev !edges
+
+let add_wait_graph st buf =
+  match wait_edges st with
+  | [] -> ()
+  | edges -> Buffer.add_string buf ("\n" ^ Util.Waitgraph.format edges)
+
 let deadlock_report st =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "simulation deadlock; stuck ranks:";
   rank_lines st buf;
+  add_wait_graph st buf;
   Buffer.contents buf
 
 let stalled_report st ~reason =
@@ -297,6 +365,7 @@ let stalled_report st ~reason =
     (Printf.sprintf "simulation stalled: %s after %d events at t=%.6fs; \
                      unfinished ranks:" reason st.n_events st.now);
   rank_lines st buf;
+  add_wait_graph st buf;
   Buffer.contents buf
 
 (* Per-transfer fault effects at departure time [depart]:
@@ -332,15 +401,27 @@ let transmit st (m : Mq.msg) ~depart ~attempt =
     fire_fault st
       (Hooks.F_drop { src = m.m_src; dst = m.m_dst; bytes = m.m_bytes; attempt });
     let p = Fault.plan f in
-    if attempt >= p.max_retries then
+    if attempt >= p.max_retries then begin
+      (* The receiver is now waiting on a message that will never come;
+         say exactly which pair and tag gave up, in wait-for-graph form. *)
+      let doomed =
+        Util.Waitgraph.edge ~rank:m.m_dst
+          ~what:
+            (Printf.sprintf "receive of %dB message (tag %d)" m.m_bytes
+               m.m_tag)
+          ~waiting_on:[ m.m_src ] ()
+      in
       raise
         (Stalled
            (stalled_report st
               ~reason:
                 (Printf.sprintf
                    "message %d->%d (%dB, tag %d) lost %d times; \
-                    retransmission budget exhausted"
-                   m.m_src m.m_dst m.m_bytes m.m_tag (attempt + 1))))
+                    retransmission budget exhausted\n%s"
+                   m.m_src m.m_dst m.m_bytes m.m_tag (attempt + 1)
+                   (Util.Waitgraph.format
+                      ~header:"undeliverable message:" [ doomed ]))))
+    end
     else begin
       fs.timeouts <- fs.timeouts + 1;
       schedule st

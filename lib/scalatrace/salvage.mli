@@ -1,0 +1,44 @@
+(** Tolerant loading of damaged trace files.
+
+    Where {!Trace_io.load} is strict — one flipped byte and the whole
+    file is rejected — this loader recovers everything the damage did
+    not touch: frames with failing checksums are dropped, rank streams
+    are cut to their longest well-formed prefix, lost sections are
+    reconstructed from redundant ones, and the caller gets a typed
+    {!report} of exactly what was recovered and what was lost.  Only
+    when no usable content remains does it return [Error].
+
+    Works on both formats: the framed v2 container (per-frame recovery)
+    and the v1 line format (longest-prefix recovery). *)
+
+type rank_recovery = {
+  rr_rank : int;
+  rr_events : int;  (** events recovered for this rank *)
+  rr_events_lost : int option;
+      (** events lost vs. the timing manifest; [None] when the manifest
+          itself was lost *)
+  rr_truncated : bool;  (** stream cut short or filtered *)
+}
+
+type report = {
+  format_version : int;  (** 1 or 2 *)
+  frames_seen : int;  (** v2 only; 0 for v1 *)
+  frames_dropped : int;  (** checksum failures + garbled headers *)
+  ranks_missing : int list;  (** ranks whose stream frame vanished *)
+  per_rank : rank_recovery list;
+  notes : string list;  (** human-readable recovery decisions *)
+}
+
+type outcome = (Trace.t * report, string) result
+
+(** True when anything at all was lost (the trace differs from what was
+    written). *)
+val is_degraded : report -> bool
+
+(** Total events lost across ranks; [None] if unknown for any rank. *)
+val events_lost : report -> int option
+
+val report_to_string : report -> string
+
+val of_string : ?path:string -> string -> outcome
+val load : path:string -> outcome

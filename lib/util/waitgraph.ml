@@ -1,0 +1,43 @@
+type edge = {
+  e_rank : int;
+  e_what : string;
+  e_waiting_on : int list;
+  e_missing : int list;
+}
+
+let edge ~rank ~what ?(waiting_on = []) ?(missing = []) () =
+  {
+    e_rank = rank;
+    e_what = what;
+    e_waiting_on = List.sort_uniq compare waiting_on;
+    e_missing = List.sort_uniq compare missing;
+  }
+
+let ranks_str = function
+  | [] -> "-"
+  | rs -> String.concat "," (List.map string_of_int rs)
+
+let edge_to_string e =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (Printf.sprintf "rank %d blocked in %s" e.e_rank e.e_what);
+  if e.e_waiting_on <> [] then
+    Buffer.add_string b
+      (Printf.sprintf " <- waiting on rank(s) %s" (ranks_str e.e_waiting_on));
+  if e.e_missing <> [] then
+    Buffer.add_string b
+      (Printf.sprintf " (missing: %s)" (ranks_str e.e_missing));
+  Buffer.contents b
+
+let format ?(header = "wait-for graph:") edges =
+  let edges = List.sort (fun a b -> compare a.e_rank b.e_rank) edges in
+  let b = Buffer.create 256 in
+  Buffer.add_string b header;
+  List.iter
+    (fun e ->
+      Buffer.add_string b "\n  ";
+      Buffer.add_string b (edge_to_string e))
+    edges;
+  Buffer.contents b
+
+let missing_ranks edges =
+  List.sort_uniq compare (List.concat_map (fun e -> e.e_missing) edges)

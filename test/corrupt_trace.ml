@@ -1,0 +1,70 @@
+(* Deterministic trace-damage helper for the CLI smoke tests:
+
+     corrupt_trace <in> <out> truncate   # cut at the last frame boundary
+     corrupt_trace <in> <out> flip       # flip one payload byte
+
+   Kept dependency-free so the dune rule can build it cheaply. *)
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_all path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let frame_boundaries bytes =
+  let n = String.length bytes in
+  let rec go pos acc =
+    if pos >= n then List.rev acc
+    else
+      let acc =
+        if
+          n - pos >= 6
+          && String.sub bytes pos 6 = "frame "
+          && (pos = 0 || bytes.[pos - 1] = '\n')
+        then pos :: acc
+        else acc
+      in
+      match String.index_from_opt bytes pos '\n' with
+      | Some nl -> go (nl + 1) acc
+      | None -> List.rev acc
+  in
+  go 0 []
+
+let () =
+  match Sys.argv with
+  | [| _; input; output; mode |] -> (
+      let bytes = read_all input in
+      let bounds = frame_boundaries bytes in
+      match mode with
+      | "truncate" ->
+          (* cut at the last interior frame boundary *)
+          let cut =
+            match List.rev bounds with
+            | _end :: prev :: _ -> prev
+            | [ only ] -> only
+            | [] -> String.length bytes / 2
+          in
+          write_all output (String.sub bytes 0 cut)
+      | "flip" ->
+          (* flip a byte in the middle of the largest frame payload *)
+          let b = Bytes.of_string bytes in
+          let pos =
+            match bounds with
+            | _ :: _ :: third :: _ -> third + 40
+            | _ -> Bytes.length b / 2
+          in
+          let pos = min pos (Bytes.length b - 1) in
+          Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x20));
+          write_all output (Bytes.to_string b)
+      | m ->
+          prerr_endline ("corrupt_trace: unknown mode " ^ m);
+          exit 2)
+  | _ ->
+      prerr_endline "usage: corrupt_trace <in> <out> truncate|flip";
+      exit 2

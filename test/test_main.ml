@@ -15,6 +15,7 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("check", Test_check.suite);
       ("trace_io", Test_trace_io.suite);
+      ("salvage", Test_salvage.suite);
       ("timing", Test_timing.suite);
       ("obs", Test_obs.suite);
     ]

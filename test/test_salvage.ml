@@ -1,0 +1,265 @@
+(* The resilient-ingestion layer: framed (v2) round trips, v1 -> v2
+   migration, golden frame headers, the salvage loader, degraded-mode
+   generation, and the corruption-fuzz contract. *)
+
+open Scalatrace
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* Same structural signature as test_trace_io: per-rank event sequences
+   plus shape counters. *)
+let seq_sig trace rank =
+  let out = ref [] in
+  let rec go cursor =
+    match Benchgen.Traversal.peek cursor with
+    | None -> ()
+    | Some (e, after) ->
+        out :=
+          ( Event.kind_name e.Event.kind,
+            Event.peer_of e ~rank ~nranks:(Trace.nranks trace),
+            e.Event.bytes, e.Event.tag, e.Event.comm )
+          :: !out;
+        go after
+  in
+  go (Benchgen.Traversal.start (Trace.project trace ~rank));
+  List.rev !out
+
+let roundtrip_equal a b =
+  Trace.nranks a = Trace.nranks b
+  && Trace.event_count a = Trace.event_count b
+  && List.for_all
+       (fun r -> seq_sig a r = seq_sig b r)
+       (List.init (Trace.nranks a) Fun.id)
+
+let app_trace ?(nranks = 8) name =
+  let app = Option.get (Apps.Registry.find name) in
+  let nranks = Apps.Registry.fit_nranks app ~wanted:nranks in
+  let trace, _ =
+    Tracer.trace_run ~nranks (app.program ~cls:Apps.Params.S ())
+  in
+  trace
+
+(* v2 round trip for one registry app: the framed bytes must reload to a
+   structurally identical trace, and re-saving must be byte-stable. *)
+let framed_roundtrip name =
+  t (name ^ " framed (v2) round trip is byte-stable") (fun () ->
+      let trace = app_trace name in
+      let bytes = Trace_io.to_framed trace in
+      let trace' = Trace_io.of_string bytes in
+      Alcotest.(check bool) "round-trip" true (roundtrip_equal trace trace');
+      Alcotest.(check string) "byte-stable" bytes (Trace_io.to_framed trace'))
+
+(* v1 -> v2 migration: load the line format, save framed, reload. *)
+let migration name =
+  t (name ^ " v1 -> v2 migration preserves the trace") (fun () ->
+      let trace = app_trace name in
+      let via_v1 = Trace_io.of_text (Trace_io.to_text trace) in
+      let via_v2 = Trace_io.of_string (Trace_io.to_framed via_v1) in
+      Alcotest.(check bool) "identity" true (roundtrip_equal trace via_v2))
+
+let all_app_names =
+  List.map (fun (a : Apps.Registry.app) -> a.name) Apps.Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Damage helpers                                                       *)
+
+let frame_boundaries bytes =
+  let n = String.length bytes in
+  let rec go pos acc =
+    if pos >= n then List.rev acc
+    else
+      let acc =
+        if
+          n - pos >= 6
+          && String.sub bytes pos 6 = "frame "
+          && (pos = 0 || bytes.[pos - 1] = '\n')
+        then pos :: acc
+        else acc
+      in
+      match String.index_from_opt bytes pos '\n' with
+      | Some nl -> go (nl + 1) acc
+      | None -> List.rev acc
+  in
+  go 0 []
+
+(* Drop one whole rank frame (header line through the next boundary). *)
+let ablate_rank_frame bytes ~rank =
+  let bs = frame_boundaries bytes in
+  let prefix = Printf.sprintf "frame rank:%d " rank in
+  let start =
+    List.find
+      (fun pos ->
+        String.length bytes - pos > String.length prefix
+        && String.sub bytes pos (String.length prefix) = prefix)
+      bs
+  in
+  let stop =
+    match List.find_opt (fun b -> b > start) bs with
+    | Some b -> b
+    | None -> String.length bytes
+  in
+  String.sub bytes 0 start
+  ^ String.sub bytes stop (String.length bytes - stop)
+
+let with_temp_file bytes f =
+  let path = Filename.temp_file "salvage" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc bytes);
+      f path)
+
+let run_pipeline ~recovery path =
+  Benchgen.Pipeline.run
+    { Benchgen.Pipeline.default with recovery }
+    (Benchgen.Pipeline.From_file path)
+
+(* ------------------------------------------------------------------ *)
+
+let unit_tests =
+  [
+    t "golden v2 frame headers" (fun () ->
+        (* Byte-level compatibility contract: magic line, then a header
+           frame whose payload is "nranks 2" with its IEEE CRC32. *)
+        let prog (ctx : Mpisim.Mpi.ctx) =
+          if ctx.rank = 0 then Mpisim.Mpi.send ctx ~dst:1 ~bytes:64 ~tag:1
+          else
+            ignore
+              (Mpisim.Mpi.recv ctx ~src:(Mpisim.Call.Rank 0)
+                 ~tag:(Mpisim.Call.Tag 1) ~bytes:64);
+          Mpisim.Mpi.finalize ctx
+        in
+        let trace, _ = Tracer.trace_run ~nranks:2 prog in
+        let bytes = Trace_io.to_framed trace in
+        let expect_prefix =
+          "scalatrace-frames 2\n"
+          ^ "frame header 8 d9dd6a18\n" ^ "nranks 2\n"
+          ^ "frame comms 12 57d0c0cf\n" ^ "comm 0 0:1:1\n"
+        in
+        Alcotest.(check string)
+          "prefix" expect_prefix
+          (String.sub bytes 0 (String.length expect_prefix));
+        Alcotest.(check string)
+          "frame_header helper" "frame header 8 d9dd6a18"
+          (Trace_io.frame_header ~kind:"header" ~payload:"nranks 2"));
+    t "crc32 matches the IEEE reference" (fun () ->
+        (* "123456789" -> cbf43926 is the standard CRC-32 check value. *)
+        Alcotest.(check string)
+          "check value" "cbf43926"
+          (Util.Crc32.to_hex (Util.Crc32.string "123456789")));
+    t "salvage of an intact file is a clean report" (fun () ->
+        let trace = app_trace "ring" ~nranks:4 in
+        match Salvage.of_string (Trace_io.to_framed trace) with
+        | Error m -> Alcotest.fail m
+        | Ok (trace', report) ->
+            Alcotest.(check bool) "equal" true (roundtrip_equal trace trace');
+            Alcotest.(check bool)
+              "not degraded" false
+              (Salvage.is_degraded report));
+    t "salvage recovers the surviving ranks of an ablated file" (fun () ->
+        let trace = app_trace "ring" ~nranks:4 in
+        let damaged = ablate_rank_frame (Trace_io.to_framed trace) ~rank:2 in
+        match Salvage.of_string damaged with
+        | Error m -> Alcotest.fail m
+        | Ok (trace', report) ->
+            Alcotest.(check bool) "degraded" true (Salvage.is_degraded report);
+            Alcotest.(check (list int)) "rank 2 gone" [ 2 ] report.ranks_missing;
+            Alcotest.(check int) "nranks kept" 4 (Trace.nranks trace');
+            (* the other ranks' streams survive in full *)
+            List.iter
+              (fun r ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "rank %d stream intact" r)
+                  true
+                  (seq_sig trace r = seq_sig trace' r))
+              [ 0; 1; 3 ]);
+    t "salvage of a v1 body truncation recovers a prefix" (fun () ->
+        let trace = app_trace "ring" ~nranks:4 in
+        let text = Trace_io.to_text trace in
+        let cut = String.sub text 0 (String.length text * 2 / 3) in
+        match Salvage.of_string cut with
+        | Error m -> Alcotest.fail m
+        | Ok (trace', report) ->
+            Alcotest.(check int) "v1" 1 report.format_version;
+            Alcotest.(check bool) "degraded" true (Salvage.is_degraded report);
+            Alcotest.(check bool)
+              "prefix only" true
+              (Trace.event_count trace' <= Trace.event_count trace));
+    t "strict pipeline rejects a damaged file" (fun () ->
+        let trace = app_trace "ring" ~nranks:4 in
+        let damaged = ablate_rank_frame (Trace_io.to_framed trace) ~rank:0 in
+        with_temp_file damaged (fun path ->
+            match run_pipeline ~recovery:`Strict path with
+            | Error (Benchgen.E_trace_format _) -> ()
+            | Error e -> Alcotest.fail (Benchgen.error_to_string e)
+            | Ok _ -> Alcotest.fail "strict mode accepted a damaged trace"));
+    t "salvage mode refuses a trace whose collectives cannot complete"
+      (fun () ->
+        (* cg ends in world collectives; ablating a rank leaves them
+           unfinishable, and `Salvage (no truncation) must say so. *)
+        let trace = app_trace "cg" ~nranks:8 in
+        let damaged = ablate_rank_frame (Trace_io.to_framed trace) ~rank:3 in
+        with_temp_file damaged (fun path ->
+            match run_pipeline ~recovery:`Salvage path with
+            | Error (Benchgen.E_unrecoverable_trace msg) ->
+                let contains hay needle =
+                  let nl = String.length needle and hl = String.length hay in
+                  let rec go i =
+                    i + nl <= hl
+                    && (String.sub hay i nl = needle || go (i + 1))
+                  in
+                  go 0
+                in
+                Alcotest.(check bool)
+                  "names the wait-for graph" true
+                  (contains msg "waiting on")
+            | Error e -> Alcotest.fail (Benchgen.error_to_string e)
+            | Ok _ -> Alcotest.fail "`Salvage generated from a dead wait"));
+    t "best-effort generates a runnable prefix from a damaged trace"
+      (fun () ->
+        let trace = app_trace "cg" ~nranks:8 in
+        let damaged = ablate_rank_frame (Trace_io.to_framed trace) ~rank:3 in
+        with_temp_file damaged (fun path ->
+            match run_pipeline ~recovery:`Best_effort path with
+            | Error e -> Alcotest.fail (Benchgen.error_to_string e)
+            | Ok (artifact, warnings) ->
+                let has p = List.exists p warnings in
+                Alcotest.(check bool)
+                  "W_salvaged" true
+                  (has (function Benchgen.W_salvaged _ -> true | _ -> false));
+                Alcotest.(check bool)
+                  "W_truncated_frontier" true
+                  (has (function
+                    | Benchgen.W_truncated_frontier _ -> true
+                    | _ -> false));
+                (* the artifact must parse and replay *)
+                let report = artifact.Benchgen.Pipeline.report in
+                let program = Conceptual.Parse.program report.text in
+                let res =
+                  Conceptual.Lower.run ~max_events:500_000
+                    ~nranks:(Trace.nranks trace) program
+                in
+                ignore res));
+    t "corruption campaign: typed outcomes only, salvaged traces replay"
+      (fun () ->
+        let s =
+          Check.Corrupt.run
+            { Check.Corrupt.default with seeds = 50; nranks = 4 }
+        in
+        List.iter
+          (fun (v : Check.Corrupt.violation) ->
+            Alcotest.fail
+              (Printf.sprintf "seed %d app %s %s: %s" v.v_seed v.v_app
+                 v.v_mutation v.v_what))
+          s.violations;
+        Alcotest.(check bool) "ran cases" true (s.cases > 50);
+        Alcotest.(check bool)
+          "every salvaged-and-generated case replayed" true
+          (s.generated = s.replayed));
+  ]
+
+let suite =
+  unit_tests
+  @ List.map framed_roundtrip all_app_names
+  @ List.map migration all_app_names
