@@ -25,6 +25,7 @@ let exit_io = 9 (* file-system failure *)
 let exit_codegen = 10 (* generated/benchmark code failed to parse or lower *)
 let exit_fuzz_violation = 11 (* fuzz campaign found a fidelity violation *)
 let exit_unrecoverable = 12 (* damaged trace kept nothing usable *)
+let exit_serve = 13 (* serve mode could not start (socket bind/setup) *)
 
 let fail code msg =
   Printf.eprintf "benchgen: %s\n%!" msg;
@@ -782,7 +783,9 @@ let fuzz_cmd =
       value
       & opt (some float) None
       & info [ "time-budget" ] ~docv:"SECONDS"
-          ~doc:"Stop starting new cases after $(docv) seconds of CPU time.")
+          ~doc:
+            "Stop starting new cases (and interrupt shrinking) after $(docv) \
+             seconds of wall-clock time.")
   in
   let replay_arg =
     Arg.(
@@ -797,14 +800,24 @@ let fuzz_cmd =
   let mode_arg =
     Arg.(
       value
-      & opt (enum [ ("differential", `Differential); ("corruption", `Corruption) ])
+      & opt
+          (enum
+             [
+               ("differential", `Differential);
+               ("corruption", `Corruption);
+               ("serve", `Serve);
+             ])
           `Differential
       & info [ "mode" ] ~docv:"MODE"
           ~doc:
             "Campaign kind: $(b,differential) (random programs vs a semantic \
-             oracle, the default) or $(b,corruption) (seeded damage to framed \
+             oracle, the default), $(b,corruption) (seeded damage to framed \
              trace files, checking that every outcome is typed and that \
-             best-effort recovery still yields replayable benchmarks).")
+             best-effort recovery still yields replayable benchmarks), or \
+             $(b,serve) (seeded scenarios of clean/corrupt/hanging/crashing/\
+             oversized jobs against the serve-mode supervisor, checking typed \
+             responses only, no lost jobs, bounded queue, clean drain, and \
+             same-seed byte-identical transcripts).")
   in
   let parse_defect s =
     match Pipeline.defect_of_string s with
@@ -816,6 +829,25 @@ let fuzz_cmd =
     let defect = Option.map parse_defect defect in
     let sink, finish = obs_setup obs in
     match (mode, replay) with
+    | `Serve, _ ->
+        let cfg =
+          {
+            Check.Servefuzz.seed_start;
+            seeds;
+            log = (fun m -> Printf.eprintf "benchgen: fuzz: %s\n%!" m);
+          }
+        in
+        let s = Check.Servefuzz.run cfg in
+        Printf.printf
+          "serve fuzz: %d scenarios, %d jobs submitted, %d violations\n"
+          s.Check.Servefuzz.cases s.Check.Servefuzz.jobs
+          (List.length s.Check.Servefuzz.violations);
+        List.iter
+          (fun (v : Check.Servefuzz.violation) ->
+            Printf.printf "  seed %d: %s\n" v.v_seed v.v_what)
+          s.Check.Servefuzz.violations;
+        finish (Some s.Check.Servefuzz.metrics);
+        if s.Check.Servefuzz.violations <> [] then exit exit_fuzz_violation
     | `Corruption, _ ->
         let cfg =
           {
@@ -898,11 +930,171 @@ let fuzz_cmd =
       const run $ seeds_arg $ seed_start_arg $ defect_arg $ out_arg
       $ budget_arg $ replay_arg $ mode_arg $ obs_term)
 
+let serve_cmd =
+  let doc =
+    "Long-lived supervised service: accept many trace$(mu)benchmark jobs over \
+     a line-delimited JSON protocol."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Reads one JSON request per line from stdin (and, with \
+         $(b,--socket), from connections to a Unix-domain socket) and \
+         answers one typed JSON response per line.  Submissions \
+         ($(b,{\"op\":\"submit\",\"id\":...,\"trace\":PATH})  or \
+         $(b,{...,\"app\":NAME,\"nranks\":N,\"cls\":C})) enter a bounded \
+         FIFO queue; beyond $(b,--queue-depth) they are shed with a typed \
+         $(b,rejected (queue_full)) response.  Each job runs the pipeline in \
+         a forked, deadline-killable worker under a supervision policy: a \
+         per-attempt wall-clock deadline, bounded retries with exponential \
+         backoff and seeded jitter, and recovery escalation \
+         (strict $(mu) salvage $(mu) best-effort) so a job whose strict \
+         generation fails degrades gracefully instead of failing hard.  One \
+         poisoned job — crash, hang, heap corruption — can never take down \
+         the server.";
+      `P
+        "$(b,{\"op\":\"health\"}) reports queue depth and outcome counters; \
+         $(b,{\"op\":\"drain\"}) (or end-of-input on stdin) finishes every \
+         queued job and exits; $(b,{\"op\":\"shutdown\"}) cancels queued \
+         jobs (one typed $(b,cancelled) response each) and exits.  Requests \
+         may override the policy per job (fields $(b,deadline_s), \
+         $(b,max_retries), $(b,backoff_base_s), $(b,backoff_factor), \
+         $(b,backoff_max_s), $(b,jitter), $(b,escalate), $(b,recovery)).  \
+         Exit status is 13 when the server cannot start (e.g. socket bind \
+         failure).";
+    ]
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Also listen on a Unix-domain socket at $(docv) (created at \
+             start, removed at exit).")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Admission bound: jobs beyond $(docv) queued are shed with \
+             $(b,rejected (queue_full)).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Default per-attempt wall-clock deadline; an attempt that \
+             exceeds it is killed ($(b,deadline_exceeded)).")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:"Default retries per job after its first attempt.")
+  in
+  let backoff_base_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "backoff-base" ] ~docv:"SECONDS"
+          ~doc:"Delay before the first retry.")
+  in
+  let backoff_factor_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "backoff-factor" ] ~docv:"F"
+          ~doc:"Backoff multiplier per further retry.")
+  in
+  let backoff_max_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "backoff-max" ] ~docv:"SECONDS"
+          ~doc:"Cap on the un-jittered backoff delay.")
+  in
+  let jitter_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "jitter" ] ~docv:"FRAC"
+          ~doc:
+            "Backoff jitter fraction: each delay is multiplied by a seeded \
+             uniform draw from [1, 1+$(docv)).")
+  in
+  let no_escalate_arg =
+    Arg.(
+      value & flag
+      & info [ "no-escalate" ]
+          ~doc:
+            "Do not escalate the recovery level across retries (every \
+             attempt runs at $(b,--recovery)).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed for backoff jitter; a fixed seed makes retry schedules \
+             reproducible.")
+  in
+  let max_bytes_arg =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "max-request-bytes" ] ~docv:"N"
+          ~doc:
+            "Reject request lines longer than $(docv) bytes with a typed \
+             $(b,rejected (oversized)) response.")
+  in
+  let run socket queue_depth deadline retries base factor cap jitter
+      no_escalate seed recovery max_bytes obs =
+    guarded @@ fun () ->
+    if queue_depth < 1 then fail exit_invalid "--queue-depth must be >= 1";
+    (match deadline with
+    | Some d when d <= 0. -> fail exit_invalid "--deadline must be > 0"
+    | _ -> ());
+    let _sink, finish = obs_setup obs in
+    let policy =
+      {
+        Serve.Policy.deadline_s = deadline;
+        max_retries = retries;
+        backoff_base_s = base;
+        backoff_factor = factor;
+        backoff_max_s = cap;
+        jitter;
+        escalate = not no_escalate;
+        recovery;
+      }
+    in
+    let cfg =
+      {
+        Serve.Server.default with
+        socket;
+        queue_limit = queue_depth;
+        policy;
+        seed;
+        max_request_bytes = max_bytes;
+        log = (fun m -> Printf.eprintf "benchgen: serve: %s\n%!" m);
+      }
+    in
+    match Serve.Server.run cfg with
+    | Error msg -> fail exit_serve msg
+    | Ok metrics -> finish (Some metrics)
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const run $ socket_arg $ queue_arg $ deadline_arg $ retries_arg
+      $ backoff_base_arg $ backoff_factor_arg $ backoff_max_arg $ jitter_arg
+      $ no_escalate_arg $ seed_arg $ recovery_arg `Strict $ max_bytes_arg
+      $ obs_term)
+
 let () =
   let doc = "automatic generation of executable communication specifications" in
   let info = Cmd.info "benchgen" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info [
           list_cmd; trace_cmd; generate_cmd; generate_from_trace_cmd; run_cmd;
           replay_cmd; compare_cmd; extrapolate_cmd; stats_cmd; fuzz_cmd;
-          salvage_cmd;
+          salvage_cmd; serve_cmd;
         ]))

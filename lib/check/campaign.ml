@@ -58,8 +58,10 @@ let write_counterexample cfg ~seed ~violation prog =
       Corpus.save ~path:(Filename.concat dir "latest.prog") text;
       Some path
 
-(* One seed: generate, check, shrink on failure. *)
-let run_case cfg metrics ~case_index seed =
+(* One seed: generate, check, shrink on failure.  [over_budget] is the
+   campaign's wall-clock budget check; shrinking polls it before every
+   oracle evaluation so a budget can interrupt a long minimization. *)
+let run_case cfg metrics ~over_budget ~case_index seed =
   let defect = cfg.defect in
   let prog = Gen.generate ~seed in
   let result = Oracle.check ?defect prog in
@@ -84,7 +86,8 @@ let run_case cfg metrics ~case_index seed =
            (Oracle.to_string v0));
       let still_fails p = Result.is_error (Oracle.check ?defect p) in
       let minimized, steps =
-        Shrink.minimize ~max_steps:cfg.max_shrink_steps ~still_fails prog
+        Shrink.minimize ~max_steps:cfg.max_shrink_steps
+          ~should_stop:over_budget ~still_fails prog
       in
       (* the minimized program's own violation is the one worth reporting *)
       let violation =
@@ -114,11 +117,15 @@ let run_case cfg metrics ~case_index seed =
 
 let run cfg =
   let metrics = Obs.Metrics.create () in
-  let t0 = Sys.time () in
+  (* Wall clock, not [Sys.time]: CPU time stands still while the run
+     waits on I/O (counterexample writes) or spans domains, so a CPU
+     budget could overshoot wall budgets without bound.  This is the
+     same clock serve-mode deadlines run on. *)
+  let t0 = Util.Clock.monotonic_s () in
   let over_budget () =
     match cfg.time_budget_s with
     | None -> false
-    | Some b -> Sys.time () -. t0 > b
+    | Some b -> Util.Clock.monotonic_s () -. t0 > b
   in
   let rec go i acc =
     if i >= cfg.seeds then (i, acc)
@@ -130,7 +137,7 @@ let run cfg =
     else
       let seed = cfg.seed_start + i in
       let acc =
-        match run_case cfg metrics ~case_index:i seed with
+        match run_case cfg metrics ~over_budget ~case_index:i seed with
         | None -> acc
         | Some cx -> cx :: acc
       in
@@ -144,7 +151,7 @@ let run cfg =
       ~labels:[ ("result", "skipped") ]
       "fuzz.cases";
   Obs.Metrics.set metrics "fuzz.seed_start" (float_of_int cfg.seed_start);
-  Obs.Metrics.set metrics "fuzz.elapsed_s" (Sys.time () -. t0);
+  Obs.Metrics.set metrics "fuzz.elapsed_s" (Util.Clock.monotonic_s () -. t0);
   {
     cases;
     passed = cases - List.length counterexamples;

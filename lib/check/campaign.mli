@@ -12,7 +12,10 @@ type config = {
       (** where to write counterexamples ([cx-<seed>.prog] plus a
           [latest.prog] alias); created if missing *)
   time_budget_s : float option;
-      (** stop starting new cases after this much CPU time *)
+      (** wall-clock budget ({!Util.Clock.monotonic_s}, the same clock
+          serve-mode deadlines use): stop starting new cases once it is
+          exhausted, and interrupt an in-progress shrink before its next
+          oracle evaluation *)
   max_shrink_steps : int;  (** oracle-evaluation budget per shrink *)
   sink : Obs.Sink.t;  (** per-case instants (category ["fuzz"]) *)
   log : string -> unit;  (** progress lines (violations, shrinking) *)

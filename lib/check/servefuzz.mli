@@ -1,0 +1,48 @@
+(** Seeded service fuzzer for the serve-mode supervisor
+    ([benchgen fuzz --mode serve]).
+
+    Each seed builds a deterministic scenario: a supervisor on a
+    virtual clock with a small random queue bound and retry policy, a
+    synthetic job runner (the serve analogue of the pipeline [defect]
+    seam) drawing jobs from six kinds — clean, flaky (fails until
+    recovery escalates to best-effort), fatal (always fails), hanging
+    (exceeds its deadline and is killed), crashing (raises into the
+    supervisor), and oversized/garbage request lines — and a random
+    interleaving of submissions, job executions, health probes, and a
+    final drain or shutdown.
+
+    The supervisor's contract is asserted on the full transcript:
+    - {b typed responses only}: every emitted line re-parses as a
+      {!Serve.Protocol.response} and round-trips byte-identically;
+    - {b no lost jobs}: every accepted submission gets exactly one
+      terminal response (result or cancelled); every rejected one gets
+      none;
+    - {b bounded queue}: the queue never exceeds its configured limit;
+    - {b clean drain}: after drain/shutdown the queue is empty and the
+      summary's counts agree with the responses seen;
+    - {b determinism}: the same seed produces a byte-identical
+      transcript (each scenario is run twice and compared). *)
+
+type config = {
+  seed_start : int;
+  seeds : int;
+  log : string -> unit;
+}
+
+val default : config
+
+type violation = { v_seed : int; v_what : string }
+
+type summary = {
+  cases : int;  (** scenarios run *)
+  jobs : int;  (** total submissions across all scenarios *)
+  violations : violation list;
+  metrics : Obs.Metrics.t;  (** merged [serve.*] + [servefuzz.*] instruments *)
+}
+
+val run : config -> summary
+
+(** The response transcript of one seed's scenario (one line per
+    response, ["\n"]-terminated) — exposed so tests can assert
+    same-seed byte-equality directly. *)
+val transcript : seed:int -> string

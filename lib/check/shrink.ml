@@ -85,12 +85,29 @@ let candidates (p : prog) =
     (fun c -> Result.is_ok (validate c) && measure c < measure p)
     (drop_phases @ drop_reps @ drop_ranks @ simpler)
 
-let minimize ?(max_steps = 500) ~still_fails prog =
+let minimize ?(max_steps = 500) ?(should_stop = fun () -> false) ~still_fails
+    prog =
   let steps = ref 0 in
+  let stopped = ref false in
   let rec go prog =
-    if !steps >= max_steps then prog
+    if !steps >= max_steps || !stopped then prog
     else
-      match List.find_opt (fun c -> incr steps; still_fails c) (candidates prog)
+      (* [should_stop] is polled before every oracle evaluation, not
+         just between shrink iterations: one iteration can evaluate
+         dozens of candidates, each a full pipeline run, so a time
+         budget must be able to interrupt mid-iteration. *)
+      match
+        List.find_opt
+          (fun c ->
+            if !stopped || should_stop () then begin
+              stopped := true;
+              false
+            end
+            else begin
+              incr steps;
+              still_fails c
+            end)
+          (candidates prog)
       with
       | Some c -> go c
       | None -> prog

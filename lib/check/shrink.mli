@@ -14,9 +14,15 @@
 
     Returns the minimized program and the number of [still_fails]
     evaluations spent.  [max_steps] (default 500) bounds those
-    evaluations as a backstop. *)
+    evaluations as a backstop.  [should_stop] is polled before every
+    [still_fails] evaluation (each one is a full pipeline run, so a
+    campaign time budget must be able to interrupt mid-iteration);
+    when it returns [true], shrinking stops and the best program found
+    so far is returned.  With the default ([fun () -> false]) the
+    result is fully deterministic. *)
 val minimize :
   ?max_steps:int ->
+  ?should_stop:(unit -> bool) ->
   still_fails:(Gen.prog -> bool) ->
   Gen.prog ->
   Gen.prog * int

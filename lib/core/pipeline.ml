@@ -137,6 +137,25 @@ let error_to_string = function
   | E_codegen msg -> "code generation failed: " ^ msg
   | E_unrecoverable_trace msg -> "unrecoverable trace: " ^ msg
 
+(* Stable machine-readable tags.  These are a wire contract (serve-mode
+   responses, metrics labels): never rename one, only add. *)
+let warning_tag = function
+  | W_aligned _ -> "aligned"
+  | W_wildcard_resolved -> "wildcard_resolved"
+  | W_wildcard_fallback _ -> "wildcard_fallback"
+  | W_salvaged _ -> "salvaged"
+  | W_truncated_frontier _ -> "truncated_frontier"
+  | W_missing_participants _ -> "missing_participants"
+
+let error_tag = function
+  | E_potential_deadlock _ -> "potential_deadlock"
+  | E_align _ -> "align"
+  | E_wildcard _ -> "wildcard"
+  | E_trace_format _ -> "trace_format"
+  | E_io _ -> "io"
+  | E_codegen _ -> "codegen"
+  | E_unrecoverable_trace _ -> "unrecoverable_trace"
+
 type artifact = {
   report : report;
   resolved_trace : Scalatrace.Trace.t;
@@ -287,16 +306,9 @@ let run cfg source =
   let warnings = ref [] in
   let warn w =
     warnings := w :: !warnings;
-    let kind =
-      match w with
-      | W_aligned _ -> "aligned"
-      | W_wildcard_resolved -> "wildcard_resolved"
-      | W_wildcard_fallback _ -> "wildcard_fallback"
-      | W_salvaged _ -> "salvaged"
-      | W_truncated_frontier _ -> "truncated_frontier"
-      | W_missing_participants _ -> "missing_participants"
-    in
-    Obs.Metrics.inc metrics ~labels:[ ("kind", kind) ] "pipeline.warnings"
+    Obs.Metrics.inc metrics
+      ~labels:[ ("kind", warning_tag w) ]
+      "pipeline.warnings"
   in
   let name =
     match source with

@@ -129,6 +129,19 @@ type gen_error =
 val warning_to_string : warning -> string
 val error_to_string : gen_error -> string
 
+(** Stable machine-readable tags for the typed diagnostics — a wire
+    contract shared by serve-mode JSON responses and metrics labels
+    ([pipeline.warnings{kind}], [serve.outcomes{class}]).  Tags are
+    never renamed, only added: clients may triage on them without
+    parsing prose.  Warnings: ["aligned"], ["wildcard_resolved"],
+    ["wildcard_fallback"], ["salvaged"], ["truncated_frontier"],
+    ["missing_participants"].  Errors: ["potential_deadlock"],
+    ["align"], ["wildcard"], ["trace_format"], ["io"], ["codegen"],
+    ["unrecoverable_trace"]. *)
+val warning_tag : warning -> string
+
+val error_tag : gen_error -> string
+
 type artifact = {
   report : report;
   resolved_trace : Scalatrace.Trace.t;

@@ -7,32 +7,43 @@ type instrument =
    call site doesn't split an instrument in two. *)
 type key = string * (string * string) list
 
-type t = (key, instrument) Hashtbl.t
+(* Every registry operation runs under [mu], so one registry can be
+   shared by concurrent serve jobs and by Domain-parallel pipeline
+   stages without torn hashtable state.  The lock is uncontended (and
+   cheap) in the single-threaded pipeline. *)
+type t = { tbl : (key, instrument) Hashtbl.t; mu : Mutex.t }
 
-let create () : t = Hashtbl.create 64
+let create () : t = { tbl = Hashtbl.create 64; mu = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
 let key name labels : key =
   (name, List.sort (fun (a, _) (b, _) -> String.compare a b) labels)
 
 let find_or_add t k mk =
-  match Hashtbl.find_opt t k with
+  match Hashtbl.find_opt t.tbl k with
   | Some i -> i
   | None ->
       let i = mk () in
-      Hashtbl.replace t k i;
+      Hashtbl.replace t.tbl k i;
       i
 
 let inc t ?(labels = []) ?(by = 1) name =
+  locked t @@ fun () ->
   match find_or_add t (key name labels) (fun () -> Counter (ref 0)) with
   | Counter r -> r := !r + by
   | _ -> invalid_arg ("Obs.Metrics.inc: " ^ name ^ " is not a counter")
 
 let set t ?(labels = []) name v =
+  locked t @@ fun () ->
   match find_or_add t (key name labels) (fun () -> Gauge (ref 0.)) with
   | Gauge r -> r := v
   | _ -> invalid_arg ("Obs.Metrics.set: " ^ name ^ " is not a gauge")
 
 let observe t ?(labels = []) name x =
+  locked t @@ fun () ->
   match
     find_or_add t (key name labels) (fun () ->
         Histogram (Util.Histogram.create ()))
@@ -41,35 +52,42 @@ let observe t ?(labels = []) name x =
   | _ -> invalid_arg ("Obs.Metrics.observe: " ^ name ^ " is not a histogram")
 
 let counter_value t ?(labels = []) name =
-  match Hashtbl.find_opt t (key name labels) with
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.tbl (key name labels) with
   | Some (Counter r) -> Some !r
   | _ -> None
 
 let gauge_value t ?(labels = []) name =
-  match Hashtbl.find_opt t (key name labels) with
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.tbl (key name labels) with
   | Some (Gauge r) -> Some !r
   | _ -> None
 
 let histogram_stats t ?(labels = []) name =
-  match Hashtbl.find_opt t (key name labels) with
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.tbl (key name labels) with
   | Some (Histogram h) ->
       let open Util.Histogram in
       Some (count h, sum h, min_value h, max_value h, mean h)
   | _ -> None
 
+(* Lock order: [dst] only.  [src] must be quiescent for the duration —
+   merging is a collection step, not a concurrent operation. *)
 let merge_into dst src =
+  locked dst @@ fun () ->
   Hashtbl.iter
     (fun k i ->
-      match (i, Hashtbl.find_opt dst k) with
+      match (i, Hashtbl.find_opt dst.tbl k) with
       | Counter r, Some (Counter r') -> r' := !r' + !r
-      | Counter r, None -> Hashtbl.replace dst k (Counter (ref !r))
-      | Gauge r, (Some (Gauge _) | None) -> Hashtbl.replace dst k (Gauge (ref !r))
+      | Counter r, None -> Hashtbl.replace dst.tbl k (Counter (ref !r))
+      | Gauge r, (Some (Gauge _) | None) ->
+          Hashtbl.replace dst.tbl k (Gauge (ref !r))
       | Histogram h, Some (Histogram h') -> Util.Histogram.merge_into h' h
       | Histogram h, None ->
-          Hashtbl.replace dst k (Histogram (Util.Histogram.copy h))
+          Hashtbl.replace dst.tbl k (Histogram (Util.Histogram.copy h))
       | _, Some _ ->
           invalid_arg "Obs.Metrics.merge_into: instrument kind mismatch")
-    src
+    src.tbl
 
 let compare_key ((n1, l1) : key) ((n2, l2) : key) =
   match String.compare n1 n2 with 0 -> compare l1 l2 | c -> c
@@ -97,7 +115,10 @@ let line_json (name, labels) instrument =
   Json.Obj (base @ rest)
 
 let to_jsonl t =
-  let entries = Hashtbl.fold (fun k i acc -> (k, i) :: acc) t [] in
+  let entries =
+    locked t @@ fun () ->
+    Hashtbl.fold (fun k i acc -> (k, i) :: acc) t.tbl []
+  in
   let entries = List.sort (fun (k1, _) (k2, _) -> compare_key k1 k2) entries in
   let b = Buffer.create 1024 in
   List.iter

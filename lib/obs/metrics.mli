@@ -8,7 +8,16 @@
     plus bounded exponential buckets).
 
     The dump format is JSONL — one JSON object per line, sorted by
-    (name, labels) — so outputs are byte-stable and diffable. *)
+    (name, labels) — so outputs are byte-stable and diffable.
+
+    {b Concurrency guarantee.}  Every registry operation ([inc], [set],
+    [observe], the accessors, [merge_into], [to_jsonl]) is guarded by a
+    per-registry mutex, so one registry may be shared freely by
+    concurrent serve jobs, OS threads, and OCaml 5 domains: updates are
+    never torn and never lost.  Individual operations are atomic;
+    read-modify-write sequences composed from several calls are not.
+    [merge_into dst src] locks [dst] only — [src] must be quiescent
+    (merging is a collection step, not a concurrent operation). *)
 
 type t
 

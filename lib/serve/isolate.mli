@@ -1,0 +1,29 @@
+(** Process isolation for serve-mode attempts.
+
+    Each attempt runs the pipeline in a forked worker process: a
+    poisoned job — one that raises, corrupts its heap, calls [exit],
+    segfaults, or simply never returns — can never take down the
+    supervisor.  The parent enforces the per-attempt wall-clock
+    deadline by [SIGKILL]ing the worker, which is reported as
+    {!Supervisor.A_timeout}; abnormal worker deaths become
+    {!Supervisor.A_crashed}. *)
+
+(** How one attempt's work terminated. *)
+type 'a verdict =
+  | V of 'a  (** worker completed and returned this value *)
+  | Timed_out  (** killed at the deadline *)
+  | Died of string  (** abnormal exit (signal, nonzero status, bad result) *)
+
+(** [run_forked ~deadline_s f] — run [f ()] in a forked child, marshal
+    its result (or the exception it raised, as [Died]) back over a
+    pipe, and [SIGKILL] the child if [deadline_s] elapses first.  The
+    returned value must be marshalable (no closures, no custom
+    blocks). *)
+val run_forked : deadline_s:float option -> (unit -> 'a) -> 'a verdict
+
+(** The production runner: builds a {!Benchgen.Pipeline.config} from
+    the job (source, recovery level, output path), runs
+    [Pipeline.run] in a forked worker under the deadline, and maps the
+    result to a typed {!Supervisor.attempt_outcome} (errors carry the
+    stable tag and the trace path). *)
+val pipeline_runner : Supervisor.runner

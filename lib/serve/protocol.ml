@@ -1,0 +1,345 @@
+module Json = Obs.Json
+module Pipeline = Benchgen.Pipeline
+
+type job_source =
+  | J_file of string
+  | J_app of { app : string; nranks : int; cls : string }
+
+type submit = {
+  sub_id : string;
+  sub_source : job_source;
+  sub_policy : Policy.t;
+  sub_out : string option;
+  sub_emit_text : bool;
+}
+
+type request = Submit of submit | Health | Drain | Shutdown
+
+type reject_reason =
+  | Queue_full
+  | Draining
+  | Oversized of { bytes : int; limit : int }
+  | Bad_request of string
+
+let reject_tag = function
+  | Queue_full -> "queue_full"
+  | Draining -> "draining"
+  | Oversized _ -> "oversized"
+  | Bad_request _ -> "bad_request"
+
+type error_info = {
+  e_tag : string;
+  e_path : string option;
+  e_retryable : bool;
+  e_detail : string;
+}
+
+type ok_info = {
+  ok_statements : int;
+  ok_final_rsds : int;
+  ok_recovery : string;
+  ok_warnings : (string * string) list;
+  ok_text : string option;
+  ok_out : string option;
+}
+
+type response =
+  | Accepted of { id : string; queue_depth : int }
+  | Rejected of { id : string option; reason : reject_reason }
+  | Result_ok of { id : string; attempts : int; info : ok_info }
+  | Result_error of { id : string; attempts : int; error : error_info }
+  | Cancelled of { id : string }
+  | Health_report of {
+      queue_depth : int;
+      queue_limit : int;
+      draining : bool;
+      submitted : int;
+      completed : int;
+      failed : int;
+      rejected : int;
+      cancelled : int;
+    }
+  | Drained of { jobs_run : int; cancelled : int }
+
+let error_of_gen_error ?path e =
+  (* An escalated recovery level can turn a strict load/align failure
+     into a degraded success, so almost every pipeline error is worth a
+     retry.  [E_io] (missing file, permission) is not: no recovery mode
+     conjures the file. *)
+  let retryable = match e with Pipeline.E_io _ -> false | _ -> true in
+  {
+    e_tag = Pipeline.error_tag e;
+    e_path = path;
+    e_retryable = retryable;
+    e_detail = Pipeline.error_to_string e;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing                                                     *)
+
+let member_string j name =
+  match Json.member name j with
+  | Some (Json.Str s) -> Ok (Some s)
+  | None | Some Json.Null -> Ok None
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+
+let member_int j name =
+  match Json.member name j with
+  | Some (Json.Num v) when Float.is_integer v -> Ok (Some (int_of_float v))
+  | None | Some Json.Null -> Ok None
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+
+let member_bool j name =
+  match Json.member name j with
+  | Some (Json.Bool b) -> Ok (Some b)
+  | None | Some Json.Null -> Ok None
+  | Some _ -> Error (Printf.sprintf "field %S must be a boolean" name)
+
+let ( let* ) = Result.bind
+
+let parse_submit ~default_policy j =
+  let* id = member_string j "id" in
+  let* id =
+    match id with None -> Error "submit requires an \"id\"" | Some s -> Ok s
+  in
+  let* trace = member_string j "trace" in
+  let* app = member_string j "app" in
+  let* source =
+    match (trace, app) with
+    | Some path, None -> Ok (J_file path)
+    | None, Some app ->
+        let* nranks = member_int j "nranks" in
+        let* cls = member_string j "cls" in
+        Ok
+          (J_app
+             {
+               app;
+               nranks = Option.value ~default:16 nranks;
+               cls = Option.value ~default:"W" cls;
+             })
+    | Some _, Some _ -> Error "submit takes \"trace\" or \"app\", not both"
+    | None, None -> Error "submit requires \"trace\" or \"app\""
+  in
+  let* policy = Policy.override_from_json default_policy j in
+  let* out = member_string j "out" in
+  let* emit_text = member_bool j "emit_text" in
+  Ok
+    (Submit
+       {
+         sub_id = id;
+         sub_source = source;
+         sub_policy = policy;
+         sub_out = out;
+         sub_emit_text = Option.value ~default:false emit_text;
+       })
+
+let parse_request ~default_policy ~max_bytes line =
+  if String.length line > max_bytes then
+    Error (None, Oversized { bytes = String.length line; limit = max_bytes })
+  else
+    match Json.parse line with
+    | exception Json.Parse_error msg ->
+        Error (None, Bad_request ("malformed JSON: " ^ msg))
+    | j -> (
+        (* best-effort id extraction so even a bad request's rejection
+           can be correlated by the client *)
+        let id =
+          match Json.member "id" j with Some (Json.Str s) -> Some s | _ -> None
+        in
+        match Json.member "op" j with
+        | Some (Json.Str "submit") -> (
+            match parse_submit ~default_policy j with
+            | Ok r -> Ok r
+            | Error msg -> Error (id, Bad_request msg))
+        | Some (Json.Str "health") -> Ok Health
+        | Some (Json.Str "drain") -> Ok Drain
+        | Some (Json.Str "shutdown") -> Ok Shutdown
+        | Some (Json.Str op) ->
+            Error (id, Bad_request (Printf.sprintf "unknown op %S" op))
+        | _ -> Error (id, Bad_request "request requires a string \"op\""))
+
+(* ------------------------------------------------------------------ *)
+(* Response rendering                                                  *)
+
+let opt_str name v rest =
+  match v with None -> rest | Some s -> (name, Json.Str s) :: rest
+
+let num i = Json.Num (float_of_int i)
+
+let reject_fields = function
+  | Oversized { bytes; limit } ->
+      [ ("bytes", num bytes); ("limit", num limit) ]
+  | Bad_request detail -> [ ("detail", Json.Str detail) ]
+  | Queue_full | Draining -> []
+
+let error_json e =
+  Json.Obj
+    (("tag", Json.Str e.e_tag)
+     ::
+     opt_str "path" e.e_path
+       [
+         ("retryable", Json.Bool e.e_retryable);
+         ("detail", Json.Str e.e_detail);
+       ])
+
+let response_to_json = function
+  | Accepted { id; queue_depth } ->
+      Json.Obj
+        [
+          ("type", Json.Str "accepted");
+          ("id", Json.Str id);
+          ("queue_depth", num queue_depth);
+        ]
+  | Rejected { id; reason } ->
+      Json.Obj
+        (("type", Json.Str "rejected")
+        :: opt_str "id" id
+             (("reason", Json.Str (reject_tag reason)) :: reject_fields reason)
+        )
+  | Result_ok { id; attempts; info } ->
+      Json.Obj
+        ([
+           ("type", Json.Str "result");
+           ("id", Json.Str id);
+           ("ok", Json.Bool true);
+           ("attempts", num attempts);
+           ("recovery", Json.Str info.ok_recovery);
+           ("statements", num info.ok_statements);
+           ("final_rsds", num info.ok_final_rsds);
+           ( "warnings",
+             Json.Arr
+               (List.map
+                  (fun (tag, detail) ->
+                    Json.Obj
+                      [ ("tag", Json.Str tag); ("detail", Json.Str detail) ])
+                  info.ok_warnings) );
+         ]
+        @ opt_str "text" info.ok_text (opt_str "out" info.ok_out []))
+  | Result_error { id; attempts; error } ->
+      Json.Obj
+        [
+          ("type", Json.Str "result");
+          ("id", Json.Str id);
+          ("ok", Json.Bool false);
+          ("attempts", num attempts);
+          ("error", error_json error);
+        ]
+  | Cancelled { id } ->
+      Json.Obj [ ("type", Json.Str "cancelled"); ("id", Json.Str id) ]
+  | Health_report h ->
+      Json.Obj
+        [
+          ("type", Json.Str "health");
+          ("queue_depth", num h.queue_depth);
+          ("queue_limit", num h.queue_limit);
+          ("draining", Json.Bool h.draining);
+          ("submitted", num h.submitted);
+          ("completed", num h.completed);
+          ("failed", num h.failed);
+          ("rejected", num h.rejected);
+          ("cancelled", num h.cancelled);
+        ]
+  | Drained { jobs_run; cancelled } ->
+      Json.Obj
+        [
+          ("type", Json.Str "drained");
+          ("jobs_run", num jobs_run);
+          ("cancelled", num cancelled);
+        ]
+
+let response_to_line r = Json.to_string (response_to_json r)
+
+(* ------------------------------------------------------------------ *)
+(* Response parsing (tests, fuzzer contract checks, smoke clients)     *)
+
+let bad msg = raise (Json.Parse_error ("response: " ^ msg))
+
+let get_str j name =
+  match Json.member name j with Some (Json.Str s) -> s | _ -> bad ("missing " ^ name)
+
+let get_int j name =
+  match Json.member name j with
+  | Some (Json.Num v) -> int_of_float v
+  | _ -> bad ("missing " ^ name)
+
+let get_bool j name =
+  match Json.member name j with
+  | Some (Json.Bool b) -> b
+  | _ -> bad ("missing " ^ name)
+
+let opt_str_of j name =
+  match Json.member name j with Some (Json.Str s) -> Some s | _ -> None
+
+let response_of_line line =
+  let j = Json.parse line in
+  match Json.member "type" j with
+  | Some (Json.Str "accepted") ->
+      Accepted { id = get_str j "id"; queue_depth = get_int j "queue_depth" }
+  | Some (Json.Str "rejected") ->
+      let reason =
+        match get_str j "reason" with
+        | "queue_full" -> Queue_full
+        | "draining" -> Draining
+        | "oversized" ->
+            Oversized { bytes = get_int j "bytes"; limit = get_int j "limit" }
+        | "bad_request" ->
+            Bad_request (Option.value ~default:"" (opt_str_of j "detail"))
+        | r -> bad ("unknown reject reason " ^ r)
+      in
+      Rejected { id = opt_str_of j "id"; reason }
+  | Some (Json.Str "result") ->
+      let id = get_str j "id" and attempts = get_int j "attempts" in
+      if get_bool j "ok" then
+        let warnings =
+          match Json.member "warnings" j with
+          | Some (Json.Arr ws) ->
+              List.map
+                (fun w -> (get_str w "tag", get_str w "detail"))
+                ws
+          | _ -> bad "missing warnings"
+        in
+        Result_ok
+          {
+            id;
+            attempts;
+            info =
+              {
+                ok_statements = get_int j "statements";
+                ok_final_rsds = get_int j "final_rsds";
+                ok_recovery = get_str j "recovery";
+                ok_warnings = warnings;
+                ok_text = opt_str_of j "text";
+                ok_out = opt_str_of j "out";
+              };
+          }
+      else
+        let e =
+          match Json.member "error" j with
+          | Some e ->
+              {
+                e_tag = get_str e "tag";
+                e_path = opt_str_of e "path";
+                e_retryable = get_bool e "retryable";
+                e_detail = get_str e "detail";
+              }
+          | None -> bad "missing error"
+        in
+        Result_error { id; attempts; error = e }
+  | Some (Json.Str "cancelled") -> Cancelled { id = get_str j "id" }
+  | Some (Json.Str "health") ->
+      Health_report
+        {
+          queue_depth = get_int j "queue_depth";
+          queue_limit = get_int j "queue_limit";
+          draining = get_bool j "draining";
+          submitted = get_int j "submitted";
+          completed = get_int j "completed";
+          failed = get_int j "failed";
+          rejected = get_int j "rejected";
+          cancelled = get_int j "cancelled";
+        }
+  | Some (Json.Str "drained") ->
+      Drained
+        { jobs_run = get_int j "jobs_run"; cancelled = get_int j "cancelled" }
+  | Some (Json.Str t) -> bad ("unknown type " ^ t)
+  | _ -> bad "missing type"

@@ -1,0 +1,302 @@
+type config = {
+  socket : string option;
+  stdio : bool;
+  queue_limit : int;
+  policy : Policy.t;
+  seed : int;
+  max_request_bytes : int;
+  runner : Supervisor.runner;
+  metrics : Obs.Metrics.t option;
+  log : string -> unit;
+}
+
+let default =
+  {
+    socket = None;
+    stdio = true;
+    queue_limit = 64;
+    policy = Policy.default;
+    seed = 1;
+    max_request_bytes = 1 lsl 20;
+    runner = Isolate.pipeline_runner;
+    metrics = None;
+    log = ignore;
+  }
+
+(* One client: stdin/stdout or an accepted socket connection. *)
+type conn = {
+  c_in : Unix.file_descr;
+  c_out : Unix.file_descr;
+  c_name : string;
+  c_rbuf : Buffer.t;  (** bytes read but not yet split into lines *)
+  mutable c_eof : bool;
+  mutable c_dead : bool;  (** write side failed; drop its responses *)
+}
+
+type state = {
+  cfg : config;
+  sup : Supervisor.t;
+  mutable conns : conn list;
+  listener : Unix.file_descr option;
+  (* Jobs complete in FIFO submit order (the supervisor queue is FIFO
+     and one job runs at a time), so a parallel FIFO of submitters
+     routes each terminal response to its connection. *)
+  route : conn Queue.t;
+  mutable drain_waiters : conn list;
+  mutable finished : bool;
+}
+
+let write_response st conn (resp : Protocol.response) =
+  if not conn.c_dead then begin
+    let line = Protocol.response_to_line resp ^ "\n" in
+    let bytes = Bytes.of_string line in
+    let rec go off =
+      if off < Bytes.length bytes then
+        match Unix.write conn.c_out bytes off (Bytes.length bytes - off) with
+        | n -> go (off + n)
+        | exception Unix.Unix_error ((Unix.EPIPE | Unix.EBADF | Unix.ECONNRESET), _, _)
+          ->
+            conn.c_dead <- true;
+            Obs.Metrics.inc (Supervisor.metrics st.sup) "serve.orphaned";
+            st.cfg.log
+              (Printf.sprintf "client %s went away; dropping response"
+                 conn.c_name)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    in
+    go 0
+  end
+  else Obs.Metrics.inc (Supervisor.metrics st.sup) "serve.orphaned"
+
+let handle_line st conn line =
+  if String.trim line = "" then ()
+  else
+    match
+      Protocol.parse_request ~default_policy:st.cfg.policy
+        ~max_bytes:st.cfg.max_request_bytes line
+    with
+    | Error (id, reason) ->
+        write_response st conn (Supervisor.reject st.sup ?id reason)
+    | Ok (Protocol.Submit sub) ->
+        let resp = Supervisor.submit st.sup sub in
+        (match resp with
+        | Protocol.Accepted _ -> Queue.add conn st.route
+        | _ -> ());
+        write_response st conn resp
+    | Ok Protocol.Health -> write_response st conn (Supervisor.health st.sup)
+    | Ok Protocol.Drain ->
+        Supervisor.begin_drain st.sup;
+        st.drain_waiters <- conn :: st.drain_waiters
+    | Ok Protocol.Shutdown ->
+        (* Cancel queued jobs: each Cancelled goes to its submitter, the
+           summary to the requester. *)
+        let responses = Supervisor.shutdown st.sup in
+        List.iter
+          (fun r ->
+            match r with
+            | Protocol.Cancelled _ ->
+                let target =
+                  match Queue.take_opt st.route with
+                  | Some c -> c
+                  | None -> conn
+                in
+                write_response st target r
+            | _ -> write_response st conn r)
+          responses;
+        st.finished <- true
+
+(* Split [conn.c_rbuf] into complete lines and handle each. *)
+let process_buffer st conn ~flush_partial =
+  let data = Buffer.contents conn.c_rbuf in
+  let n = String.length data in
+  let rec go start =
+    match String.index_from_opt data start '\n' with
+    | Some i ->
+        handle_line st conn (String.sub data start (i - start));
+        go (i + 1)
+    | None ->
+        Buffer.clear conn.c_rbuf;
+        if start < n then
+          if flush_partial then
+            (* EOF with an unterminated final line: treat it as a line *)
+            handle_line st conn (String.sub data start (n - start))
+          else Buffer.add_substring conn.c_rbuf data start (n - start)
+  in
+  go 0
+
+let read_conn st conn =
+  let chunk = Bytes.create 65536 in
+  match Unix.read conn.c_in chunk 0 (Bytes.length chunk) with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EBADF), _, _) ->
+      conn.c_eof <- true;
+      process_buffer st conn ~flush_partial:true
+  | 0 ->
+      conn.c_eof <- true;
+      process_buffer st conn ~flush_partial:true
+  | n ->
+      Buffer.add_subbytes conn.c_rbuf chunk 0 n;
+      process_buffer st conn ~flush_partial:false
+
+(* Deliver one completed job's response to its submitter. *)
+let run_one st =
+  match Supervisor.run_next st.sup with
+  | None -> ()
+  | Some resp ->
+      let target = Queue.take_opt st.route in
+      (match target with
+      | Some conn -> write_response st conn resp
+      | None -> st.cfg.log "no route for completed job (dropping response)")
+
+let finish_drain st =
+  let summary =
+    Protocol.Drained
+      {
+        jobs_run =
+          (match Supervisor.health st.sup with
+          | Protocol.Health_report h -> h.completed + h.failed
+          | _ -> 0);
+        cancelled = 0;
+      }
+  in
+  (match st.drain_waiters with
+  | [] -> (
+      (* drain was implied by stdin EOF: summarize to stdout if alive *)
+      match List.find_opt (fun c -> c.c_name = "stdio") st.conns with
+      | Some conn -> write_response st conn summary
+      | None -> ())
+  | waiters -> List.iter (fun c -> write_response st c summary) (List.rev waiters));
+  st.finished <- true
+
+let run cfg =
+  (* A client closing its socket mid-write must not kill the server. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let sup =
+    Supervisor.create ~queue_limit:cfg.queue_limit ~seed:cfg.seed
+      ?metrics:cfg.metrics ~runner:cfg.runner ~clock:Supervisor.system_clock ()
+  in
+  let listener =
+    match cfg.socket with
+    | None -> Ok None
+    | Some path -> (
+        try
+          if Sys.file_exists path then Sys.remove path;
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.bind fd (Unix.ADDR_UNIX path);
+          Unix.listen fd 16;
+          Ok (Some fd)
+        with
+        | Unix.Unix_error (e, _, _) ->
+            Error
+              (Printf.sprintf "cannot listen on %s: %s" path
+                 (Unix.error_message e))
+        | Sys_error msg -> Error ("cannot listen: " ^ msg))
+  in
+  match listener with
+  | Error _ as e -> e
+  | Ok listener ->
+      let st =
+        {
+          cfg;
+          sup;
+          conns =
+            (if cfg.stdio then
+               [
+                 {
+                   c_in = Unix.stdin;
+                   c_out = Unix.stdout;
+                   c_name = "stdio";
+                   c_rbuf = Buffer.create 256;
+                   c_eof = false;
+                   c_dead = false;
+                 };
+               ]
+             else []);
+          listener;
+          route = Queue.create ();
+          drain_waiters = [];
+          finished = false;
+        }
+      in
+      let stdio_conn = List.nth_opt st.conns 0 in
+      let rec loop () =
+        if st.finished then ()
+        else begin
+          let live =
+            List.filter (fun c -> not c.c_eof) st.conns
+          in
+          let fds = List.map (fun c -> c.c_in) live in
+          let fds =
+            match st.listener with Some l -> l :: fds | None -> fds
+          in
+          let have_work = Supervisor.queue_length st.sup > 0 in
+          (* Consume every pending request before running the next job,
+             so shedding decisions see the full backlog; block only when
+             idle. *)
+          let timeout = if have_work || Supervisor.draining st.sup then 0. else -1. in
+          let readable =
+            if fds = [] then []
+            else
+              match Unix.select fds [] [] timeout with
+              | r, _, _ -> r
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+          in
+          List.iter
+            (fun fd ->
+              if Some fd = st.listener then begin
+                match Unix.accept fd with
+                | client, _ ->
+                    Unix.set_nonblock client;
+                    Unix.clear_nonblock client;
+                    st.conns <-
+                      st.conns
+                      @ [
+                          {
+                            c_in = client;
+                            c_out = client;
+                            c_name = "socket";
+                            c_rbuf = Buffer.create 256;
+                            c_eof = false;
+                            c_dead = false;
+                          };
+                        ]
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+              end
+              else
+                match List.find_opt (fun c -> c.c_in = fd) st.conns with
+                | Some conn -> read_conn st conn
+                | None -> ())
+            readable;
+          (* stdio EOF in stdio-only mode means: no more requests are
+             coming — drain implicitly so piped clients get results. *)
+          (match stdio_conn with
+          | Some c when c.c_eof && st.listener = None ->
+              Supervisor.begin_drain st.sup
+          | _ -> ());
+          if st.finished then ()
+          else if Supervisor.queue_length st.sup > 0 then begin
+            run_one st;
+            loop ()
+          end
+          else if Supervisor.draining st.sup then finish_drain st
+          else if readable = [] && fds = [] then
+            (* nothing to read, nothing queued, no way to get work *)
+            Supervisor.begin_drain st.sup
+          else loop ()
+        end
+      in
+      (try loop ()
+       with exn ->
+         cfg.log ("serve loop error: " ^ Printexc.to_string exn));
+      (* close sockets, remove the socket file *)
+      List.iter
+        (fun c ->
+          if c.c_name = "socket" then (
+            try Unix.close c.c_in with Unix.Unix_error _ -> ()))
+        st.conns;
+      (match (st.listener, cfg.socket) with
+      | Some fd, Some path ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          (try Sys.remove path with Sys_error _ -> ())
+      | _ -> ());
+      Ok (Supervisor.metrics st.sup)

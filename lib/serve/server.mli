@@ -1,0 +1,42 @@
+(** The long-lived [benchgen serve] process: accepts line-delimited
+    JSON requests over stdin/stdout and (optionally) a Unix-domain
+    socket, feeds them through a {!Supervisor}, and routes each job's
+    terminal response back to the connection that submitted it.
+
+    Event-loop shape: all readable input is consumed (admitting or
+    shedding every pending submission) {e before} the next queued job
+    runs, so admission control sees the real backlog; one job runs at a
+    time in a forked, deadline-killable worker ({!Isolate}).
+
+    Shutdown is deterministic:
+    - a [drain] request (or end-of-input on stdin in stdio mode) stops
+      admission, finishes every queued job in order, emits the
+      [drained] summary, and exits cleanly;
+    - a [shutdown] request stops admission, cancels every queued job
+      (one [cancelled] response each, in queue order), emits the
+      summary, and exits cleanly.
+
+    A client that disappears mid-job does not kill the server: its
+    responses are dropped (counted as [serve.orphaned]) and [SIGPIPE]
+    is ignored. *)
+
+type config = {
+  socket : string option;  (** listen on this Unix-domain socket too *)
+  stdio : bool;  (** serve stdin/stdout (default [true]) *)
+  queue_limit : int;
+  policy : Policy.t;  (** per-job default; requests may override *)
+  seed : int;  (** backoff-jitter seed *)
+  max_request_bytes : int;  (** longer lines are rejected as [oversized] *)
+  runner : Supervisor.runner;
+  metrics : Obs.Metrics.t option;
+  log : string -> unit;  (** server-side diagnostics (stderr) *)
+}
+
+(** [stdio]-only, queue 64, default policy, seed 1, 1 MiB request
+    cap, {!Isolate.pipeline_runner}, silent log. *)
+val default : config
+
+(** Run the serve loop until drain/shutdown.  Returns the supervisor's
+    metrics registry on clean exit, or [Error msg] on a fatal
+    environment failure (socket bind, unreadable stdin). *)
+val run : config -> (Obs.Metrics.t, string) result

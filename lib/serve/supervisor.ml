@@ -1,0 +1,232 @@
+module Pipeline = Benchgen.Pipeline
+
+type clock = { now : unit -> float; sleep : float -> unit }
+
+let system_clock =
+  { now = Util.Clock.monotonic_s; sleep = Util.Clock.sleep_s }
+
+let sim_clock () =
+  let t = ref 0. in
+  { now = (fun () -> !t); sleep = (fun d -> if d > 0. then t := !t +. d) }
+
+type attempt_outcome =
+  | A_ok of Protocol.ok_info
+  | A_error of Protocol.error_info
+  | A_timeout
+  | A_crashed of string
+
+type runner =
+  Protocol.submit ->
+  recovery:Pipeline.recovery ->
+  deadline_s:float option ->
+  attempt_outcome
+
+type t = {
+  runner : runner;
+  clock : clock;
+  rng : Util.Rng.t;  (** parent stream; each job splits a child *)
+  queue : Protocol.submit Queue.t;
+  q_limit : int;
+  metrics : Obs.Metrics.t;
+  mutable seq : int;  (** executed-job counter, feeds [Rng.split] *)
+  mutable is_draining : bool;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable rejected : int;
+  mutable cancelled : int;
+  mutable depth_max : int;
+}
+
+let create ?(queue_limit = 64) ?(seed = 1) ?metrics ~runner ~clock () =
+  if queue_limit < 1 then invalid_arg "Supervisor.create: queue_limit < 1";
+  {
+    runner;
+    clock;
+    rng = Util.Rng.create ~seed;
+    queue = Queue.create ();
+    q_limit = queue_limit;
+    metrics = (match metrics with Some m -> m | None -> Obs.Metrics.create ());
+    seq = 0;
+    is_draining = false;
+    submitted = 0;
+    completed = 0;
+    failed = 0;
+    rejected = 0;
+    cancelled = 0;
+    depth_max = 0;
+  }
+
+let queue_length t = Queue.length t.queue
+let queue_limit t = t.q_limit
+let metrics t = t.metrics
+let draining t = t.is_draining
+let begin_drain t = t.is_draining <- true
+
+let set_depth_gauges t =
+  let d = Queue.length t.queue in
+  if d > t.depth_max then t.depth_max <- d;
+  Obs.Metrics.set t.metrics "serve.queue_depth" (float_of_int d);
+  Obs.Metrics.set t.metrics "serve.queue_depth_max" (float_of_int t.depth_max)
+
+let reject t ?id reason =
+  t.rejected <- t.rejected + 1;
+  Obs.Metrics.inc t.metrics
+    ~labels:[ ("reason", Protocol.reject_tag reason) ]
+    "serve.rejected";
+  Protocol.Rejected { id; reason }
+
+let submit t (sub : Protocol.submit) =
+  t.submitted <- t.submitted + 1;
+  Obs.Metrics.inc t.metrics "serve.submitted";
+  if t.is_draining then reject t ~id:sub.sub_id Protocol.Draining
+  else if Queue.length t.queue >= t.q_limit then begin
+    Obs.Metrics.inc t.metrics "serve.sheds";
+    reject t ~id:sub.sub_id Protocol.Queue_full
+  end
+  else begin
+    Queue.add sub t.queue;
+    Obs.Metrics.inc t.metrics "serve.accepted";
+    set_depth_gauges t;
+    Protocol.Accepted { id = sub.sub_id; queue_depth = Queue.length t.queue }
+  end
+
+(* One job, run to a terminal response under the supervision policy.
+   Attempt [k] (0-based) runs at the policy's escalated recovery level
+   for [k]; failures classified retryable are retried after a jittered
+   exponential backoff until the retry budget is spent. *)
+let run_job t (sub : Protocol.submit) =
+  let policy = sub.sub_policy in
+  let id = sub.sub_id in
+  let job_rng = Util.Rng.split t.rng ~index:t.seq in
+  t.seq <- t.seq + 1;
+  let started = t.clock.now () in
+  let job_labels = [ ("id", id) ] in
+  let run_attempt attempt =
+    let recovery = Policy.recovery_for_attempt policy ~attempt in
+    Obs.Metrics.inc t.metrics "serve.attempts";
+    let outcome =
+      (* Exception isolation: a runner that raises poisons one attempt,
+         never the supervisor. *)
+      try t.runner sub ~recovery ~deadline_s:policy.deadline_s
+      with exn -> A_crashed (Printexc.to_string exn)
+    in
+    (outcome, recovery)
+  in
+  let path_of_sub =
+    match sub.sub_source with
+    | Protocol.J_file path -> Some path
+    | Protocol.J_app _ -> None
+  in
+  let error_of_outcome recovery = function
+    | A_error e -> e
+    | A_timeout ->
+        {
+          Protocol.e_tag = "deadline_exceeded";
+          e_path = path_of_sub;
+          e_retryable = true;
+          e_detail =
+            Printf.sprintf
+              "attempt exceeded its %.3f s wall-clock deadline (recovery %s) \
+               and was killed"
+              (Option.value ~default:0. policy.deadline_s)
+              (Pipeline.recovery_to_string recovery);
+        }
+    | A_crashed msg ->
+        {
+          Protocol.e_tag = "crashed";
+          e_path = path_of_sub;
+          e_retryable = true;
+          e_detail = "worker died abnormally: " ^ msg;
+        }
+    | A_ok _ -> assert false
+  in
+  let rec go attempt =
+    match run_attempt attempt with
+    | A_ok info, recovery ->
+        t.completed <- t.completed + 1;
+        Obs.Metrics.inc t.metrics ~labels:[ ("class", "ok") ] "serve.outcomes";
+        let info =
+          { info with Protocol.ok_recovery = Pipeline.recovery_to_string recovery }
+        in
+        Protocol.Result_ok { id; attempts = attempt + 1; info }
+    | outcome, recovery ->
+        (match outcome with
+        | A_timeout -> Obs.Metrics.inc t.metrics "serve.deadline_kills"
+        | A_crashed _ -> Obs.Metrics.inc t.metrics "serve.crashes"
+        | _ -> ());
+        let error = error_of_outcome recovery outcome in
+        if error.Protocol.e_retryable && attempt < policy.max_retries then begin
+          let delay =
+            Policy.backoff_s policy ~rng:job_rng ~attempt:(attempt + 1)
+          in
+          Obs.Metrics.inc t.metrics "serve.retries";
+          Obs.Metrics.observe t.metrics "serve.backoff_s" delay;
+          t.clock.sleep delay;
+          go (attempt + 1)
+        end
+        else begin
+          t.failed <- t.failed + 1;
+          Obs.Metrics.inc t.metrics
+            ~labels:[ ("class", error.Protocol.e_tag) ]
+            "serve.outcomes";
+          Protocol.Result_error { id; attempts = attempt + 1; error }
+        end
+  in
+  let response = go 0 in
+  let attempts =
+    match response with
+    | Protocol.Result_ok { attempts; _ } | Protocol.Result_error { attempts; _ }
+      ->
+        attempts
+    | _ -> 0
+  in
+  Obs.Metrics.set t.metrics ~labels:job_labels "serve.job.attempts"
+    (float_of_int attempts);
+  Obs.Metrics.set t.metrics ~labels:job_labels "serve.job.elapsed_s"
+    (t.clock.now () -. started);
+  response
+
+let run_next t =
+  match Queue.take_opt t.queue with
+  | None -> None
+  | Some sub ->
+      set_depth_gauges t;
+      Some (run_job t sub)
+
+let health t =
+  Protocol.Health_report
+    {
+      queue_depth = Queue.length t.queue;
+      queue_limit = t.q_limit;
+      draining = t.is_draining;
+      submitted = t.submitted;
+      completed = t.completed;
+      failed = t.failed;
+      rejected = t.rejected;
+      cancelled = t.cancelled;
+    }
+
+let drained_summary t cancelled_now =
+  Protocol.Drained { jobs_run = t.completed + t.failed; cancelled = cancelled_now }
+
+let drain t =
+  begin_drain t;
+  let rec go acc =
+    match run_next t with None -> List.rev acc | Some r -> go (r :: acc)
+  in
+  let results = go [] in
+  results @ [ drained_summary t 0 ]
+
+let shutdown t =
+  begin_drain t;
+  let cancelled = ref [] in
+  Queue.iter
+    (fun (sub : Protocol.submit) ->
+      t.cancelled <- t.cancelled + 1;
+      Obs.Metrics.inc t.metrics "serve.cancelled";
+      cancelled := Protocol.Cancelled { id = sub.sub_id } :: !cancelled)
+    t.queue;
+  Queue.clear t.queue;
+  set_depth_gauges t;
+  List.rev !cancelled @ [ drained_summary t (List.length !cancelled) ]

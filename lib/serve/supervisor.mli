@@ -1,0 +1,97 @@
+(** The serve-mode job supervisor: a bounded FIFO queue of pipeline
+    jobs, each run under its {!Policy.t} — per-attempt deadline,
+    bounded retries with seeded exponential backoff, recovery
+    escalation, and exception isolation (a runner that raises is a
+    ["crashed"] attempt, never a supervisor crash).
+
+    The supervisor is deliberately {e deterministic and I/O-free}: how
+    attempts actually execute (forked worker processes, in-process
+    calls, or the fuzzer's synthetic jobs) is the injected {!runner}'s
+    business, and time comes from the injected {!clock}.  Under
+    {!sim_clock} and a deterministic runner, a fixed seed yields a
+    byte-identical response transcript — the contract the serve fuzzer
+    checks.
+
+    Responsibilities split: the supervisor decides {e admission}
+    (bounded queue, load shedding), {e scheduling} (FIFO), and
+    {e recovery policy} (retry / escalate / give up); the runner
+    decides {e execution} (and enforces the per-attempt deadline,
+    reporting {!A_timeout} when it kills the attempt). *)
+
+(** Time source.  [now] is monotonic seconds; [sleep] blocks for the
+    backoff delays. *)
+type clock = { now : unit -> float; sleep : float -> unit }
+
+(** {!Util.Clock} wall time; [sleep] really sleeps. *)
+val system_clock : clock
+
+(** A fresh virtual clock starting at [0.]; [sleep] advances [now]
+    instantly.  Deterministic tests and the serve fuzzer run on this. *)
+val sim_clock : unit -> clock
+
+type attempt_outcome =
+  | A_ok of Protocol.ok_info
+  | A_error of Protocol.error_info
+  | A_timeout  (** the attempt hit its wall-clock deadline and was killed *)
+  | A_crashed of string  (** the attempt died abnormally *)
+
+(** Execute one attempt of a job at the given recovery level, honoring
+    [deadline_s].  A raised exception is isolated into {!A_crashed}. *)
+type runner =
+  Protocol.submit ->
+  recovery:Benchgen.Pipeline.recovery ->
+  deadline_s:float option ->
+  attempt_outcome
+
+type t
+
+(** [create ~runner ~clock ()].  [queue_limit] (default 64) bounds the
+    number of queued jobs; submissions beyond it are shed.  [seed]
+    (default 1) drives backoff jitter: each executed job gets an
+    independent {!Util.Rng.split} stream, so schedules are reproducible
+    regardless of interleaving.  [metrics] (default a fresh registry)
+    accumulates the [serve.*] instruments. *)
+val create :
+  ?queue_limit:int ->
+  ?seed:int ->
+  ?metrics:Obs.Metrics.t ->
+  runner:runner ->
+  clock:clock ->
+  unit ->
+  t
+
+(** Admission control: enqueue and return [Accepted] (with the new
+    queue depth), or shed with [Rejected Queue_full] / [Rejected
+    Draining].  Never runs the job. *)
+val submit : t -> Protocol.submit -> Protocol.response
+
+(** Record an out-of-band rejection (parse failure, oversized line) in
+    the supervisor's counters and return the [Rejected] response. *)
+val reject : t -> ?id:string -> Protocol.reject_reason -> Protocol.response
+
+(** Pop the oldest queued job and run it to a terminal response
+    ([Result_ok] / [Result_error]), applying the full supervision
+    policy: per-attempt deadline (enforced by the runner), retries with
+    backoff sleeps on the supervisor's clock, recovery escalation, and
+    crash isolation.  [None] when the queue is empty. *)
+val run_next : t -> Protocol.response option
+
+val queue_length : t -> int
+val queue_limit : t -> int
+
+(** Stop admitting: all subsequent submits are [Rejected Draining]. *)
+val begin_drain : t -> unit
+
+val draining : t -> bool
+
+(** Finish every queued job (in order), then return the terminal
+    responses followed by a [Drained] summary. *)
+val drain : t -> Protocol.response list
+
+(** Cancel every queued job: one [Cancelled] per job (in order),
+    followed by a [Drained] summary.  The supervisor drains afterwards
+    (no new admissions). *)
+val shutdown : t -> Protocol.response list
+
+val health : t -> Protocol.response
+val metrics : t -> Obs.Metrics.t

@@ -1,0 +1,22 @@
+(* The system clock can be stepped backwards (NTP, manual adjustment);
+   budgets and deadlines must not.  Latch the high-water mark so the
+   reported time is non-decreasing within the process. *)
+let last = ref neg_infinity
+
+let monotonic_s () =
+  let t = Unix.gettimeofday () in
+  if t > !last then last := t;
+  !last
+
+let sleep_s s =
+  if s > 0. then begin
+    let until = monotonic_s () +. s in
+    let rec go remaining =
+      if remaining > 0. then begin
+        (try Unix.sleepf remaining
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        go (until -. monotonic_s ())
+      end
+    in
+    go s
+  end

@@ -1,0 +1,180 @@
+(* End-to-end smoke test for `benchgen serve`: start the real server
+   (fork isolation, real deadlines), submit a good job, a corrupt-trace
+   job, and a guaranteed-hanging job (a FIFO with no writer blocks its
+   worker in open(2) until the deadline kill), and assert that every
+   line that comes back is a typed protocol response, each job resolves
+   the way its class demands, and the server drains to exit 0.  Run
+   once over stdio (end-of-input is an implicit drain) and once over a
+   Unix-domain socket.
+
+   Usage: serve_smoke.exe PATH-TO-BENCHGEN-CLI *)
+
+module P = Serve.Protocol
+
+let cli = Sys.argv.(1)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("serve_smoke: FAIL: " ^ s);
+      exit 1)
+    fmt
+
+(* a wedged server must fail the test, not hang the build *)
+let () = ignore (Unix.alarm 120)
+
+let run_quiet args =
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid = Unix.create_process args.(0) args Unix.stdin null Unix.stderr in
+  Unix.close null;
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> fail "setup command failed: %s" (String.concat " " (Array.to_list args))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+
+let good_trace = "smoke-serve-good.trace"
+let corrupt_trace = "smoke-serve-corrupt.trace"
+let hang_fifo = "smoke-serve-hang.fifo"
+
+let () =
+  run_quiet [| cli; "trace"; "ring"; "-n"; "4"; "-o"; good_trace |];
+  write_file corrupt_trace "this is not a trace\x00\xff garbage";
+  (try Unix.unlink hang_fifo with Unix.Unix_error _ -> ());
+  Unix.mkfifo hang_fifo 0o600
+
+let submit_lines =
+  [
+    Printf.sprintf {|{"op":"submit","id":"good","trace":"%s"}|} good_trace;
+    Printf.sprintf
+      {|{"op":"submit","id":"bad","trace":"%s","max_retries":0,"escalate":false}|}
+      corrupt_trace;
+    Printf.sprintf
+      {|{"op":"submit","id":"hang","trace":"%s","deadline_s":0.5,"max_retries":0}|}
+      hang_fifo;
+  ]
+
+(* every line the server emits must re-parse as a typed response *)
+let parse_all lines =
+  List.map
+    (fun line ->
+      match P.response_of_line line with
+      | r -> r
+      | exception _ -> fail "untyped response line: %s" line)
+    lines
+
+let find_result id responses =
+  let rec go = function
+    | [] -> fail "no terminal response for job %S" id
+    | (P.Result_ok { id = i; _ } as r) :: _ when i = id -> r
+    | (P.Result_error { id = i; _ } as r) :: _ when i = id -> r
+    | _ :: rest -> go rest
+  in
+  go responses
+
+let check_jobs responses =
+  (match find_result "good" responses with
+  | P.Result_ok { attempts = 1; info; _ } ->
+      if info.P.ok_statements <= 0 then fail "good job generated nothing"
+  | r -> fail "good job did not succeed: %s" (P.response_to_line r));
+  (match find_result "bad" responses with
+  | P.Result_error { error; _ } ->
+      if error.P.e_tag <> "trace_format" then
+        fail "corrupt job: tag %S, wanted trace_format" error.P.e_tag;
+      if error.P.e_path <> Some corrupt_trace then
+        fail "corrupt job: error does not carry the input path"
+  | r -> fail "corrupt job did not fail: %s" (P.response_to_line r));
+  (match find_result "hang" responses with
+  | P.Result_error { error; _ } ->
+      if error.P.e_tag <> "deadline_exceeded" then
+        fail "hanging job: tag %S, wanted deadline_exceeded" error.P.e_tag
+  | r -> fail "hanging job was not killed: %s" (P.response_to_line r));
+  match List.rev responses with
+  | P.Drained _ :: _ -> ()
+  | r :: _ -> fail "last response is not drained: %s" (P.response_to_line r)
+  | [] -> fail "no responses at all"
+
+let read_lines ic =
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []
+
+let wait_exit_0 what pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> fail "%s exited %d, wanted 0" what n
+  | _ -> fail "%s died on a signal" what
+
+(* ------------------------------------------------------------------ *)
+(* 1. stdio mode: submissions on stdin, EOF is an implicit drain       *)
+
+let () =
+  (* cloexec: the server must NOT inherit the write end of its own stdin
+     pipe, or closing it here would never deliver the EOF that triggers
+     the implicit drain (create_process's dup2 onto fd 0/1 clears the
+     flag on the ends the server should see) *)
+  let in_r, in_w = Unix.pipe ~cloexec:true () in
+  let out_r, out_w = Unix.pipe ~cloexec:true () in
+  let pid =
+    Unix.create_process cli [| cli; "serve" |] in_r out_w Unix.stderr
+  in
+  Unix.close in_r;
+  Unix.close out_w;
+  let oc = Unix.out_channel_of_descr in_w in
+  List.iter (fun l -> output_string oc (l ^ "\n")) submit_lines;
+  close_out oc;
+  let ic = Unix.in_channel_of_descr out_r in
+  let responses = parse_all (read_lines ic) in
+  close_in ic;
+  check_jobs responses;
+  wait_exit_0 "stdio server" pid;
+  prerr_endline "serve_smoke: stdio mode ok"
+
+(* ------------------------------------------------------------------ *)
+(* 2. socket mode: same jobs over a Unix-domain socket, explicit drain *)
+
+let () =
+  (* the FIFO was consumed structurally? no — no writer ever appeared,
+     but the killed worker's open() may have been interrupted; the FIFO
+     itself is untouched and reusable *)
+  let sock_path = "smoke-serve.sock" in
+  (try Unix.unlink sock_path with Unix.Unix_error _ -> ());
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let pid =
+    Unix.create_process cli
+      [| cli; "serve"; "--socket"; sock_path |]
+      null Unix.stdout Unix.stderr
+  in
+  Unix.close null;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rec connect tries =
+    match Unix.connect sock (Unix.ADDR_UNIX sock_path) with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when tries > 0 ->
+        Unix.sleepf 0.1;
+        connect (tries - 1)
+  in
+  connect 100;
+  let oc = Unix.out_channel_of_descr sock in
+  let ic = Unix.in_channel_of_descr (Unix.dup sock) in
+  List.iter (fun l -> output_string oc (l ^ "\n")) submit_lines;
+  output_string oc "{\"op\":\"drain\"}\n";
+  flush oc;
+  Unix.shutdown sock Unix.SHUTDOWN_SEND;
+  let responses = parse_all (read_lines ic) in
+  close_in ic;
+  close_out oc;
+  check_jobs responses;
+  wait_exit_0 "socket server" pid;
+  if Sys.file_exists sock_path then fail "socket file not removed on exit";
+  prerr_endline "serve_smoke: socket mode ok"

@@ -18,4 +18,5 @@ let () =
       ("salvage", Test_salvage.suite);
       ("timing", Test_timing.suite);
       ("obs", Test_obs.suite);
+      ("serve", Test_serve.suite);
     ]

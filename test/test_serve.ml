@@ -1,0 +1,561 @@
+(* Serve mode: supervision policy (backoff schedule, recovery
+   escalation), wire protocol round-trips, admission control, the
+   supervisor's retry/deadline/crash-isolation behavior on a virtual
+   clock, the seeded service fuzzer, and domain-safety of the metrics
+   registry the server aggregates into. *)
+
+module Policy = Serve.Policy
+module P = Serve.Protocol
+module Sup = Serve.Supervisor
+module Pipeline = Benchgen.Pipeline
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Policy: backoff schedule and recovery escalation                    *)
+
+let policy_tests =
+  [
+    t "backoff schedule is deterministic per seed" (fun () ->
+        let schedule seed =
+          let rng = Util.Rng.create ~seed in
+          List.init 6 (fun i ->
+              Policy.backoff_s Policy.default ~rng ~attempt:(i + 1))
+        in
+        Alcotest.(check (list (float 0.)))
+          "same seed, same delays" (schedule 42) (schedule 42);
+        Alcotest.(check bool)
+          "different seed, different delays" true
+          (schedule 42 <> schedule 43));
+    t "backoff grows exponentially and respects the cap" (fun () ->
+        let p =
+          {
+            Policy.default with
+            backoff_base_s = 0.1;
+            backoff_factor = 2.0;
+            backoff_max_s = 0.5;
+            jitter = 0.;
+          }
+        in
+        let rng = Util.Rng.create ~seed:1 in
+        let d attempt = Policy.backoff_s p ~rng ~attempt in
+        Alcotest.(check (float 1e-9)) "attempt 1" 0.1 (d 1);
+        Alcotest.(check (float 1e-9)) "attempt 2" 0.2 (d 2);
+        Alcotest.(check (float 1e-9)) "attempt 3" 0.4 (d 3);
+        Alcotest.(check (float 1e-9)) "attempt 4 capped" 0.5 (d 4);
+        Alcotest.(check (float 1e-9)) "attempt 10 capped" 0.5 (d 10));
+    t "jitter stays within [delay, delay*(1+jitter))" (fun () ->
+        let p =
+          {
+            Policy.default with
+            backoff_base_s = 1.0;
+            backoff_factor = 1.0;
+            backoff_max_s = 10.;
+            jitter = 0.25;
+          }
+        in
+        let rng = Util.Rng.create ~seed:7 in
+        for _ = 1 to 200 do
+          let d = Policy.backoff_s p ~rng ~attempt:1 in
+          if d < 1.0 || d >= 1.25 then
+            Alcotest.failf "jittered delay %f outside [1, 1.25)" d
+        done);
+    t "backoff_s rejects attempt < 1" (fun () ->
+        let rng = Util.Rng.create ~seed:1 in
+        match Policy.backoff_s Policy.default ~rng ~attempt:0 with
+        | exception Invalid_argument _ -> ()
+        | d -> Alcotest.failf "expected Invalid_argument, got %f" d);
+    t "recovery escalates per retry and saturates" (fun () ->
+        let p = { Policy.default with recovery = `Strict; escalate = true } in
+        let r a = Policy.recovery_for_attempt p ~attempt:a in
+        Alcotest.(check bool) "attempt 0 strict" true (r 0 = `Strict);
+        Alcotest.(check bool) "attempt 1 salvage" true (r 1 = `Salvage);
+        Alcotest.(check bool) "attempt 2 best-effort" true (r 2 = `Best_effort);
+        Alcotest.(check bool) "attempt 9 saturates" true (r 9 = `Best_effort));
+    t "escalation starts from the configured level" (fun () ->
+        let p = { Policy.default with recovery = `Salvage } in
+        Alcotest.(check bool) "attempt 0" true
+          (Policy.recovery_for_attempt p ~attempt:0 = `Salvage);
+        Alcotest.(check bool) "attempt 1" true
+          (Policy.recovery_for_attempt p ~attempt:1 = `Best_effort));
+    t "escalate=false pins every attempt" (fun () ->
+        let p = { Policy.default with recovery = `Strict; escalate = false } in
+        for a = 0 to 5 do
+          Alcotest.(check bool)
+            (Printf.sprintf "attempt %d" a)
+            true
+            (Policy.recovery_for_attempt p ~attempt:a = `Strict)
+        done);
+    t "override_from_json applies and validates fields" (fun () ->
+        let j =
+          Obs.Json.parse
+            {|{"deadline_s":2.5,"max_retries":5,"recovery":"salvage",
+               "escalate":false,"jitter":0.5}|}
+        in
+        (match Policy.override_from_json Policy.default j with
+        | Error m -> Alcotest.failf "override failed: %s" m
+        | Ok p ->
+            Alcotest.(check (option (float 0.))) "deadline" (Some 2.5)
+              p.Policy.deadline_s;
+            Alcotest.(check int) "retries" 5 p.Policy.max_retries;
+            Alcotest.(check bool) "recovery" true (p.Policy.recovery = `Salvage);
+            Alcotest.(check bool) "escalate" false p.Policy.escalate);
+        (match
+           Policy.override_from_json Policy.default
+             (Obs.Json.parse {|{"max_retries":-1}|})
+         with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "negative max_retries accepted");
+        match
+          Policy.override_from_json Policy.default
+            (Obs.Json.parse {|{"recovery":"yolo"}|})
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "unknown recovery accepted");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: parsing and rendering                                     *)
+
+let sample_responses =
+  [
+    P.Accepted { id = "j1"; queue_depth = 3 };
+    P.Rejected { id = Some "j2"; reason = P.Queue_full };
+    P.Rejected { id = None; reason = P.Bad_request "not json" };
+    P.Rejected { id = Some "big"; reason = P.Oversized { bytes = 999; limit = 100 } };
+    P.Result_ok
+      {
+        id = "j3";
+        attempts = 2;
+        info =
+          {
+            P.ok_statements = 12;
+            ok_final_rsds = 4;
+            ok_recovery = "salvage";
+            ok_warnings = [ ("salvaged", "6/8 frames intact") ];
+            ok_text = Some "program text";
+            ok_out = Some "/tmp/out.ncptl";
+          };
+      };
+    P.Result_error
+      {
+        id = "j4";
+        attempts = 3;
+        error =
+          {
+            P.e_tag = "unrecoverable_trace";
+            e_path = Some "/bad.trace";
+            e_retryable = true;
+            e_detail = "nothing survived";
+          };
+      };
+    P.Cancelled { id = "j5" };
+    P.Health_report
+      {
+        queue_depth = 1;
+        queue_limit = 8;
+        draining = false;
+        submitted = 5;
+        completed = 3;
+        failed = 1;
+        rejected = 0;
+        cancelled = 0;
+      };
+    P.Drained { jobs_run = 4; cancelled = 1 };
+  ]
+
+let protocol_tests =
+  [
+    t "every response round-trips byte-identically" (fun () ->
+        List.iter
+          (fun r ->
+            let line = P.response_to_line r in
+            let r' = P.response_of_line line in
+            Alcotest.(check bool)
+              ("value round-trip: " ^ line)
+              true (r = r');
+            Alcotest.(check string) "byte round-trip" line
+              (P.response_to_line r'))
+          sample_responses);
+    t "parse_request: submit with overrides" (fun () ->
+        match
+          P.parse_request ~default_policy:Policy.default ~max_bytes:4096
+            {|{"op":"submit","id":"a","trace":"/t.trace","max_retries":0,"deadline_s":0.5}|}
+        with
+        | Ok (P.Submit s) ->
+            Alcotest.(check string) "id" "a" s.P.sub_id;
+            Alcotest.(check bool) "source" true (s.P.sub_source = P.J_file "/t.trace");
+            Alcotest.(check int) "retries" 0 s.P.sub_policy.Policy.max_retries;
+            Alcotest.(check (option (float 0.)))
+              "deadline" (Some 0.5) s.P.sub_policy.Policy.deadline_s
+        | Ok _ -> Alcotest.fail "wrong request kind"
+        | Error (_, r) -> Alcotest.failf "rejected: %s" (P.reject_tag r));
+    t "parse_request: app submit" (fun () ->
+        match
+          P.parse_request ~default_policy:Policy.default ~max_bytes:4096
+            {|{"op":"submit","id":"b","app":"lu","nranks":8,"cls":"W"}|}
+        with
+        | Ok (P.Submit s) ->
+            Alcotest.(check bool) "source" true
+              (s.P.sub_source = P.J_app { app = "lu"; nranks = 8; cls = "W" })
+        | _ -> Alcotest.fail "app submit did not parse");
+    t "parse_request: control ops" (fun () ->
+        let parse l =
+          P.parse_request ~default_policy:Policy.default ~max_bytes:4096 l
+        in
+        Alcotest.(check bool) "health" true (parse {|{"op":"health"}|} = Ok P.Health);
+        Alcotest.(check bool) "drain" true (parse {|{"op":"drain"}|} = Ok P.Drain);
+        Alcotest.(check bool) "shutdown" true
+          (parse {|{"op":"shutdown"}|} = Ok P.Shutdown));
+    t "parse_request: oversized line is rejected unparsed" (fun () ->
+        let line =
+          {|{"op":"submit","id":"big","trace":"|} ^ String.make 200 'x' ^ {|"}|}
+        in
+        match P.parse_request ~default_policy:Policy.default ~max_bytes:100 line with
+        | Error (_, P.Oversized { bytes; limit }) ->
+            Alcotest.(check int) "limit echoed" 100 limit;
+            Alcotest.(check int) "bytes echoed" (String.length line) bytes
+        | _ -> Alcotest.fail "oversized line was not rejected");
+    t "parse_request: garbage and bad requests are typed" (fun () ->
+        let bad l =
+          match
+            P.parse_request ~default_policy:Policy.default ~max_bytes:4096 l
+          with
+          | Error (id, P.Bad_request _) -> id
+          | Error (_, r) -> Alcotest.failf "wrong reject: %s" (P.reject_tag r)
+          | Ok _ -> Alcotest.failf "accepted: %s" l
+        in
+        Alcotest.(check (option string)) "garbage" None (bad "not json at all");
+        Alcotest.(check (option string)) "unknown op" None (bad {|{"op":"frobnicate"}|});
+        (* a bad submit still echoes its id so the client can correlate *)
+        Alcotest.(check (option string))
+          "id recovered" (Some "x")
+          (bad {|{"op":"submit","id":"x"}|});
+        Alcotest.(check (option string))
+          "ill-typed field" (Some "y")
+          (bad {|{"op":"submit","id":"y","trace":"/t","max_retries":"three"}|}));
+    t "reject tags are stable" (fun () ->
+        Alcotest.(check string) "queue_full" "queue_full" (P.reject_tag P.Queue_full);
+        Alcotest.(check string) "draining" "draining" (P.reject_tag P.Draining);
+        Alcotest.(check string) "oversized" "oversized"
+          (P.reject_tag (P.Oversized { bytes = 1; limit = 0 }));
+        Alcotest.(check string) "bad_request" "bad_request"
+          (P.reject_tag (P.Bad_request "m")));
+    t "error_of_gen_error: stable tags, path, retryability" (fun () ->
+        let e ?path g = P.error_of_gen_error ?path g in
+        let io = e ~path:"/gone.trace" (Pipeline.E_io "no such file") in
+        Alcotest.(check string) "io tag" "io" io.P.e_tag;
+        Alcotest.(check (option string)) "io path" (Some "/gone.trace") io.P.e_path;
+        Alcotest.(check bool) "io not retryable" false io.P.e_retryable;
+        let cases =
+          [
+            (Pipeline.E_potential_deadlock "d", "potential_deadlock");
+            (Pipeline.E_align "a", "align");
+            (Pipeline.E_wildcard "w", "wildcard");
+            (Pipeline.E_trace_format "t", "trace_format");
+            (Pipeline.E_codegen "c", "codegen");
+            (Pipeline.E_unrecoverable_trace "u", "unrecoverable_trace");
+          ]
+        in
+        List.iter
+          (fun (g, tag) ->
+            let i = e g in
+            Alcotest.(check string) ("tag " ^ tag) tag i.P.e_tag;
+            Alcotest.(check bool) (tag ^ " retryable") true i.P.e_retryable)
+          cases);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor on a virtual clock                                       *)
+
+let ok_info =
+  {
+    P.ok_statements = 4;
+    ok_final_rsds = 2;
+    ok_recovery = "strict";
+    ok_warnings = [];
+    ok_text = None;
+    ok_out = None;
+  }
+
+let submit_of ?(policy = Policy.default) id =
+  {
+    P.sub_id = id;
+    sub_source = P.J_file (id ^ ".trace");
+    sub_policy = policy;
+    sub_out = None;
+    sub_emit_text = false;
+  }
+
+let sup_of ?(queue_limit = 8) runner =
+  Sup.create ~queue_limit ~seed:1 ~runner ~clock:(Sup.sim_clock ()) ()
+
+let supervisor_tests =
+  [
+    t "clean job: accepted then one ok result" (fun () ->
+        let sup = sup_of (fun _ ~recovery:_ ~deadline_s:_ -> Sup.A_ok ok_info) in
+        (match Sup.submit sup (submit_of "a") with
+        | P.Accepted { id = "a"; queue_depth = 1 } -> ()
+        | r -> Alcotest.failf "unexpected: %s" (P.response_to_line r));
+        match Sup.run_next sup with
+        | Some (P.Result_ok { id = "a"; attempts = 1; _ }) ->
+            Alcotest.(check int) "queue empty" 0 (Sup.queue_length sup)
+        | Some r -> Alcotest.failf "unexpected: %s" (P.response_to_line r)
+        | None -> Alcotest.fail "no response");
+    t "retry escalates recovery until success" (fun () ->
+        (* fails at strict and salvage, succeeds at best-effort: the
+           escalation path the paper's damaged-trace story needs *)
+        let seen = ref [] in
+        let runner _ ~recovery ~deadline_s:_ =
+          seen := recovery :: !seen;
+          if recovery = `Best_effort then
+            Sup.A_ok { ok_info with P.ok_recovery = "best-effort" }
+          else
+            Sup.A_error
+              {
+                P.e_tag = "unrecoverable_trace";
+                e_path = None;
+                e_retryable = true;
+                e_detail = "needs weaker recovery";
+              }
+        in
+        let policy = { Policy.default with max_retries = 2 } in
+        let sup = sup_of runner in
+        ignore (Sup.submit sup (submit_of ~policy "esc"));
+        (match Sup.run_next sup with
+        | Some (P.Result_ok { id = "esc"; attempts = 3; info }) ->
+            Alcotest.(check string)
+              "reports the successful level" "best-effort" info.P.ok_recovery
+        | Some r -> Alcotest.failf "unexpected: %s" (P.response_to_line r)
+        | None -> Alcotest.fail "no response");
+        Alcotest.(check bool)
+          "ran strict, salvage, best-effort in order" true
+          (List.rev !seen = [ `Strict; `Salvage; `Best_effort ]));
+    t "retries exhausted: last error surfaces with attempt count" (fun () ->
+        let runner _ ~recovery:_ ~deadline_s:_ =
+          Sup.A_error
+            {
+              P.e_tag = "trace_format";
+              e_path = Some "x.trace";
+              e_retryable = true;
+              e_detail = "always broken";
+            }
+        in
+        let policy = { Policy.default with max_retries = 2 } in
+        let sup = sup_of runner in
+        ignore (Sup.submit sup (submit_of ~policy "f"));
+        match Sup.run_next sup with
+        | Some (P.Result_error { attempts = 3; error; _ }) ->
+            Alcotest.(check string) "tag" "trace_format" error.P.e_tag;
+            Alcotest.(check (option string)) "path" (Some "x.trace") error.P.e_path
+        | Some r -> Alcotest.failf "unexpected: %s" (P.response_to_line r)
+        | None -> Alcotest.fail "no response");
+    t "non-retryable error stops immediately" (fun () ->
+        let calls = ref 0 in
+        let runner _ ~recovery:_ ~deadline_s:_ =
+          incr calls;
+          Sup.A_error
+            {
+              P.e_tag = "io";
+              e_path = Some "/gone.trace";
+              e_retryable = false;
+              e_detail = "no such file";
+            }
+        in
+        let policy = { Policy.default with max_retries = 5 } in
+        let sup = sup_of runner in
+        ignore (Sup.submit sup (submit_of ~policy "io"));
+        (match Sup.run_next sup with
+        | Some (P.Result_error { attempts = 1; _ }) -> ()
+        | Some r -> Alcotest.failf "unexpected: %s" (P.response_to_line r)
+        | None -> Alcotest.fail "no response");
+        Alcotest.(check int) "runner called once" 1 !calls);
+    t "deadline kill: timeout is typed and counted" (fun () ->
+        let runner _ ~recovery:_ ~deadline_s:_ = Sup.A_timeout in
+        let policy =
+          { Policy.default with deadline_s = Some 0.5; max_retries = 1 }
+        in
+        let sup = sup_of runner in
+        ignore (Sup.submit sup (submit_of ~policy "slow"));
+        (match Sup.run_next sup with
+        | Some (P.Result_error { attempts = 2; error; _ }) ->
+            Alcotest.(check string) "tag" "deadline_exceeded" error.P.e_tag;
+            Alcotest.(check bool) "retryable" true error.P.e_retryable
+        | Some r -> Alcotest.failf "unexpected: %s" (P.response_to_line r)
+        | None -> Alcotest.fail "no response");
+        Alcotest.(check (option int))
+          "deadline_kills metric" (Some 2)
+          (Obs.Metrics.counter_value (Sup.metrics sup) "serve.deadline_kills"));
+    t "crash isolation: a raising runner never kills the supervisor"
+      (fun () ->
+        let runner _ ~recovery:_ ~deadline_s:_ =
+          failwith "worker heap corruption"
+        in
+        let policy = { Policy.default with max_retries = 0 } in
+        let sup = sup_of runner in
+        ignore (Sup.submit sup (submit_of ~policy "boom"));
+        (match Sup.run_next sup with
+        | Some (P.Result_error { attempts = 1; error; _ }) ->
+            Alcotest.(check string) "tag" "crashed" error.P.e_tag
+        | Some r -> Alcotest.failf "unexpected: %s" (P.response_to_line r)
+        | None -> Alcotest.fail "no response");
+        (* the supervisor keeps serving after the crash *)
+        let ok _ ~recovery:_ ~deadline_s:_ = Sup.A_ok ok_info in
+        ignore ok;
+        ignore (Sup.submit sup (submit_of ~policy "boom2"));
+        match Sup.run_next sup with
+        | Some (P.Result_error { id = "boom2"; _ }) -> ()
+        | _ -> Alcotest.fail "supervisor did not survive the crash");
+    t "queue-full load shedding" (fun () ->
+        let sup =
+          Sup.create ~queue_limit:2 ~seed:1
+            ~runner:(fun _ ~recovery:_ ~deadline_s:_ -> Sup.A_ok ok_info)
+            ~clock:(Sup.sim_clock ()) ()
+        in
+        ignore (Sup.submit sup (submit_of "a"));
+        ignore (Sup.submit sup (submit_of "b"));
+        (match Sup.submit sup (submit_of "c") with
+        | P.Rejected { id = Some "c"; reason = P.Queue_full } -> ()
+        | r -> Alcotest.failf "expected queue_full, got %s" (P.response_to_line r));
+        Alcotest.(check int) "queue bounded" 2 (Sup.queue_length sup);
+        Alcotest.(check (option int))
+          "sheds counted" (Some 1)
+          (Obs.Metrics.counter_value (Sup.metrics sup) "serve.sheds");
+        (* freeing a slot re-opens admission *)
+        ignore (Sup.run_next sup);
+        match Sup.submit sup (submit_of "d") with
+        | P.Accepted _ -> ()
+        | r -> Alcotest.failf "expected accepted, got %s" (P.response_to_line r));
+    t "drain finishes queued work and rejects new submits" (fun () ->
+        let sup = sup_of (fun _ ~recovery:_ ~deadline_s:_ -> Sup.A_ok ok_info) in
+        ignore (Sup.submit sup (submit_of "a"));
+        ignore (Sup.submit sup (submit_of "b"));
+        Sup.begin_drain sup;
+        (match Sup.submit sup (submit_of "late") with
+        | P.Rejected { reason = P.Draining; _ } -> ()
+        | r -> Alcotest.failf "expected draining, got %s" (P.response_to_line r));
+        let rs = Sup.drain sup in
+        let lines = List.map P.response_to_line rs in
+        Alcotest.(check int) "two results + summary" 3 (List.length rs);
+        (match List.rev rs with
+        | P.Drained { jobs_run = 2; cancelled = 0 } :: _ -> ()
+        | _ ->
+            Alcotest.failf "bad drain tail: %s" (String.concat " | " lines));
+        Alcotest.(check int) "queue empty" 0 (Sup.queue_length sup));
+    t "shutdown cancels queued jobs with typed responses" (fun () ->
+        let sup = sup_of (fun _ ~recovery:_ ~deadline_s:_ -> Sup.A_ok ok_info) in
+        ignore (Sup.submit sup (submit_of "a"));
+        ignore (Sup.submit sup (submit_of "b"));
+        match Sup.shutdown sup with
+        | [ P.Cancelled { id = "a" }; P.Cancelled { id = "b" };
+            P.Drained { jobs_run = 0; cancelled = 2 } ] ->
+            Alcotest.(check bool) "draining afterwards" true (Sup.draining sup)
+        | rs ->
+            Alcotest.failf "unexpected shutdown transcript: %s"
+              (String.concat " | " (List.map P.response_to_line rs)));
+    t "backoff sleeps land on the supervisor's clock" (fun () ->
+        let clock = Sup.sim_clock () in
+        let fails = ref 2 in
+        let runner _ ~recovery:_ ~deadline_s:_ =
+          if !fails > 0 then begin
+            decr fails;
+            Sup.A_error
+              {
+                P.e_tag = "trace_format";
+                e_path = None;
+                e_retryable = true;
+                e_detail = "transient";
+              }
+          end
+          else Sup.A_ok ok_info
+        in
+        let policy =
+          {
+            Policy.default with
+            max_retries = 2;
+            backoff_base_s = 0.1;
+            backoff_factor = 2.;
+            jitter = 0.;
+          }
+        in
+        let sup = Sup.create ~seed:1 ~runner ~clock () in
+        ignore (Sup.submit sup (submit_of ~policy "r"));
+        ignore (Sup.run_next sup);
+        (* two retries => 0.1 + 0.2 seconds of virtual backoff *)
+        Alcotest.(check (float 1e-6))
+          "virtual time advanced by the schedule" 0.3
+          (clock.Sup.now ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Service fuzzer                                                      *)
+
+let fuzz_tests =
+  [
+    t "50-seed campaign: no violations" (fun () ->
+        let s =
+          Check.Servefuzz.run
+            { Check.Servefuzz.seed_start = 1; seeds = 50; log = ignore }
+        in
+        Alcotest.(check int) "cases" 50 s.Check.Servefuzz.cases;
+        Alcotest.(check bool) "jobs submitted" true (s.Check.Servefuzz.jobs > 100);
+        (match s.Check.Servefuzz.violations with
+        | [] -> ()
+        | v :: _ ->
+            Alcotest.failf "%d violations; first: seed %d: %s"
+              (List.length s.Check.Servefuzz.violations)
+              v.Check.Servefuzz.v_seed v.Check.Servefuzz.v_what);
+        (* the merged registry carries the serve.* instruments *)
+        Alcotest.(check bool)
+          "outcome counters merged" true
+          (Obs.Metrics.counter_value s.Check.Servefuzz.metrics
+             "servefuzz.jobs"
+           <> None));
+    t "same seed, byte-identical transcript" (fun () ->
+        for seed = 1 to 10 do
+          Alcotest.(check string)
+            (Printf.sprintf "seed %d" seed)
+            (Check.Servefuzz.transcript ~seed)
+            (Check.Servefuzz.transcript ~seed)
+        done);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry under concurrent mutation                          *)
+
+let metrics_domain_tests =
+  [
+    t "parallel mutation from domains is safe and lossless" (fun () ->
+        let m = Obs.Metrics.create () in
+        let domains = 4 and per_domain = 5_000 in
+        let worker i () =
+          for k = 1 to per_domain do
+            Obs.Metrics.inc m "shared.counter";
+            Obs.Metrics.inc m ~labels:[ ("domain", string_of_int i) ]
+              "per.domain";
+            Obs.Metrics.set m "gauge" (float_of_int k);
+            Obs.Metrics.observe m "histo" (float_of_int (k mod 10))
+          done
+        in
+        let ds = List.init domains (fun i -> Domain.spawn (worker i)) in
+        List.iter Domain.join ds;
+        Alcotest.(check (option int))
+          "no lost increments" (Some (domains * per_domain))
+          (Obs.Metrics.counter_value m "shared.counter");
+        for i = 0 to domains - 1 do
+          Alcotest.(check (option int))
+            (Printf.sprintf "domain %d counter" i)
+            (Some per_domain)
+            (Obs.Metrics.counter_value m
+               ~labels:[ ("domain", string_of_int i) ]
+               "per.domain")
+        done;
+        (* the dump must still be well-formed JSONL *)
+        String.split_on_char '\n' (Obs.Metrics.to_jsonl m)
+        |> List.iter (fun line ->
+               if line <> "" then ignore (Obs.Json.parse line)));
+  ]
+
+let suite =
+  policy_tests @ protocol_tests @ supervisor_tests @ fuzz_tests
+  @ metrics_domain_tests
