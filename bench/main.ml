@@ -34,12 +34,16 @@ let () =
       List.iter (fun (name, _, f) -> wall name f) experiments
   | [ "micro" ] -> Micro.run ()
   | "perf" :: rest -> wall "perf" (Perf.run ~quick:(List.mem "--quick" rest))
+  | [ "perf-smoke" ] -> wall "perf-smoke" Perf.smoke
   | [ "list" ] ->
       List.iter (fun (n, d, _) -> Printf.printf "%-12s %s\n" n d) experiments;
       print_endline "micro        bechamel micro-benchmarks of the pipeline";
       print_endline
         "perf         engine/compressor perf-regression suite -> \
-         BENCH_engine.json (add --quick for the smoke-test mode)"
+         BENCH_engine.json (add --quick for the smoke-test mode)";
+      print_endline
+        "perf-smoke   wall-clock guard on the indexed merge path (runs \
+         under dune runtest)"
   | names ->
       List.iter
         (fun n ->

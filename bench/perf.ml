@@ -81,6 +81,59 @@ let run_micro ~matcher ~nranks ~msgs_per_rank =
     events_per_s = float_of_int outcome.Mpisim.Engine.events /. Float.max dt 1e-9 }
 
 (* ------------------------------------------------------------------ *)
+(* Merge stress: reference vs indexed inter-rank merge                 *)
+
+(* The high-RSD regime that made MG fall off a cliff, distilled: trace
+   the [hirsd] stress app once, then run {!Scalatrace.Merge} over the
+   same per-rank traces with both implementations.  The merged traces
+   must be byte-identical — the index is a pure lookup structure. *)
+
+type merge_run = {
+  g_nranks : int;
+  g_rsds : int;
+  g_events : int;
+  reference_s : float;
+  indexed_s : float;
+}
+
+let run_merge_stress ~nranks ~cls =
+  let app =
+    match Apps.Registry.find "hirsd" with
+    | Some a -> a
+    | None -> failwith "hirsd app missing from registry"
+  in
+  let t = Scalatrace.Tracer.create ~nranks () in
+  ignore
+    (Mpisim.Mpi.run ~hooks:[ Scalatrace.Tracer.hook t ] ~nranks
+       (app.program ~cls ()));
+  let reference, reference_s =
+    wall (fun () -> Scalatrace.Tracer.finish ~merge_impl:`Reference t)
+  in
+  let indexed, indexed_s =
+    wall (fun () -> Scalatrace.Tracer.finish ~merge_impl:`Indexed t)
+  in
+  if Scalatrace.Trace.to_text reference <> Scalatrace.Trace.to_text indexed
+  then failwith "merge implementations disagree on the merged trace";
+  {
+    g_nranks = nranks;
+    g_rsds = Scalatrace.Trace.rsd_count indexed;
+    g_events = Scalatrace.Trace.event_count indexed;
+    reference_s;
+    indexed_s;
+  }
+
+let merge_json m =
+  Obs.Json.Obj
+    [
+      ("nranks", Obs.Json.Num (float_of_int m.g_nranks));
+      ("rsds", Obs.Json.Num (float_of_int m.g_rsds));
+      ("events", Obs.Json.Num (float_of_int m.g_events));
+      ("reference_s", Obs.Json.Num m.reference_s);
+      ("indexed_s", Obs.Json.Num m.indexed_s);
+      ("speedup", Obs.Json.Num (m.reference_s /. Float.max m.indexed_s 1e-9));
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end pipeline over the application suite                      *)
 
 type app_run = {
@@ -155,7 +208,8 @@ let app_json a =
       ("final_rsds", jint a.final_rsds);
     ]
 
-let emit ~path ~mode ~micro_nranks ~msgs_per_rank ~reference ~indexed ~apps =
+let emit ~path ~mode ~micro_nranks ~msgs_per_rank ~reference ~indexed ~merge
+    ~apps =
   let doc =
     Obs.Json.Obj
       [
@@ -173,6 +227,7 @@ let emit ~path ~mode ~micro_nranks ~msgs_per_rank ~reference ~indexed ~apps =
                   (indexed.events_per_s /. Float.max reference.events_per_s 1e-9)
               );
             ] );
+        ("merge", merge_json merge);
         ("apps", Obs.Json.Arr (List.map app_json apps));
       ]
   in
@@ -224,6 +279,16 @@ let run ~quick () =
      (%.3fs)\n  speedup:   %.1fx\n%!"
     reference.events_per_s reference.wall_s indexed.events_per_s indexed.wall_s
     speedup;
+  let merge_nranks = if quick then 8 else 64 in
+  let merge_cls = if quick then Apps.Params.S else Apps.Params.C in
+  Printf.printf
+    "merge stress: hirsd at %d ranks, reference vs indexed inter-rank merge\n%!"
+    merge_nranks;
+  let merge = run_merge_stress ~nranks:merge_nranks ~cls:merge_cls in
+  Printf.printf
+    "  %d rsds / %d events; reference %.3fs, indexed %.3fs (%.1fx)\n%!"
+    merge.g_rsds merge.g_events merge.reference_s merge.indexed_s
+    (merge.reference_s /. Float.max merge.indexed_s 1e-9);
   let apps, counts =
     if quick then
       ( List.filter
@@ -231,7 +296,7 @@ let run ~quick () =
             List.mem a.name [ "cg"; "mg"; "ring" ])
           Apps.Registry.all,
         [ 16 ] )
-    else (Apps.Registry.paper_suite, [ 64; 256 ])
+    else (Apps.Registry.paper_suite, [ 64; 256; 1024 ])
   in
   let app_runs =
     List.concat_map
@@ -250,9 +315,32 @@ let run ~quick () =
   in
   let path = "BENCH_engine.json" in
   emit ~path ~mode:(if quick then "quick" else "full") ~micro_nranks
-    ~msgs_per_rank ~reference ~indexed ~apps:app_runs;
+    ~msgs_per_rank ~reference ~indexed ~merge ~apps:app_runs;
   Printf.printf "wrote %s\n%!" path;
   if quick then begin
     validate_json path;
     Printf.printf "quick mode: JSON parses and has the expected shape\n%!"
   end
+
+(* ------------------------------------------------------------------ *)
+(* Perf smoke: a wall-clock guard on the indexed merge path            *)
+
+(* Runs under [dune runtest].  The budget is deliberately generous —
+   ~100x the expected time on an unloaded machine — so it never flakes
+   on a busy box, yet still catches the complexity class regressing:
+   before the indexed merge, this workload took minutes, not seconds. *)
+let smoke () =
+  let budget_s = 60. in
+  let m, total_s =
+    wall (fun () -> run_merge_stress ~nranks:32 ~cls:Apps.Params.A)
+  in
+  Printf.printf
+    "perf smoke: hirsd 32 ranks, %d rsds; reference merge %.3fs, indexed \
+     %.3fs, total %.3fs (budget %.0fs)\n%!"
+    m.g_rsds m.reference_s m.indexed_s total_s budget_s;
+  if m.indexed_s > budget_s then
+    failwith
+      (Printf.sprintf
+         "perf smoke: indexed merge took %.1fs, over the %.0fs budget — the \
+          merge complexity class has regressed"
+         m.indexed_s budget_s)

@@ -79,6 +79,12 @@ let all =
       supports = Synthetic.butterfly_supports;
       program = Synthetic.butterfly_program;
     };
+    {
+      name = Synthetic.hirsd_name;
+      description = "synthetic: high-RSD merge stress (distinct per-phase events)";
+      supports = Synthetic.hirsd_supports;
+      program = Synthetic.hirsd_program;
+    };
   ]
 
 let paper_suite = List.filteri (fun i _ -> i < 9) all

@@ -83,3 +83,52 @@ let butterfly_program ?(cls = Params.C) ?(seed = 42) () (ctx : Mpi.ctx) =
     done
   done;
   Mpi.finalize ~site:b_fin ctx
+
+let hirsd_name = "hirsd"
+let hirsd_supports p = p >= 2
+
+let h_recv = Mpi.site ~label:"hirsd_recv" __POS__
+let h_send = Mpi.site ~label:"hirsd_send" __POS__
+let h_wait = Mpi.site ~label:"hirsd_wait" __POS__
+let h_cls = Mpi.site ~label:"hirsd_class_exchange" __POS__
+let h_sync = Mpi.site ~label:"hirsd_sync" __POS__
+let h_fin = Mpi.site ~label:"finalize" __POS__
+
+(* MG-class merge/align stress: a long sequence of structurally *distinct*
+   phases (tag and size vary per phase) that loop compression cannot fold,
+   so the global node list stays ~[phases] long — the high-RSD regime where
+   a linear per-node merge scan goes superlinear.  Interspersed rank-class
+   phases (run by one class of rank pairs at a time) make the per-rank
+   streams diverge, forcing the merge to exercise its lookahead. *)
+let hirsd_program ?(cls = Params.C) ?(seed = 42) () (ctx : Mpi.ctx) =
+  let rng = Params.rng_for ~app:hirsd_name ~seed ~rank:ctx.rank in
+  let n = ctx.nranks in
+  let phases = max 8 (int_of_float (1200. *. Params.iter_scale cls)) in
+  for phase = 0 to phases - 1 do
+    let bytes = 64 + (64 * (phase mod 97)) in
+    let rq =
+      Mpi.irecv ~site:h_recv ~tag:(Call.Tag phase) ctx
+        ~src:(Call.Rank ((ctx.rank + n - 1) mod n))
+        ~bytes
+    in
+    let sq = Mpi.isend ~site:h_send ~tag:phase ctx ~dst:((ctx.rank + 1) mod n) ~bytes in
+    ignore (Mpi.waitall ~site:h_wait ctx [ rq; sq ]);
+    (* pair-local burst only one rank class runs per phase; both ends of
+       a pair share (rank/2), so the guard agrees and cannot deadlock.
+       The burst is a run of structurally distinct exchanges, so the
+       global node list carries long foreign-class gaps that the merge
+       lookahead must skip over when the other classes are folded in. *)
+    let partner = ctx.rank lxor 1 in
+    if partner < n && (ctx.rank / 2) mod 4 = phase mod 4 then
+      for j = 0 to 7 do
+        ignore
+          (Mpi.sendrecv ~site:h_cls ~tag:(phases + (8 * phase) + j) ctx
+             ~dst:partner
+             ~send_bytes:(32 + (16 * ((phase + j) mod 7)))
+             ~src:(Call.Rank partner)
+             ~recv_bytes:(32 + (16 * ((phase + j) mod 7))))
+      done;
+    if phase mod 32 = 31 then Mpi.allreduce ~site:h_sync ctx ~bytes:8;
+    Params.compute rng ~mean:1e-6 ctx
+  done;
+  Mpi.finalize ~site:h_fin ctx

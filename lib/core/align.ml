@@ -26,18 +26,74 @@ type node_state = {
   coll_seq : (int, int) Hashtbl.t; (* comm id -> next slot *)
 }
 
+(* Collective-wait state is indexed so the hot per-arrival operations are
+   sublinear in the communicator size: arrivals are marked in a bool array
+   over the sorted member list (completion is an O(1) counter compare, not
+   [List.length] vs [cardinal]), and the smallest not-yet-arrived member is
+   found by a monotone scan pointer that advances O(members) in total per
+   wait instead of O(members) per probe. *)
 type coll_wait = {
   members : Util.Rank_set.t;
+  member_arr : int array; (* members, ascending *)
+  arrived : bool array; (* by [member_arr] position *)
+  mutable n_arrived : int;
+  mutable scan : int; (* all positions < scan have arrived *)
   mutable arrivals : (int * Event.t * Traversal.cursor) list;
       (* rank, event, cursor past the event *)
 }
+
+let make_wait members =
+  let member_arr = Array.of_list (Util.Rank_set.to_list members) in
+  {
+    members;
+    member_arr;
+    arrived = Array.make (Array.length member_arr) false;
+    n_arrived = 0;
+    scan = 0;
+    arrivals = [];
+  }
+
+(* Position of [r] in [w.member_arr], or [None] for a non-member. *)
+let member_pos w r =
+  let arr = w.member_arr in
+  let rec go lo hi =
+    if lo > hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      if arr.(mid) = r then Some mid
+      else if arr.(mid) < r then go (mid + 1) hi
+      else go lo (mid - 1)
+  in
+  go 0 (Array.length arr - 1)
+
+let record_arrival key w rank event after =
+  (match member_pos w rank with
+  | Some pos ->
+      if not w.arrived.(pos) then begin
+        w.arrived.(pos) <- true;
+        w.n_arrived <- w.n_arrived + 1
+      end
+  | None ->
+      raise
+        (Align_error
+           (Printf.sprintf
+              "rank %d reaches a collective on communicator %d (slot %d) but \
+               is not a member of that communicator"
+              rank (fst key) (snd key))));
+  w.arrivals <- (rank, event, after) :: w.arrivals
 
 (* One RSD for the complete participant set, hoisted to a single call
    point (the smallest rank's site). *)
 let merge_collective key arrivals members =
   let arrivals = List.sort (fun (a, _, _) (b, _, _) -> compare a b) arrivals in
   match arrivals with
-  | [] -> assert false
+  | [] ->
+      raise
+        (Align_error
+           (Printf.sprintf
+              "internal: collective on communicator %d (slot %d) completed \
+               with no arrivals"
+              (fst key) (snd key)))
   | (_, first, _) :: rest ->
       List.iter
         (fun (r, (e : Event.t), _) ->
@@ -56,7 +112,19 @@ let merge_collective key arrivals members =
       let all_bytes = List.map (fun (_, (e : Event.t), _) -> e.bytes) arrivals in
       let bytes =
         if List.for_all (fun b -> b = first.bytes) all_bytes then first.bytes
-        else List.fold_left ( + ) 0 all_bytes / n
+        else begin
+          (* Rounded (half-up) mean, overflow-safe: accumulate quotients and
+             remainders separately instead of summing the raw byte counts,
+             which can exceed [max_int] on wide communicators. *)
+          let q = ref 0 and r = ref 0 in
+          List.iter
+            (fun b ->
+              q := !q + (b / n);
+              r := !r + (b mod n))
+            all_bytes;
+          let mean = !q + (!r / n) in
+          if 2 * (!r mod n) >= n then mean + 1 else mean
+        end
       in
       let vec =
         if
@@ -110,11 +178,11 @@ let stall_of_waits waits states =
   let edges = ref [] in
   Hashtbl.iter
     (fun (comm, slot) (w : coll_wait) ->
-      let arrived = List.map (fun (r, _, _) -> r) w.arrivals in
-      let absent =
-        Util.Rank_set.to_list w.members
-        |> List.filter (fun r -> not (List.mem r arrived))
-      in
+      let absent = ref [] in
+      for i = Array.length w.member_arr - 1 downto 0 do
+        if not w.arrived.(i) then absent := w.member_arr.(i) :: !absent
+      done;
+      let absent = !absent in
       let dead = List.filter (fun r -> states.(r).finished) absent in
       List.iter
         (fun (r, (e : Event.t), _) ->
@@ -175,16 +243,17 @@ let run_policy ?(policy : policy = `Strict) (trace : Trace.t) =
     in
     go 0 0
   in
-  (* Next group member that has not yet arrived at the collective. *)
+  (* Smallest group member that has not yet arrived at the collective.
+     Arrivals are permanent for the lifetime of a wait, so the scan
+     pointer only moves forward: total cost O(members) per wait rather
+     than O(members) per probe. *)
   let next_missing key =
     let w = Hashtbl.find waits key in
-    let arrived = List.map (fun (r, _, _) -> r) w.arrivals in
-    match
-      Util.Rank_set.to_list w.members
-      |> List.find_opt (fun r -> not (List.mem r arrived))
-    with
-    | Some r -> r
-    | None -> assert false
+    let nmem = Array.length w.member_arr in
+    while w.scan < nmem && w.arrived.(w.scan) do
+      w.scan <- w.scan + 1
+    done;
+    if w.scan < nmem then w.member_arr.(w.scan) else assert false
   in
   (* Jump over nodes blocked on other collectives.  [`Run r] — r can make
      progress; [`Dead] — the chain reached a rank whose stream already
@@ -255,12 +324,12 @@ let run_policy ?(policy : policy = `Strict) (trace : Trace.t) =
             match Hashtbl.find_opt waits key with
             | Some w -> w
             | None ->
-                let w = { members = members_of e.comm; arrivals = [] } in
+                let w = make_wait (members_of e.comm) in
                 Hashtbl.replace waits key w;
                 w
           in
-          w.arrivals <- (r, e, after) :: w.arrivals;
-          if List.length w.arrivals = Util.Rank_set.cardinal w.members then
+          record_arrival key w r e after;
+          if w.n_arrived = Array.length w.member_arr then
             current := Some (finish_collective key)
           else begin
             s.blocked <- Some key;

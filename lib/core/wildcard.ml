@@ -32,6 +32,8 @@ type node_state = {
 
 type coll_wait = {
   members : Util.Rank_set.t;
+  n_members : int; (* cardinal of [members], computed once *)
+  mutable n_arrived : int;
   mutable arrivals : (int * Event.t * Traversal.cursor) list;
 }
 
@@ -345,12 +347,21 @@ let traversal_resolve (trace : Trace.t) =
                 match Hashtbl.find_opt waits key with
                 | Some w -> w
                 | None ->
-                    let w = { members = members_of e.comm; arrivals = [] } in
+                    let members = members_of e.comm in
+                    let w =
+                      {
+                        members;
+                        n_members = Util.Rank_set.cardinal members;
+                        n_arrived = 0;
+                        arrivals = [];
+                      }
+                    in
                     Hashtbl.replace waits key w;
                     w
               in
               w.arrivals <- (r, e, after) :: w.arrivals;
-              if List.length w.arrivals = Util.Rank_set.cardinal w.members then begin
+              w.n_arrived <- w.n_arrived + 1;
+              if w.n_arrived = w.n_members then begin
                 Hashtbl.remove waits key;
                 List.iter
                   (fun (r', _, after') ->

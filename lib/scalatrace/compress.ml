@@ -2,13 +2,30 @@ type t = {
   window : int;
   nranks : int;
   foldable : Event.t -> bool;
+  pows : int array; (* 31^k, for the rolling-hash window filters *)
   mutable rev : Tnode.t list; (* most recent node first *)
   mutable len : int; (* length of [rev], maintained incrementally *)
+  mutable s_nodes : Tnode.t array; (* scratch: newest nodes, index 0 = newest *)
+  s_pref : int array; (* scratch: prefix sums of hash(k) * 31^k *)
 }
 
 let create ?(window = 64) ?(foldable = fun _ -> true) ~nranks () =
   if window < 1 then invalid_arg "Compress.create: window < 1";
-  { window; nranks; foldable; rev = []; len = 0 }
+  let m = (2 * window) + 1 in
+  let pows = Array.make (m + 1) 1 in
+  for k = 1 to m do
+    pows.(k) <- pows.(k - 1) * 31
+  done;
+  {
+    window;
+    nranks;
+    foldable;
+    pows;
+    rev = [];
+    len = 0;
+    s_nodes = [||]; (* sized lazily: Array.make needs a witness node *)
+    s_pref = Array.make (m + 1) 0;
+  }
 
 let rec all_foldable t = function
   | Tnode.Leaf e -> t.foldable e
@@ -67,15 +84,62 @@ let try_fold t w =
   end
   else false
 
-let rec compress_tail t =
-  let rec try_windows w =
-    (* A window of w needs at least w+1 nodes (extend) resp. 2w (fold);
-       past len-1 neither rule can apply. *)
-    if w > t.window || w > t.len - 1 then false
-    else if try_extend t w || (t.len >= 2 * w && try_fold t w) then true
-    else try_windows (w + 1)
-  in
-  if try_windows 1 then compress_tail t
+(* Filtered window scan.  The naive scan costs O(window^2) list walking
+   per push even when nothing folds — superlinear on traces whose tails
+   are long runs of distinct behaviours (the NPB MG cliff).  Instead the
+   newest min(len, 2*window+1) nodes are snapshotted once per round into
+   scratch arrays, and each candidate window runs an O(1) rolling-hash
+   filter before the O(w) structural comparison:
+
+   - extend at w requires rev.(w) to be a Loop of body length w whose
+     [l_hash] equals [17*31^w + sum h(k)*31^k over k < w] — the same fold
+     {!Tnode.loop} computed, so equal bodies imply equal values;
+   - fold at w requires the newest w node hashes to equal the w before
+     them elementwise, i.e. [pref(2w) - pref(w) = pref(w) * 31^w] over
+     prefix sums of [h(k) * 31^k].
+
+   [Tnode.equiv_ranks a b] implies [Tnode.hash a = Tnode.hash b] (the
+   hashes cover only fields equivalence compares), so no filter ever
+   rejects a window the full check would accept: output is byte-identical
+   to the unfiltered scan, at O(window) per push instead of O(window^2). *)
+let compress_tail t =
+  if t.len > 1 then begin
+    let m = (2 * t.window) + 1 in
+    if Array.length t.s_nodes = 0 then t.s_nodes <- Array.make m (List.hd t.rev);
+    let nodes = t.s_nodes and pref = t.s_pref and pows = t.pows in
+    let rec round () =
+      let limit = min t.len m in
+      (let rec fill i l =
+         if i < limit then
+           match l with
+           | x :: rest ->
+               nodes.(i) <- x;
+               fill (i + 1) rest
+           | [] -> assert false
+       in
+       fill 0 t.rev);
+      for i = 0 to limit - 1 do
+        pref.(i + 1) <- pref.(i) + (Tnode.hash nodes.(i) * pows.(i))
+      done;
+      let extend_possible w =
+        w < limit
+        &&
+        match nodes.(w) with
+        | Tnode.Loop { l_len; l_hash; _ } ->
+            l_len = w && l_hash = (17 * pows.(w)) + pref.(w)
+        | Tnode.Leaf _ -> false
+      in
+      let fold_possible w = pref.(2 * w) - pref.(w) = pref.(w) * pows.(w) in
+      let rec try_windows w =
+        if w > t.window || w > t.len - 1 then false
+        else if extend_possible w && try_extend t w then true
+        else if t.len >= 2 * w && fold_possible w && try_fold t w then true
+        else try_windows (w + 1)
+      in
+      if try_windows 1 then round ()
+    in
+    round ()
+  end
 
 let push_node t n =
   t.rev <- n :: t.rev;

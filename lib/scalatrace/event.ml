@@ -197,14 +197,16 @@ let absorb ~nranks ~into e =
   Util.Histogram.merge_into into.dtime e.dtime;
   (* Peer combination: an identical generalized form covers the union of
      both rank sets unchanged; anything else falls back to an explicit
-     per-rank map (re-simplified later by [generalize]). *)
+     per-rank map (re-simplified later by [generalize]).  The map is
+     accumulated unsorted: absorbed events cover disjoint rank sets, so
+     observations are unique by rank, and re-sorting the growing map on
+     every absorb would make merging a p-rank trace O(p^2 log p) per RSD.
+     [generalize] normalizes once at the end. *)
   (match (into.peer, e.peer) with
   | P_none, P_none | P_any, P_any -> ()
   | pa, pb when pa = pb -> ()
   | _ ->
-      let merged =
-        List.sort_uniq compare (observations into ~nranks @ observations e ~nranks)
-      in
+      let merged = observations e ~nranks @ observations into ~nranks in
       into.peer <- (if merged = [] then into.peer else P_map merged));
   into.ranks <- Util.Rank_set.union into.ranks e.ranks
 
@@ -212,14 +214,22 @@ let generalize ~nranks e =
   match e.peer with
   | P_none | P_any | P_abs _ | P_rel _ -> ()
   | P_map [] -> ()
-  | P_map ((r0, p0) :: rest as m) ->
-      if e.kind = E_comm_split then ()
-      else if List.for_all (fun (_, p) -> p = p0) rest then e.peer <- P_abs p0
-      else begin
-        let d0 = (p0 - r0 + nranks) mod nranks in
-        if List.for_all (fun (r, p) -> (p - r + nranks) mod nranks = d0) m then
-          e.peer <- P_rel d0
-      end
+  | P_map m0 -> (
+      (* normalize the accumulated map (see [absorb]) so the stored form
+         is deterministic even when no generalization applies *)
+      let m = List.sort_uniq compare m0 in
+      e.peer <- P_map m;
+      match m with
+      | [] -> ()
+      | (r0, p0) :: rest ->
+          if e.kind = E_comm_split then ()
+          else if List.for_all (fun (_, p) -> p = p0) rest then
+            e.peer <- P_abs p0
+          else begin
+            let d0 = (p0 - r0 + nranks) mod nranks in
+            if List.for_all (fun (r, p) -> (p - r + nranks) mod nranks = d0) m
+            then e.peer <- P_rel d0
+          end)
 
 let peer_of e ~rank ~nranks =
   match e.peer with

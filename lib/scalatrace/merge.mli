@@ -10,7 +10,16 @@
     trace's size proportional to the number of *distinct behaviours*, not
     to the rank count. *)
 
+type impl = [ `Indexed | `Reference ]
+(** Alignment-scan implementation.  [`Indexed] (default) buckets
+    unconsumed global nodes by structural hash so each incoming node
+    probes only its equivalence candidates — O(distinct behaviours)
+    instead of O(behaviours x lookahead).  [`Reference] is the original
+    linear scan, kept as a differential-testing oracle; both produce
+    byte-identical traces. *)
+
 val merge :
+  ?impl:impl ->
   ?lookahead:int ->
   nranks:int ->
   comms:(int * Util.Rank_set.t) list ->
@@ -21,4 +30,4 @@ val merge :
     merge several (per-rank) node lists into one, unioning compatible
     nodes.  Inputs are deep-copied; peers are left un-generalized. *)
 val merge_node_lists :
-  ?lookahead:int -> nranks:int -> Tnode.t list list -> Tnode.t list
+  ?impl:impl -> ?lookahead:int -> nranks:int -> Tnode.t list list -> Tnode.t list

@@ -13,12 +13,18 @@ type t = {
   mutable min_v : float;
   mutable max_v : float;
   mutable first : float;
+  mutable blo : int; (* lowest possibly-nonzero bucket; n_buckets when none *)
+  mutable bhi : int; (* highest possibly-nonzero bucket; -1 when none *)
   buckets : int array; (* bucket 0 additionally holds all x < base *)
 }
 
 let create () =
   { count = 0; sum = 0.; sumsq = 0.; min_v = infinity; max_v = neg_infinity;
-    first = 0.; buckets = Array.make n_buckets 0 }
+    first = 0.; blo = n_buckets; bhi = -1; buckets = Array.make n_buckets 0 }
+
+let note_bucket t i =
+  if i < t.blo then t.blo <- i;
+  if i > t.bhi then t.bhi <- i
 
 let bucket_index x =
   if x < base then 0
@@ -39,7 +45,8 @@ let add t x =
   if x < t.min_v then t.min_v <- x;
   if x > t.max_v then t.max_v <- x;
   let i = bucket_index x in
-  t.buckets.(i) <- t.buckets.(i) + 1
+  t.buckets.(i) <- t.buckets.(i) + 1;
+  note_bucket t i
 
 let count t = t.count
 let sum t = t.sum
@@ -94,7 +101,9 @@ let of_stats ~count ~sum ~min ~max ~first =
     t.min_v <- min;
     t.max_v <- max;
     t.first <- first;
-    t.buckets.(bucket_index mean) <- count
+    let i = bucket_index mean in
+    t.buckets.(i) <- count;
+    note_bucket t i
   end;
   t
 
@@ -106,7 +115,14 @@ let merge_into t other =
     t.sumsq <- t.sumsq +. other.sumsq;
     if other.min_v < t.min_v then t.min_v <- other.min_v;
     if other.max_v > t.max_v then t.max_v <- other.max_v;
-    Array.iteri (fun i n -> t.buckets.(i) <- t.buckets.(i) + n) other.buckets
+    (* only the other side's occupied bucket range needs touching — merge
+       runs once per absorbed RSD instance, so a full 128-bucket walk here
+       dominates inter-node merging of high-RSD traces *)
+    for i = other.blo to other.bhi do
+      t.buckets.(i) <- t.buckets.(i) + other.buckets.(i)
+    done;
+    if other.blo < t.blo then t.blo <- other.blo;
+    if other.bhi > t.bhi then t.bhi <- other.bhi
   end
 
 let copy t = { t with buckets = Array.copy t.buckets }
@@ -128,7 +144,8 @@ let scale t k =
         if n > 0 then begin
           let j = i + shift in
           let j = if j < 0 then 0 else if j >= n_buckets then n_buckets - 1 else j in
-          s.buckets.(j) <- s.buckets.(j) + n
+          s.buckets.(j) <- s.buckets.(j) + n;
+          note_bucket s j
         end)
       t.buckets
   end;

@@ -60,6 +60,23 @@ let lift2 f a b = of_sorted_ranks (f (to_list a) (to_list b))
 
 let mem r t = List.exists (interval_mem r) t
 
+(* [append_rank t r]: add [r], known to lie past every element of [t],
+   without materializing rank lists.  Only the final interval can change,
+   and the result is exactly what [of_sorted_ranks] would build for the
+   extended sequence: a fresh stride forms against a trailing singleton, a
+   matching stride extends the trailing run, anything else opens a new
+   singleton.  This is the hot path of inter-node merging, where a node's
+   rank set grows in ascending rank order — one absorb per rank — and a
+   list-based union would make that O(p^2) per RSD. *)
+let rec append_rank t r =
+  match t with
+  | [] -> singleton r
+  | [ ({ first; last; stride } as iv) ] ->
+      if first = last then [ { first; last = r; stride = r - first } ]
+      else if r = last + stride then [ { iv with last = r } ]
+      else [ iv; { first = r; last = r; stride = 1 } ]
+  | iv :: rest -> iv :: append_rank rest r
+
 let union a b =
   let merge la lb =
     let rec go acc la lb =
@@ -72,7 +89,14 @@ let union a b =
     in
     go [] la lb
   in
-  lift2 merge a b
+  match (a, b) with
+  | [], t | t, [] -> t
+  | _, [ { first = r; last = r'; _ } ] when r = r' ->
+      let m = List.fold_left (fun acc iv -> max acc iv.last) min_int a in
+      if r > m then append_rank a r
+      else if r = m then a
+      else lift2 merge a b
+  | _ -> lift2 merge a b
 
 let inter a b =
   let isect la lb =
@@ -108,7 +132,11 @@ let remove r t = diff t (singleton r)
 
 let cardinal t = List.fold_left (fun n iv -> n + interval_card iv) 0 t
 
-let equal a b = to_list a = to_list b
+(* The interval representation is canonical — every constructor funnels
+   through [of_sorted_ranks] or builds the form it would ([append_rank],
+   [range], [singleton]) — so set equality is structural equality, O(#intervals)
+   instead of O(cardinal). *)
+let equal (a : t) (b : t) = a = b
 
 let subset a b = is_empty (diff a b)
 

@@ -7,6 +7,7 @@ let () =
       ("engine", Test_engine.suite);
       ("fault", Test_fault.suite);
       ("scalatrace", Test_scalatrace.suite);
+      ("merge_diff", Test_merge_diff.suite);
       ("conceptual", Test_conceptual.suite);
       ("benchgen", Test_benchgen.suite);
       ("pipeline", Test_pipeline.suite);
