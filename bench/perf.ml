@@ -134,6 +134,67 @@ let merge_json m =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Collective-algorithm microbenchmark                                  *)
+
+(* One allreduce per iteration under each schedule strategy, at the
+   suite's rank counts and a latency-bound/bandwidth-bound payload pair.
+   The virtual column is the model's verdict (deterministic — the number
+   selection tuning cares about); the wall column is the expansion
+   overhead of the schedule path itself. *)
+
+type collalg_run = {
+  c_alg : string;
+  c_nranks : int;
+  c_bytes : int;
+  c_virtual_s : float;  (** simulated seconds per allreduce *)
+  c_wall_s : float;  (** host seconds for the whole run *)
+}
+
+let run_collalg ~coll_alg ~nranks ~bytes ~iters =
+  let program (ctx : Mpisim.Mpi.ctx) =
+    for _ = 1 to iters do
+      Mpisim.Mpi.allreduce ctx ~bytes
+    done;
+    Mpisim.Mpi.finalize ctx
+  in
+  let outcome, dt =
+    wall (fun () -> Mpisim.Mpi.run ~net:micro_net ~coll_alg ~nranks program)
+  in
+  {
+    c_alg = Mpisim.Coll_alg.name coll_alg;
+    c_nranks = nranks;
+    c_bytes = bytes;
+    c_virtual_s = outcome.Mpisim.Engine.elapsed /. float_of_int iters;
+    c_wall_s = dt;
+  }
+
+let run_collalg_suite ~rank_counts ~iters =
+  List.concat_map
+    (fun nranks ->
+      List.concat_map
+        (fun bytes ->
+          List.map
+            (fun coll_alg ->
+              let r = run_collalg ~coll_alg ~nranks ~bytes ~iters in
+              Printf.printf
+                "  %-19s p=%-5d %7dB  %.2f us/allreduce  (%.3fs wall)\n%!"
+                r.c_alg r.c_nranks r.c_bytes (r.c_virtual_s *. 1e6) r.c_wall_s;
+              r)
+            Mpisim.Coll_alg.all)
+        [ 64; 65536 ])
+    rank_counts
+
+let collalg_json c =
+  Obs.Json.Obj
+    [
+      ("alg", Obs.Json.Str c.c_alg);
+      ("nranks", Obs.Json.Num (float_of_int c.c_nranks));
+      ("bytes", Obs.Json.Num (float_of_int c.c_bytes));
+      ("virtual_s", Obs.Json.Num c.c_virtual_s);
+      ("wall_s", Obs.Json.Num c.c_wall_s);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end pipeline over the application suite                      *)
 
 type app_run = {
@@ -209,7 +270,7 @@ let app_json a =
     ]
 
 let emit ~path ~mode ~micro_nranks ~msgs_per_rank ~reference ~indexed ~merge
-    ~apps =
+    ~collalg ~apps =
   let doc =
     Obs.Json.Obj
       [
@@ -228,6 +289,7 @@ let emit ~path ~mode ~micro_nranks ~msgs_per_rank ~reference ~indexed ~merge
               );
             ] );
         ("merge", merge_json merge);
+        ("collalg", Obs.Json.Arr (List.map collalg_json collalg));
         ("apps", Obs.Json.Arr (List.map app_json apps));
       ]
   in
@@ -253,7 +315,7 @@ let validate_json path =
         (fun k ->
           if Obs.Json.member k j = None then
             raise (Bad_json ("missing top-level key: " ^ k)))
-        [ "schema"; "micro"; "apps" ]
+        [ "schema"; "micro"; "collalg"; "apps" ]
   | _ -> raise (Bad_json "top level is not an object")
 
 (* ------------------------------------------------------------------ *)
@@ -289,6 +351,14 @@ let run ~quick () =
     "  %d rsds / %d events; reference %.3fs, indexed %.3fs (%.1fx)\n%!"
     merge.g_rsds merge.g_events merge.reference_s merge.indexed_s
     (merge.reference_s /. Float.max merge.indexed_s 1e-9);
+  let collalg_counts = if quick then [ 64 ] else [ 64; 256; 1024 ] in
+  let collalg_iters = if quick then 1 else 4 in
+  Printf.printf
+    "collective algorithms: allreduce per strategy, p in {%s}\n%!"
+    (String.concat ", " (List.map string_of_int collalg_counts));
+  let collalg =
+    run_collalg_suite ~rank_counts:collalg_counts ~iters:collalg_iters
+  in
   let apps, counts =
     if quick then
       ( List.filter
@@ -315,7 +385,7 @@ let run ~quick () =
   in
   let path = "BENCH_engine.json" in
   emit ~path ~mode:(if quick then "quick" else "full") ~micro_nranks
-    ~msgs_per_rank ~reference ~indexed ~merge ~apps:app_runs;
+    ~msgs_per_rank ~reference ~indexed ~merge ~collalg ~apps:app_runs;
   Printf.printf "wrote %s\n%!" path;
   if quick then begin
     validate_json path;

@@ -252,6 +252,28 @@ let net_arg =
     & opt net_conv Mpisim.Netmodel.bluegene_l
     & info [ "net" ] ~docv:"MODEL" ~doc:"Network model: bgl or ethernet.")
 
+(* --coll-alg is parsed in the run function (not an Arg.conv) so an
+   unknown name exits with the documented invalid-option code 2, like
+   --defect and the other typed-value options. *)
+let coll_alg_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "coll-alg" ] ~docv:"ALG"
+        ~doc:
+          "Collective algorithm for simulator runs: $(b,monolithic) (the \
+           analytic reference model, the default), $(b,ring), \
+           $(b,recursive-doubling), $(b,binomial), $(b,rabenseifner), or \
+           $(b,auto) (pick per operation, payload, and communicator size). \
+           See `benchgen coll-algs`.")
+
+let parse_coll_alg : string option -> Mpisim.Coll_alg.t = function
+  | None -> `Monolithic
+  | Some s -> (
+      match Mpisim.Coll_alg.of_string s with
+      | Ok a -> a
+      | Error m -> fail exit_invalid m)
+
 let app_arg =
   let apps = List.map (fun (a : Apps.Registry.app) -> a.name) Apps.Registry.all in
   Arg.(
@@ -274,6 +296,29 @@ let list_cmd =
           List.iter
             (fun (a : Apps.Registry.app) -> Printf.printf "%-8s %s\n" a.name a.description)
             Apps.Registry.all)
+      $ const ())
+
+let coll_algs_cmd =
+  let doc = "List the available collective algorithm strategies." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Every strategy accepted by $(b,--coll-alg).  A strategy that does \
+         not apply to an operation or communicator size (e.g. \
+         recursive-doubling on a non-power-of-two communicator) falls back \
+         to $(b,monolithic) for that collective; strategy choice affects \
+         timing only, never semantics.";
+    ]
+  in
+  Cmd.v (Cmd.info "coll-algs" ~doc ~man)
+    Term.(
+      const (fun () ->
+          List.iter
+            (fun a ->
+              Printf.printf "%-19s %s\n" (Mpisim.Coll_alg.name a)
+                (Mpisim.Coll_alg.describe a))
+            Mpisim.Coll_alg.all)
       $ const ())
 
 let trace_cmd =
@@ -438,7 +483,7 @@ let generate_cmd =
       & opt (enum [ ("conceptual", `Conceptual); ("c", `C) ]) `Conceptual
       & info [ "lang" ] ~docv:"LANG" ~doc:"Target language: conceptual or c.")
   in
-  let run name wanted cls net out lang sim obs =
+  let run name wanted cls net out lang coll sim obs =
     guarded @@ fun () ->
     let app, nranks = resolve_app name wanted in
     let sink, finish = obs_setup obs in
@@ -451,6 +496,7 @@ let generate_cmd =
         max_events = sim.max_events;
         max_virtual_time = sim.max_virtual_time;
         obs = sink;
+        coll_alg = parse_coll_alg coll;
       }
     in
     match
@@ -479,7 +525,7 @@ let generate_cmd =
   Cmd.v (Cmd.info "generate" ~doc)
     Term.(
       const run $ app_arg $ nranks_arg $ cls_arg $ net_arg $ out_arg $ lang_arg
-      $ sim_term $ obs_term)
+      $ coll_alg_arg $ sim_term $ obs_term)
 
 let run_cmd =
   let doc = "Execute a .ncptl benchmark on the simulator." in
@@ -607,7 +653,7 @@ let compare_cmd =
              network/fault scenarios and report the timing-error \
              distribution (0 = off).")
   in
-  let run name wanted cls net trials sim obs =
+  let run name wanted cls net trials coll sim obs =
     guarded @@ fun () ->
     let app, nranks = resolve_app name wanted in
     let sink, finish = obs_setup obs in
@@ -620,6 +666,7 @@ let compare_cmd =
         max_events = sim.max_events;
         max_virtual_time = sim.max_virtual_time;
         obs = sink;
+        coll_alg = parse_coll_alg coll;
       }
     in
     let artifact, warnings =
@@ -669,7 +716,7 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(
       const run $ app_arg $ nranks_arg $ cls_arg $ net_arg $ noise_arg
-      $ sim_term $ obs_term)
+      $ coll_alg_arg $ sim_term $ obs_term)
 
 let extrapolate_cmd =
   let doc =
@@ -806,6 +853,7 @@ let fuzz_cmd =
                ("differential", `Differential);
                ("corruption", `Corruption);
                ("serve", `Serve);
+               ("coll", `Coll);
              ])
           `Differential
       & info [ "mode" ] ~docv:"MODE"
@@ -813,22 +861,49 @@ let fuzz_cmd =
             "Campaign kind: $(b,differential) (random programs vs a semantic \
              oracle, the default), $(b,corruption) (seeded damage to framed \
              trace files, checking that every outcome is typed and that \
-             best-effort recovery still yields replayable benchmarks), or \
+             best-effort recovery still yields replayable benchmarks), \
              $(b,serve) (seeded scenarios of clean/corrupt/hanging/crashing/\
              oversized jobs against the serve-mode supervisor, checking typed \
              responses only, no lost jobs, bounded queue, clean drain, and \
-             same-seed byte-identical transcripts).")
+             same-seed byte-identical transcripts), or $(b,coll) (every \
+             collective algorithm schedule vs the monolithic reference: the \
+             whole app registry plus seeded random programs, checking \
+             identical communication and exactly one completion event per \
+             logical collective).")
   in
   let parse_defect s =
     match Pipeline.defect_of_string s with
     | Ok d -> d
     | Error m -> fail exit_invalid m
   in
-  let run seeds seed_start defect out budget replay mode obs =
+  let run seeds seed_start defect out budget replay mode coll obs =
     guarded @@ fun () ->
     let defect = Option.map parse_defect defect in
+    let coll_alg = parse_coll_alg coll in
     let sink, finish = obs_setup obs in
     match (mode, replay) with
+    | `Coll, _ ->
+        let cfg =
+          {
+            Check.Collfuzz.default with
+            seed_start;
+            seeds;
+            log = (fun m -> Printf.eprintf "benchgen: fuzz: %s\n%!" m);
+          }
+        in
+        let s = Check.Collfuzz.run cfg in
+        Printf.printf
+          "coll fuzz: %d cases (%d apps, %d seeds per algorithm), %d \
+           violations\n"
+          s.Check.Collfuzz.cases s.Check.Collfuzz.apps_checked
+          s.Check.Collfuzz.gen_checked
+          (List.length s.Check.Collfuzz.violations);
+        List.iter
+          (fun (v : Check.Collfuzz.violation) ->
+            Printf.printf "  %s under %s: %s\n" v.v_case v.v_alg v.v_what)
+          s.Check.Collfuzz.violations;
+        finish (Some s.Check.Collfuzz.metrics);
+        if s.Check.Collfuzz.violations <> [] then exit exit_fuzz_violation
     | `Serve, _ ->
         let cfg =
           {
@@ -884,7 +959,7 @@ let fuzz_cmd =
               | None, Some s -> Some (parse_defect s)
               | None, None -> None
             in
-            match Check.Oracle.check ?defect prog with
+            match Check.Oracle.check ?defect ~coll_alg prog with
             | Ok st ->
                 Printf.printf
                   "replay %s: PASS (%d messages on %d channels, %d \
@@ -908,6 +983,7 @@ let fuzz_cmd =
             time_budget_s = budget;
             sink;
             log = (fun m -> Printf.eprintf "benchgen: fuzz: %s\n%!" m);
+            coll_alg;
           }
         in
         let s = Check.Campaign.run cfg in
@@ -928,7 +1004,7 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc ~man)
     Term.(
       const run $ seeds_arg $ seed_start_arg $ defect_arg $ out_arg
-      $ budget_arg $ replay_arg $ mode_arg $ obs_term)
+      $ budget_arg $ replay_arg $ mode_arg $ coll_alg_arg $ obs_term)
 
 let serve_cmd =
   let doc =
@@ -1094,7 +1170,7 @@ let () =
   let doc = "automatic generation of executable communication specifications" in
   let info = Cmd.info "benchgen" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info [
-          list_cmd; trace_cmd; generate_cmd; generate_from_trace_cmd; run_cmd;
-          replay_cmd; compare_cmd; extrapolate_cmd; stats_cmd; fuzz_cmd;
-          salvage_cmd; serve_cmd;
+          list_cmd; coll_algs_cmd; trace_cmd; generate_cmd;
+          generate_from_trace_cmd; run_cmd; replay_cmd; compare_cmd;
+          extrapolate_cmd; stats_cmd; fuzz_cmd; salvage_cmd; serve_cmd;
         ]))

@@ -7,6 +7,7 @@ type config = {
   max_shrink_steps : int;
   sink : Obs.Sink.t;
   log : string -> unit;
+  coll_alg : Mpisim.Coll_alg.t;
 }
 
 let default =
@@ -19,6 +20,7 @@ let default =
     max_shrink_steps = 500;
     sink = Obs.Sink.nil;
     log = ignore;
+    coll_alg = `Monolithic;
   }
 
 type counterexample = {
@@ -63,8 +65,9 @@ let write_counterexample cfg ~seed ~violation prog =
    oracle evaluation so a budget can interrupt a long minimization. *)
 let run_case cfg metrics ~over_budget ~case_index seed =
   let defect = cfg.defect in
+  let coll_alg = cfg.coll_alg in
   let prog = Gen.generate ~seed in
-  let result = Oracle.check ?defect prog in
+  let result = Oracle.check ?defect ~coll_alg prog in
   let emit name args =
     Obs.Sink.instant cfg.sink ~pid:Obs.Sink.pipeline_pid ~tid:0 ~cat:"fuzz"
       ~args ~ts:(float_of_int case_index) name
@@ -84,14 +87,16 @@ let run_case cfg metrics ~over_budget ~case_index seed =
       cfg.log
         (Printf.sprintf "seed %d: VIOLATION (%s); shrinking..." seed
            (Oracle.to_string v0));
-      let still_fails p = Result.is_error (Oracle.check ?defect p) in
+      let still_fails p = Result.is_error (Oracle.check ?defect ~coll_alg p) in
       let minimized, steps =
         Shrink.minimize ~max_steps:cfg.max_shrink_steps
           ~should_stop:over_budget ~still_fails prog
       in
       (* the minimized program's own violation is the one worth reporting *)
       let violation =
-        match Oracle.check ?defect minimized with Error v -> v | Ok _ -> v0
+        match Oracle.check ?defect ~coll_alg minimized with
+        | Error v -> v
+        | Ok _ -> v0
       in
       Obs.Metrics.inc metrics ~by:steps "fuzz.shrink_evals";
       let path = write_counterexample cfg ~seed ~violation minimized in

@@ -19,10 +19,14 @@ type config = {
   max_shrink_steps : int;  (** oracle-evaluation budget per shrink *)
   sink : Obs.Sink.t;  (** per-case instants (category ["fuzz"]) *)
   log : string -> unit;  (** progress lines (violations, shrinking) *)
+  coll_alg : Mpisim.Coll_alg.t;
+      (** collective algorithm for every oracle evaluation (default
+          [`Monolithic]); for the systematic per-algorithm sweep see
+          {!Collfuzz} *)
 }
 
 (** 100 seeds from 1, no defect, no output directory, no budget,
-    silent. *)
+    silent, monolithic collectives. *)
 val default : config
 
 type counterexample = {

@@ -1,0 +1,141 @@
+type violation = { v_case : string; v_alg : string; v_what : string }
+
+type config = {
+  seed_start : int;
+  seeds : int;
+  apps : string list;
+  nranks : int;
+  log : string -> unit;
+}
+
+let default =
+  {
+    seed_start = 1;
+    seeds = 40;
+    apps = List.map (fun (a : Apps.Registry.app) -> a.name) Apps.Registry.all;
+    nranks = 8;
+    log = ignore;
+  }
+
+type summary = {
+  cases : int;
+  apps_checked : int;
+  gen_checked : int;
+  violations : violation list;
+  metrics : Obs.Metrics.t;
+}
+
+(* The strategies under test: every schedule expander plus the `Auto
+   selector, each compared against the `Monolithic reference. *)
+let under_test : Mpisim.Coll_alg.t list =
+  (Mpisim.Coll_alg.schedules :> Mpisim.Coll_alg.t list) @ [ `Auto ]
+
+(* One run of [app]: oracle observations, raw completion-event count, and
+   virtual elapsed time.  [max_events] keeps a buggy schedule from turning
+   into an unbounded run. *)
+let observe_app ~coll_alg ~nranks app =
+  let side = Oracle.new_side () in
+  let completions = ref 0 in
+  let counter =
+    {
+      Mpisim.Hooks.nil with
+      on_collective_complete =
+        (fun ~time:_ ~comm:_ ~name:_ ~participants:_ -> incr completions);
+    }
+  in
+  let outcome =
+    Mpisim.Mpi.run
+      ~hooks:[ Oracle.collector side; counter ]
+      ~max_events:5_000_000 ~coll_alg ~nranks app
+  in
+  (side, !completions, outcome.Mpisim.Engine.elapsed)
+
+let run cfg =
+  let metrics = Obs.Metrics.create () in
+  let violations = ref [] in
+  let cases = ref 0 in
+  let alg_label a = [ ("alg", Mpisim.Coll_alg.name a) ] in
+  let violate ~case ~alg what =
+    cfg.log (Printf.sprintf "%s under %s: %s" case (Mpisim.Coll_alg.name alg) what);
+    Obs.Metrics.inc metrics ~labels:(alg_label alg) "collalg.violations";
+    violations :=
+      { v_case = case; v_alg = Mpisim.Coll_alg.name alg; v_what = what }
+      :: !violations
+  in
+  (* --- registry sweep: each app, each strategy, vs `Monolithic ------- *)
+  let elapsed_ratios = Hashtbl.create 8 in
+  let apps =
+    List.map
+      (fun name ->
+        match Apps.Registry.find name with
+        | Some a -> a
+        | None -> invalid_arg (Printf.sprintf "collfuzz: unknown app %S" name))
+      cfg.apps
+  in
+  List.iter
+    (fun (app : Apps.Registry.app) ->
+      let nranks = Apps.Registry.fit_nranks app ~wanted:cfg.nranks in
+      let case = "app:" ^ app.name in
+      let reference, ref_completions, ref_elapsed =
+        observe_app ~coll_alg:`Monolithic ~nranks (app.program ())
+      in
+      List.iter
+        (fun alg ->
+          incr cases;
+          Obs.Metrics.inc metrics ~labels:(alg_label alg) "collalg.cases";
+          match observe_app ~coll_alg:alg ~nranks (app.program ()) with
+          | exception e ->
+              violate ~case ~alg ("run failed: " ^ Printexc.to_string e)
+          | side, completions, elapsed ->
+              (match
+                 Oracle.compare_sides ~side_name:(Mpisim.Coll_alg.name alg)
+                   ~original:reference ~reproduction:side
+               with
+              | Ok () -> ()
+              | Error v -> violate ~case ~alg (Oracle.to_string v));
+              if completions <> ref_completions then
+                violate ~case ~alg
+                  (Printf.sprintf
+                     "completion events: monolithic fired %d, %s fired %d \
+                      (must be one per logical collective)"
+                     ref_completions (Mpisim.Coll_alg.name alg) completions);
+              if ref_elapsed > 0. then (
+                let cur =
+                  Option.value ~default:[]
+                    (Hashtbl.find_opt elapsed_ratios alg)
+                in
+                Hashtbl.replace elapsed_ratios alg
+                  ((elapsed /. ref_elapsed) :: cur)))
+        under_test)
+    apps;
+  List.iter
+    (fun alg ->
+      match Hashtbl.find_opt elapsed_ratios alg with
+      | Some (_ :: _ as rs) ->
+          let mean = List.fold_left ( +. ) 0. rs /. float_of_int (List.length rs) in
+          Obs.Metrics.set metrics ~labels:(alg_label alg)
+            "collalg.elapsed_ratio" mean
+      | _ -> ())
+    under_test;
+  (* --- generative sweep: the full 3-way oracle per strategy ---------- *)
+  let gen_checked = ref 0 in
+  for seed = cfg.seed_start to cfg.seed_start + cfg.seeds - 1 do
+    let prog = Gen.generate ~seed in
+    let case = "seed:" ^ string_of_int seed in
+    incr gen_checked;
+    List.iter
+      (fun alg ->
+        incr cases;
+        Obs.Metrics.inc metrics ~labels:(alg_label alg) "collalg.cases";
+        match Oracle.check ~coll_alg:alg prog with
+        | Ok _ -> ()
+        | Error v -> violate ~case ~alg (Oracle.to_string v))
+      under_test
+  done;
+  {
+    cases = !cases;
+    apps_checked = List.length apps;
+    gen_checked = !gen_checked;
+    violations = List.rev !violations;
+    metrics;
+  }

@@ -1,0 +1,53 @@
+(** Differential verification of collective algorithm schedules.
+
+    Every {!Mpisim.Coll_alg} strategy must be {e semantically equivalent}
+    to the [`Monolithic] reference: expanding a collective into rounds may
+    move completion times, but never what was communicated.  This harness
+    asserts that two ways:
+
+    - {b registry sweep}: every registry application runs once under
+      [`Monolithic] and once under each schedule strategy (plus [`Auto]),
+      observed through the {!Oracle} collector; per-channel FIFO byte
+      sequences and normalized collective participant multisets must
+      match, and the raw count of {!Mpisim.Hooks.on_collective_complete}
+      events must be identical (one per logical collective under every
+      strategy);
+    - {b generative sweep}: seeded {!Gen} programs go through the full
+      3-way {!Oracle.check} under each strategy, so the whole
+      trace → generate → replay pipeline is exercised per algorithm.
+
+    Timing is reported, not asserted: per-algorithm virtual-elapsed
+    ratios vs [`Monolithic] land in the summary metrics
+    ([collalg.elapsed_ratio{alg=...}]), giving selection-tuning work a
+    trajectory.  Everything is deterministic: same seeds, same apps, same
+    result. *)
+
+type violation = {
+  v_case : string;  (** ["app:cg"] or ["seed:17"] — replayable *)
+  v_alg : string;  (** the strategy that diverged ({!Mpisim.Coll_alg.name}) *)
+  v_what : string;
+}
+
+type config = {
+  seed_start : int;  (** first {!Gen} seed (inclusive) *)
+  seeds : int;  (** number of consecutive {!Gen} seeds *)
+  apps : string list;  (** registry apps to sweep (unknown names error) *)
+  nranks : int;  (** requested rank count, fitted per app *)
+  log : string -> unit;  (** progress/violation lines *)
+}
+
+(** 40 seeds from 1, the whole registry at 8 ranks, silent. *)
+val default : config
+
+type summary = {
+  cases : int;  (** (case, algorithm) pairs checked *)
+  apps_checked : int;
+  gen_checked : int;  (** generative seeds checked *)
+  violations : violation list;  (** empty = all strategies equivalent *)
+  metrics : Obs.Metrics.t;
+      (** [collalg.cases{alg}], [collalg.violations{alg}],
+          [collalg.elapsed_ratio{alg}] (mean virtual-elapsed ratio vs
+          [`Monolithic] over the registry sweep) *)
+}
+
+val run : config -> summary

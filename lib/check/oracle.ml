@@ -172,7 +172,8 @@ let guard side_name f =
 
 let ( let* ) = Result.bind
 
-let check ?defect (prog : Gen.prog) =
+let check ?defect ?(coll_alg : Mpisim.Coll_alg.t = `Monolithic)
+    (prog : Gen.prog) =
   let* () = Result.map_error (fun m -> V_invalid m) (Gen.validate prog) in
   let app = Gen.to_app prog in
   let nranks = prog.nranks in
@@ -184,7 +185,8 @@ let check ?defect (prog : Gen.prog) =
       (function
         | V_replay { detail; _ } -> V_original detail | v -> v)
       (guard "original" (fun () ->
-           Mpisim.Mpi.run ~hooks:[ collector original ] ~max_events ~nranks app))
+           Mpisim.Mpi.run ~hooks:[ collector original ] ~max_events ~coll_alg
+             ~nranks app))
   in
   (* the pipeline under test *)
   let cfg =
@@ -193,6 +195,7 @@ let check ?defect (prog : Gen.prog) =
       name = Some "check";
       max_events = Some max_events;
       defect;
+      coll_alg;
     }
   in
   let* artifact, _warnings =
@@ -215,7 +218,7 @@ let check ?defect (prog : Gen.prog) =
   let replayed = new_side () in
   let* _ =
     guard "trace replay" (fun () ->
-        Replay.run ~hooks:[ collector replayed ] ~max_events
+        Replay.run ~hooks:[ collector replayed ] ~max_events ~coll_alg
           artifact.Pipeline.resolved_trace)
   in
   let* () = compare_sides ~side_name:"trace replay" ~original ~reproduction:replayed in
@@ -223,8 +226,8 @@ let check ?defect (prog : Gen.prog) =
   let generated = new_side () in
   let* _ =
     guard "generated benchmark" (fun () ->
-        Conceptual.Lower.run ~hooks:[ collector generated ] ~max_events ~nranks
-          reparsed)
+        Conceptual.Lower.run ~hooks:[ collector generated ] ~max_events
+          ~coll_alg ~nranks reparsed)
   in
   let* () =
     compare_sides ~side_name:"generated benchmark" ~original

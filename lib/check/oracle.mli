@@ -42,9 +42,45 @@ val to_string : violation -> string
 (** What a passing run observed (of the original side). *)
 type stats = { s_channels : int; s_messages : int; s_collectives : int }
 
-(** Run the property.  Deterministic: same [prog] and [defect] always
-    yield the same result.  [defect] deliberately breaks the pipeline
-    under test ({!Benchgen.Pipeline.defect}); with the default [None] the
-    production pipeline is checked. *)
+(** {1 Observation API}
+
+    The oracle's observation machinery, exported so other differential
+    harnesses (notably {!Collfuzz}, which sweeps collective algorithms)
+    can collect and compare the same semantic signature: per-channel FIFO
+    byte sequences and the Table-1-normalized collective participant
+    multiset.  Both observations are timing-independent, which is exactly
+    what makes them usable as an equivalence oracle across
+    {!Mpisim.Coll_alg} strategies that only move completion times. *)
+
+(** One run's observations. *)
+type side
+
+val new_side : unit -> side
+
+(** The hook that populates [side]; pass to any simulator entry point. *)
+val collector : side -> Mpisim.Hooks.t
+
+(** First semantic discrepancy between two observed runs, as a
+    [V_channels] or [V_collectives] violation naming [side_name]. *)
+val compare_sides :
+  side_name:string ->
+  original:side ->
+  reproduction:side ->
+  (unit, violation) result
+
+val stats_of : side -> stats
+
+(** {1 The property} *)
+
+(** Run the property.  Deterministic: same [prog], [defect], and
+    [coll_alg] always yield the same result.  [defect] deliberately
+    breaks the pipeline under test ({!Benchgen.Pipeline.defect}); with
+    the default [None] the production pipeline is checked.  [coll_alg]
+    (default [`Monolithic]) selects the collective algorithm for all
+    three sides, so the 3-way property can be asserted under every
+    schedule strategy. *)
 val check :
-  ?defect:Benchgen.Pipeline.defect -> Gen.prog -> (stats, violation) result
+  ?defect:Benchgen.Pipeline.defect ->
+  ?coll_alg:Mpisim.Coll_alg.t ->
+  Gen.prog ->
+  (stats, violation) result

@@ -30,6 +30,7 @@ val run :
   ?fault:Mpisim.Fault.t ->
   ?max_events:int ->
   ?max_virtual_time:float ->
+  ?coll_alg:Mpisim.Coll_alg.t ->
   ?obs:Obs.Sink.t ->
   nranks:int ->
   Ast.program ->

@@ -70,9 +70,18 @@ val error_to_string : gen_error -> string
 (** {1 Deprecated entry points}
 
     Thin wrappers over {!Pipeline.run}; each is one [config] away from the
-    unified API. *)
+    unified API.
 
-(** @raise Wildcard.Potential_deadlock when the input application can
+    {b Removal schedule:} these five wrappers are frozen and will be
+    deleted two releases after the collective-algorithm redesign that
+    froze them.  They gain no new {!Pipeline.config} knobs — in
+    particular no [coll_alg] selector; they always run with the
+    [`Monolithic] default — and until removal the differential test in
+    [test/test_obs.ml] holds each one byte-identical to [Pipeline.run]
+    under an all-defaults config. *)
+
+(** Frozen wrapper, see the removal schedule above.
+    @raise Wildcard.Potential_deadlock when the input application can
     deadlock (paper Figure 5) — reported rather than generating a hanging
     benchmark.
     @raise Align.Align_error on collective misuse in the trace. *)
@@ -80,14 +89,16 @@ val generate :
   ?name:string -> ?compute_floor_usecs:float -> Scalatrace.Trace.t -> report
 [@@deprecated "use Pipeline.run { Pipeline.default with ... } (From_trace t)"]
 
-(** [generate_text] — just the .ncptl source. *)
+(** [generate_text] — just the .ncptl source.  Frozen wrapper, see the
+    removal schedule above. *)
 val generate_text :
   ?name:string -> ?compute_floor_usecs:float -> Scalatrace.Trace.t -> string
 [@@deprecated "use Pipeline.run and read report.text from the artifact"]
 
 (** Trace an application under the given network model and generate its
     benchmark in one call.  Returns the report plus the original run's
-    outcome (for timing-fidelity comparisons). *)
+    outcome (for timing-fidelity comparisons).  Frozen wrapper, see the
+    removal schedule above. *)
 val from_app :
   ?name:string ->
   ?net:Mpisim.Netmodel.t ->
@@ -100,6 +111,7 @@ val from_app :
   report * Mpisim.Engine.outcome
 [@@deprecated "use Pipeline.run { Pipeline.default with ... } (From_app ...)"]
 
+(** Frozen wrapper, see the removal schedule above. *)
 val generate_checked :
   ?name:string ->
   ?compute_floor_usecs:float ->
@@ -109,7 +121,8 @@ val generate_checked :
 [@@deprecated "use Pipeline.run { Pipeline.default with ... } (From_trace t)"]
 
 (** Load a trace file and generate from it; file-level failures map to
-    [E_trace_format] / [E_io]. [?name] defaults to [path]. *)
+    [E_trace_format] / [E_io]. [?name] defaults to [path].  Frozen
+    wrapper, see the removal schedule above. *)
 val generate_checked_file :
   ?name:string ->
   ?compute_floor_usecs:float ->

@@ -55,6 +55,7 @@ type config = {
   obs : Obs.Sink.t;
   defect : defect option;
   recovery : recovery;
+  coll_alg : Mpisim.Coll_alg.t;
 }
 
 let default =
@@ -69,6 +70,7 @@ let default =
     obs = Obs.Sink.nil;
     defect = None;
     recovery = `Strict;
+    coll_alg = `Monolithic;
   }
 
 type source =
@@ -294,7 +296,8 @@ let acquire cfg ~warn clock metrics source =
           let trace, outcome =
             Scalatrace.Tracer.trace_run ?net:cfg.net ?fault:cfg.fault
               ?max_events:cfg.max_events ?max_virtual_time:cfg.max_virtual_time
-              ~obs:cfg.obs ~extra_hooks:[ hooks ] ~nranks app
+              ~coll_alg:cfg.coll_alg ~obs:cfg.obs ~extra_hooks:[ hooks ] ~nranks
+              app
           in
           Mpip.record_metrics profile metrics;
           record_outcome metrics "sim" outcome;
@@ -438,7 +441,8 @@ let validate cfg ~nranks app (artifact : artifact) =
         let r =
           Conceptual.Lower.run ?net:cfg.net ?fault:cfg.fault
             ?max_events:cfg.max_events ?max_virtual_time:cfg.max_virtual_time
-            ~hooks:[ hooks ] ~nranks artifact.report.program
+            ~coll_alg:cfg.coll_alg ~hooks:[ hooks ] ~nranks
+            artifact.report.program
         in
         (r.Conceptual.Lower.outcome, profile))
   in
@@ -447,7 +451,7 @@ let validate cfg ~nranks app (artifact : artifact) =
       let orig_profile = Mpip.create () in
       let orig_outcome =
         Mpisim.Mpi.run ?net:cfg.net ?fault:cfg.fault ?max_events:cfg.max_events
-          ?max_virtual_time:cfg.max_virtual_time
+          ?max_virtual_time:cfg.max_virtual_time ~coll_alg:cfg.coll_alg
           ~hooks:[ Mpip.hook orig_profile ]
           ~nranks app
       in

@@ -71,6 +71,12 @@ type config = {
           [None] — the correct pipeline) *)
   recovery : recovery;
       (** damage tolerance for input traces (default [`Strict]) *)
+  coll_alg : Mpisim.Coll_alg.t;
+      (** collective algorithm selection for every simulator run the
+          pipeline performs (tracing, replay, validation) — a concrete
+          {!Mpisim.Coll_alg.alg} or [`Auto].  Default [`Monolithic], the
+          analytic reference model, which keeps same-seed artifacts
+          byte-identical with earlier releases. *)
 }
 
 (** All-defaults configuration; build variants with

@@ -1,0 +1,201 @@
+type alg =
+  [ `Monolithic | `Ring | `Recursive_doubling | `Binomial | `Rabenseifner ]
+
+type t = [ alg | `Auto ]
+
+type xfer = { x_src : int; x_dst : int; x_bytes : int }
+type round = xfer list
+type schedule = round list
+
+let name : t -> string = function
+  | `Monolithic -> "monolithic"
+  | `Ring -> "ring"
+  | `Recursive_doubling -> "recursive-doubling"
+  | `Binomial -> "binomial"
+  | `Rabenseifner -> "rabenseifner"
+  | `Auto -> "auto"
+
+let all : t list =
+  [ `Monolithic; `Ring; `Recursive_doubling; `Binomial; `Rabenseifner; `Auto ]
+
+let schedules : alg list =
+  [ `Ring; `Recursive_doubling; `Binomial; `Rabenseifner ]
+
+let of_string s : (t, string) result =
+  match List.find_opt (fun a -> name a = s) all with
+  | Some a -> Ok a
+  | None ->
+      Error
+        (Printf.sprintf "unknown collective algorithm %S (expected %s)" s
+           (String.concat ", " (List.map name all)))
+
+let describe : t -> string = function
+  | `Monolithic -> "analytic Netmodel cost (the reference and oracle)"
+  | `Ring -> "ring: p-1 rounds; allreduce (full vector), allgather"
+  | `Recursive_doubling ->
+      "pairwise XOR exchanges, log2 p rounds; allreduce, barrier, \
+       allgather; power-of-two communicators"
+  | `Binomial -> "binomial tree, ceil(log2 p) rounds; bcast, reduce"
+  | `Rabenseifner ->
+      "reduce-scatter + allgather allreduce, 2*log2 p rounds; \
+       power-of-two communicators"
+  | `Auto -> "pick per operation, payload, and communicator size"
+
+let is_pow2 p = p > 0 && p land (p - 1) = 0
+
+(* Payloads at most this size count as latency-bound for `Auto (the
+   classic MPICH-style switch point). *)
+let auto_small_bytes = 4096
+
+let applies (a : alg) ~(op : Call.op) ~p =
+  if p < 2 then a = `Monolithic
+  else
+    match (a, op) with
+    | `Monolithic, _ -> true
+    | _, (Call.Comm_split _ | Call.Comm_dup | Call.Finalize) -> false
+    | `Ring, (Call.Allreduce _ | Call.Allgather _) -> true
+    | `Ring, _ -> false
+    | `Recursive_doubling, (Call.Allreduce _ | Call.Barrier | Call.Allgather _)
+      ->
+        is_pow2 p
+    | `Recursive_doubling, _ -> false
+    | `Binomial, (Call.Bcast _ | Call.Reduce _) -> true
+    | `Binomial, _ -> false
+    | `Rabenseifner, Call.Allreduce _ -> is_pow2 p
+    | `Rabenseifner, _ -> false
+
+(* The `Auto mapping (also the README selection table — keep in sync):
+   latency-bound cases take the fewest rounds, bandwidth-bound cases the
+   least per-rank traffic; anything a schedule cannot express stays
+   monolithic. *)
+let auto_pick ~(op : Call.op) ~p : alg =
+  match op with
+  | Call.Allreduce { bytes } ->
+      if bytes <= auto_small_bytes then
+        if is_pow2 p then `Recursive_doubling else `Monolithic
+      else if is_pow2 p then `Rabenseifner
+      else `Ring
+  | Call.Bcast _ | Call.Reduce _ -> `Binomial
+  | Call.Barrier -> if is_pow2 p then `Recursive_doubling else `Monolithic
+  | Call.Allgather { bytes_per_rank } ->
+      if bytes_per_rank * p > auto_small_bytes then `Ring
+      else if is_pow2 p then `Recursive_doubling
+      else `Monolithic
+  | _ -> `Monolithic
+
+let select (t : t) ~op ~p : alg =
+  let a = match t with `Auto -> auto_pick ~op ~p | #alg as a -> a in
+  if applies a ~op ~p then a else `Monolithic
+
+(* ------------------------------------------------------------------ *)
+(* Schedule construction.  All builders assume [applies] held.          *)
+
+let log2 p =
+  let rec go acc n = if n >= p then acc else go (acc + 1) (n * 2) in
+  if p <= 1 then 0 else go 0 1
+
+(* Ring: in every round each rank passes one block to its successor. *)
+let ring_rounds ~p ~bytes_of_round =
+  List.init (p - 1) (fun k ->
+      List.init p (fun r ->
+          { x_src = r; x_dst = (r + 1) mod p; x_bytes = bytes_of_round k }))
+
+(* Recursive doubling: round k pairs r with r lxor 2^k; both directions
+   of the exchange are transfers of the same round. *)
+let rd_rounds ~p ~bytes_of_round =
+  List.init (log2 p) (fun k ->
+      let d = 1 lsl k in
+      List.init p (fun r -> { x_src = r; x_dst = r lxor d; x_bytes = bytes_of_round k }))
+
+(* Binomial broadcast relabelled so the root is virtual rank 0: in round
+   k every informed rank v < 2^k forwards to v + 2^k (when it exists). *)
+let binomial_bcast_rounds ~p ~root ~bytes =
+  let unlabel v = (v + root) mod p in
+  List.init (log2 p) (fun k ->
+      let d = 1 lsl k in
+      List.filter (fun v -> v < d && v + d < p) (List.init p Fun.id)
+      |> List.map (fun v ->
+             { x_src = unlabel v; x_dst = unlabel (v + d); x_bytes = bytes }))
+
+(* Binomial reduce: the broadcast tree with every edge reversed and the
+   rounds run leaf-to-root. *)
+let binomial_reduce_rounds ~p ~root ~bytes =
+  binomial_bcast_rounds ~p ~root ~bytes
+  |> List.rev_map
+       (List.map (fun x -> { x with x_src = x.x_dst; x_dst = x.x_src }))
+
+(* Rabenseifner allreduce: recursive-halving reduce-scatter (high-bit
+   partners, payload halves each round) then recursive-doubling allgather
+   (low-bit partners, payload doubles back).  Per-rank traffic totals
+   2 * bytes * (p-1)/p. *)
+let rabenseifner_rounds ~p ~bytes =
+  let h = log2 p in
+  let exchange d b =
+    List.init p (fun r -> { x_src = r; x_dst = r lxor d; x_bytes = b })
+  in
+  let reduce_scatter =
+    List.init h (fun k -> exchange (1 lsl (h - 1 - k)) (bytes asr (k + 1)))
+  in
+  let allgather =
+    List.init h (fun k -> exchange (1 lsl k) (bytes asr (h - k)))
+  in
+  reduce_scatter @ allgather
+
+let expand (a : alg) ~(op : Call.op) ~p : schedule option =
+  if not (applies a ~op ~p) || a = `Monolithic then None
+  else
+    match (a, op) with
+    | `Ring, Call.Allreduce { bytes } ->
+        Some (ring_rounds ~p ~bytes_of_round:(fun _ -> bytes))
+    | `Ring, Call.Allgather { bytes_per_rank } ->
+        Some (ring_rounds ~p ~bytes_of_round:(fun _ -> bytes_per_rank))
+    | `Recursive_doubling, Call.Allreduce { bytes } ->
+        Some (rd_rounds ~p ~bytes_of_round:(fun _ -> bytes))
+    | `Recursive_doubling, Call.Barrier ->
+        Some (rd_rounds ~p ~bytes_of_round:(fun _ -> 0))
+    | `Recursive_doubling, Call.Allgather { bytes_per_rank } ->
+        Some (rd_rounds ~p ~bytes_of_round:(fun k -> bytes_per_rank lsl k))
+    | `Binomial, Call.Bcast { root; bytes } ->
+        Some (binomial_bcast_rounds ~p ~root ~bytes)
+    | `Binomial, Call.Reduce { root; bytes } ->
+        Some (binomial_reduce_rounds ~p ~root ~bytes)
+    | `Rabenseifner, Call.Allreduce { bytes } ->
+        Some (rabenseifner_rounds ~p ~bytes)
+    | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Timing a schedule                                                    *)
+
+(* Per-rank ready times folded round by round.  Departures are computed
+   against a snapshot of the state at round entry, so the two legs of a
+   pairwise exchange overlap (full-duplex) instead of serializing; with
+   equal starts one round of a [bytes]-sized exchange costs exactly
+   [Netmodel.round_cost ~bytes]. *)
+let timings (net : Netmodel.t) (sched : schedule) ~(start : float array) =
+  let ready = Array.copy start in
+  List.iter
+    (fun rnd ->
+      let base = Array.copy ready in
+      List.iter
+        (fun { x_src; x_dst; x_bytes } ->
+          let depart = base.(x_src) +. net.Netmodel.overhead in
+          let arrive =
+            depart +. net.Netmodel.latency
+            +. (float_of_int x_bytes *. net.Netmodel.byte_time)
+          in
+          let finished = arrive +. net.Netmodel.overhead in
+          if depart > ready.(x_src) then ready.(x_src) <- depart;
+          if finished > ready.(x_dst) then ready.(x_dst) <- finished)
+        rnd)
+    sched;
+  ready
+
+let round_count = List.length
+
+let bytes_sent_per_rank ~p sched =
+  let sent = Array.make p 0 in
+  List.iter
+    (List.iter (fun { x_src; x_bytes; _ } ->
+         sent.(x_src) <- sent.(x_src) + x_bytes))
+    sched;
+  sent

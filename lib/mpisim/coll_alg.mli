@@ -1,0 +1,105 @@
+(** Pluggable collective algorithm schedules.
+
+    The engine historically priced every collective with one analytic
+    {!Netmodel} formula.  This module turns that formula into one strategy
+    among several: a collective call can instead be {e expanded} into a
+    schedule of point-to-point rounds — ring, recursive doubling, binomial
+    tree, or Rabenseifner (reduce-scatter + allgather) — whose per-round
+    costs come from the same wire parameters the p2p engine charges
+    ([overhead], [latency], [byte_time]).
+
+    Schedules are expanded {e below} the message-matching layer, at
+    collective-completion time: no round injects an application-visible
+    message, so tag/wildcard matching, FIFO channel orders,
+    deadlock-freedom, and the one-event-per-logical-collective contract of
+    {!Hooks.on_collective_complete} are preserved by construction.  What
+    changes between strategies is only {e when} each participant's fiber
+    resumes.  [`Monolithic] — the original analytic model — remains the
+    reference strategy and the semantic oracle for differential
+    verification (lib/check).
+
+    All ranks in schedules are communicator-local, in [0 .. p-1]. *)
+
+(** A concrete schedule strategy. *)
+type alg =
+  [ `Monolithic  (** the original analytic {!Netmodel} cost (reference) *)
+  | `Ring  (** p-1 rounds around a ring: allreduce (full vector),
+               allgather (one block per round) *)
+  | `Recursive_doubling
+    (** log2 p pairwise-exchange rounds (XOR partners): allreduce,
+        barrier, allgather.  Power-of-two communicators only. *)
+  | `Binomial  (** binomial tree, ceil(log2 p) rounds: bcast, reduce *)
+  | `Rabenseifner
+    (** recursive-halving reduce-scatter then recursive-doubling
+        allgather: allreduce on power-of-two communicators; per-rank
+        traffic 2 * bytes * (p-1)/p *) ]
+
+(** A selection: either a concrete strategy or [`Auto], which picks per
+    operation, message size, and communicator size (see {!select}). *)
+type t = [ alg | `Auto ]
+
+(** One point-to-point transfer inside a round; ranks are
+    communicator-local. *)
+type xfer = { x_src : int; x_dst : int; x_bytes : int }
+
+(** Transfers in one round proceed concurrently (full-duplex links); a
+    rank may both send and receive in the same round. *)
+type round = xfer list
+
+(** Rounds execute in order; each rank enters a round only when its part
+    of every earlier round has completed. *)
+type schedule = round list
+
+val name : t -> string
+
+(** Parse a CLI spelling ([name] spellings, case-sensitive):
+    ["monolithic"], ["ring"], ["recursive-doubling"], ["binomial"],
+    ["rabenseifner"], ["auto"]. *)
+val of_string : string -> (t, string) result
+
+(** Every selectable strategy, [`Monolithic] first, [`Auto] last —
+    the order the CLI listing and the differential harness use. *)
+val all : t list
+
+(** The four schedule-expanding strategies (everything but [`Monolithic]
+    and [`Auto]) — what differential verification sweeps. *)
+val schedules : alg list
+
+(** One-line description for CLI listings. *)
+val describe : t -> string
+
+(** [applies a ~op ~p] — can strategy [a] expand [op] on a [p]-member
+    communicator?  [`Monolithic] applies to everything.  Strategies never
+    apply for [p < 2], to communicator management ([Comm_split],
+    [Comm_dup]), or to [Finalize]. *)
+val applies : alg -> op:Call.op -> p:int -> bool
+
+(** [select t ~op ~p] — resolve a selection to a concrete strategy.
+    A concrete [t] that does not apply falls back to [`Monolithic] (so
+    e.g. [`Recursive_doubling] on a 6-rank communicator still runs).
+    [`Auto] maps operation, payload, and communicator size to a
+    strategy; the mapping is documented in the README's selection
+    table. *)
+val select : t -> op:Call.op -> p:int -> alg
+
+(** [expand a ~op ~p] — the round schedule, or [None] when [a] does not
+    apply (callers then take the monolithic path).  [`Monolithic] always
+    returns [None]. *)
+val expand : alg -> op:Call.op -> p:int -> schedule option
+
+(** [timings net sched ~start] — per-rank completion times of [sched]
+    when rank [l] enters it at [start.(l)].  Departures in a round are
+    computed against the state at round entry (full-duplex pairwise
+    exchange); each transfer charges sender overhead, then
+    [latency + bytes * byte_time] on the wire, then receiver overhead —
+    exactly {!Netmodel.round_cost} per round under equal starts.
+    [Netmodel.collective_dispatch] is {e not} charged here: the engine
+    charges it once per logical collective (see {!Netmodel}). *)
+val timings : Netmodel.t -> schedule -> start:float array -> float array
+
+(** {2 Schedule-shape helpers (tests, bench)} *)
+
+val round_count : schedule -> int
+
+(** Total bytes sent by each local rank over the whole schedule. *)
+val bytes_sent_per_rank : p:int -> schedule -> int array

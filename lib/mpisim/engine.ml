@@ -104,6 +104,7 @@ type state = {
   comms : (int, Comm.t) Hashtbl.t;
   colls : (int * int, coll_state) Hashtbl.t;
   coll_seq : (int * int, int) Hashtbl.t;
+  coll_alg : Coll_alg.t;
   hooks : Hooks.t list;
   fibers : fiber option array;
   fault : Fault.runtime option;
@@ -807,12 +808,60 @@ let split_comms st (c : coll_state) =
     colors;
   fun w -> Hashtbl.find assignment w
 
+(* The representative op of a collective: the root's where rooted payload
+   sizes matter (the root's [bytes] drives schedule expansion), else any
+   arrival's. *)
+let representative_op ~key (c : coll_state) =
+  let (_, _, any_op) = first_arrival ~key c in
+  let of_rank want_root =
+    match
+      List.find_opt
+        (fun (w, _, _) ->
+          match Comm.local_of_world c.c_comm w with
+          | Some l -> l = want_root
+          | None -> false)
+        c.c_arrivals
+    with
+    | Some (_, _, op) -> op
+    | None -> any_op
+  in
+  match any_op with
+  | Call.Bcast { root; _ } | Call.Reduce { root; _ } -> of_rank root
+  | op -> op
+
+(* Under a pluggable strategy, the per-local-rank schedule completion
+   times, or [None] for the monolithic analytic path.  Communicator
+   management and [Finalize] always stay monolithic (they synchronize,
+   they do not move data). *)
+let coll_schedule_times st ~key (c : coll_state) =
+  match st.coll_alg with
+  | `Monolithic -> None
+  | sel -> (
+      let (_, _, any_op) = first_arrival ~key c in
+      match any_op with
+      | Call.Comm_split _ | Call.Comm_dup | Call.Finalize -> None
+      | _ -> (
+          let p = Comm.size c.c_comm in
+          let op = representative_op ~key c in
+          match Coll_alg.expand (Coll_alg.select sel ~op ~p) ~op ~p with
+          | None -> None
+          | Some sched ->
+              (* Each rank enters the schedule when it arrives, paying the
+                 dispatch cost once per logical collective. *)
+              let start = Array.make p 0. in
+              List.iter
+                (fun (w, t, _) ->
+                  match Comm.local_of_world c.c_comm w with
+                  | Some l -> start.(l) <- t +. st.net.collective_dispatch
+                  | None -> ())
+                c.c_arrivals;
+              Some (Coll_alg.timings st.net sched ~start)))
+
 let finish_collective st key (c : coll_state) =
   Hashtbl.remove st.colls key;
   let t_all =
     List.fold_left (fun acc (_, t, _) -> Float.max acc t) 0. c.c_arrivals
   in
-  let done_at = t_all +. coll_cost st ~key c in
   let (_, _, any_op) = first_arrival ~key c in
   let value_for =
     match any_op with
@@ -831,14 +880,32 @@ let finish_collective st key (c : coll_state) =
           Call.V_unit
     | _ -> fun _ -> Call.V_unit
   in
-  List.iter
-    (fun (w, _, _) -> schedule st ~time:done_at (E_resume (w, value_for w)))
-    c.c_arrivals;
   let participants =
     Array.of_list (List.rev_map (fun (w, _, _) -> w) c.c_arrivals)
   in
-  fire_collective_complete st ~time:done_at ~comm:(fst key) ~name:c.c_name
-    ~participants
+  (* Whichever strategy runs, exactly one completion event fires for the
+     logical collective, timestamped at its last rank's completion. *)
+  match coll_schedule_times st ~key c with
+  | None ->
+      let done_at = t_all +. coll_cost st ~key c in
+      List.iter
+        (fun (w, _, _) -> schedule st ~time:done_at (E_resume (w, value_for w)))
+        c.c_arrivals;
+      fire_collective_complete st ~time:done_at ~comm:(fst key) ~name:c.c_name
+        ~participants
+  | Some fin ->
+      let done_at = Array.fold_left Float.max t_all fin in
+      List.iter
+        (fun (w, _, _) ->
+          let at =
+            match Comm.local_of_world c.c_comm w with
+            | Some l -> fin.(l)
+            | None -> done_at
+          in
+          schedule st ~time:at (E_resume (w, value_for w)))
+        c.c_arrivals;
+      fire_collective_complete st ~time:done_at ~comm:(fst key) ~name:c.c_name
+        ~participants
 
 let do_collective st rank (call : Call.t) =
   let comm = call.comm in
@@ -906,7 +973,8 @@ let handle_call st rank (call : Call.t) (k : fiber) =
 
 let run ?(hooks = []) ?(net = Netmodel.bluegene_l) ?fault ?max_events
     ?max_virtual_time ?(matcher : Matchq.impl = `Indexed)
-    ?(obs = Obs.Sink.nil) ?(obs_sample_every = 256) ~nranks program =
+    ?(coll_alg : Coll_alg.t = `Monolithic) ?(obs = Obs.Sink.nil)
+    ?(obs_sample_every = 256) ~nranks program =
   if nranks < 1 then raise (Mpi_error "run: nranks must be >= 1");
   if obs_sample_every < 1 then
     raise (Mpi_error "run: obs_sample_every must be >= 1");
@@ -948,6 +1016,7 @@ let run ?(hooks = []) ?(net = Netmodel.bluegene_l) ?fault ?max_events
       comms = Hashtbl.create 16;
       colls = Hashtbl.create 64;
       coll_seq = Hashtbl.create 64;
+      coll_alg;
       hooks;
       fibers = Array.make nranks None;
       fault;

@@ -62,6 +62,15 @@ type outcome = {
       the hash-indexed O(1) matcher; [`Reference] is the original list
       scan, kept as the semantic oracle for differential tests and perf
       baselines — see {!Matchq}).
+    @param coll_alg collective algorithm selection (default
+      [`Monolithic], the original analytic model — the reference
+      strategy, so default timings are unchanged).  Other selections
+      expand applicable collectives into round schedules priced by the
+      p2p wire parameters ({!Coll_alg}); inapplicable combinations fall
+      back to [`Monolithic].  Strategy choice affects timing only: it
+      never changes matching, message contents, deadlock behaviour, or
+      how many {!Hooks.on_collective_complete} events fire (exactly one
+      per logical collective).
     @param obs observability sink (default {!Obs.Sink.nil}).  With an
       enabled sink the engine emits per-rank queue-depth counter samples
       (posted / unexpected / parked depths, matcher bucket and raw deque
@@ -80,6 +89,7 @@ val run :
   ?max_events:int ->
   ?max_virtual_time:float ->
   ?matcher:Matchq.impl ->
+  ?coll_alg:Coll_alg.t ->
   ?obs:Obs.Sink.t ->
   ?obs_sample_every:int ->
   nranks:int ->

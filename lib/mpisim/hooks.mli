@@ -17,7 +17,10 @@
     the last participant has arrived and the operation's completion time
     is known — rather than once per rank, giving aggregate observers
     (trace exporters, convergence monitors) a single event per barrier,
-    broadcast, reduction, etc.
+    broadcast, reduction, etc.  This holds under every {!Coll_alg}
+    strategy: a collective expanded into a schedule of rounds still
+    produces exactly one completion event for the logical operation,
+    never one per round.
 
     Build hooks with [{ nil with ... }] so adding observation points stays
     source-compatible; combine independent clients with {!compose}. *)

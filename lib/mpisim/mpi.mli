@@ -21,6 +21,7 @@ val run :
   ?max_events:int ->
   ?max_virtual_time:float ->
   ?matcher:Matchq.impl ->
+  ?coll_alg:Coll_alg.t ->
   ?obs:Obs.Sink.t ->
   ?obs_sample_every:int ->
   nranks:int ->

@@ -62,6 +62,11 @@ let log2_ceil p =
 let stage t ~bytes =
   t.latency +. (2. *. t.overhead) +. (float_of_int bytes *. t.byte_time)
 
+(* One schedule round under pluggable collective algorithms is priced by
+   the same p2p wire parameters; [collective_dispatch] is deliberately
+   absent here — the engine charges it once per logical collective. *)
+let round_cost = stage
+
 let barrier_cost t ~p =
   t.collective_dispatch +. (float_of_int (log2_ceil p) *. stage t ~bytes:0)
 

@@ -28,7 +28,12 @@ type t = {
   resume_latency : float;
       (** penalty for re-starting a flow-controlled sender *)
   collective_dispatch : float;
-      (** fixed software cost added to every collective *)
+      (** fixed software cost added to every collective.  Invariant: it is
+          charged {b once per logical collective} per rank, never once per
+          schedule round — both the analytic costs below (which bake it in)
+          and the engine's pluggable-schedule path ({!Coll_alg}) obey this;
+          per-round costs come from the p2p parameters via {!round_cost}.
+          Pinned by the [dispatch charged once] unit test. *)
 }
 
 (** Parameters evoking Blue Gene/L's torus+tree interconnect: low latency,
@@ -52,6 +57,13 @@ val scale : ?latency:float -> ?bandwidth:float -> t -> t
 val transfer_time : t -> bytes:int -> float
 
 val is_eager : t -> bytes:int -> bool
+
+(** Cost of one round of a collective schedule ({!Coll_alg}) moving
+    [bytes] between two ranks that enter the round together:
+    [latency + 2*overhead + bytes*byte_time].  Excludes
+    [collective_dispatch], which the engine charges once per logical
+    collective, not per round. *)
+val round_cost : t -> bytes:int -> float
 
 (** Analytic completion costs of collectives once all participants have
     arrived, as functions of participant count [p] and payload size. *)

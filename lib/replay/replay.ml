@@ -19,7 +19,8 @@ let uniform_vec ~p ~total =
 type compute_mode = Mean | Draw of int
 
 let run ?(net = Mpisim.Netmodel.bluegene_l) ?(hooks = []) ?fault ?max_events
-    ?max_virtual_time ?obs ?(compute_scale = 1.0) ?(compute = Mean) trace =
+    ?max_virtual_time ?coll_alg ?obs ?(compute_scale = 1.0) ?(compute = Mean)
+    trace =
   let nranks = Trace.nranks trace in
   let comm_table = List.filter (fun (id, _) -> id <> 0) (Trace.comms trace) in
   (* leaf index by physical identity (iter_leaves order) *)
@@ -193,8 +194,8 @@ let run ?(net = Mpisim.Netmodel.bluegene_l) ?(hooks = []) ?fault ?max_events
     walk (Trace.project trace ~rank:r)
   in
   let outcome =
-    Mpisim.Mpi.run ~hooks ~net ?fault ?max_events ?max_virtual_time ?obs ~nranks
-      program
+    Mpisim.Mpi.run ~hooks ~net ?fault ?max_events ?max_virtual_time ?coll_alg
+      ?obs ~nranks program
   in
   let wildcard_matches =
     Hashtbl.fold (fun k q acc -> ((k, List.rev !q) : (int * int) * int list) :: acc) matches []

@@ -33,6 +33,8 @@ type compute_mode = Mean | Draw of int
     @param fault seeded fault-injection plan forwarded to the simulator
     @param max_events / max_virtual_time watchdog budgets forwarded to the
       simulator (a wedged replay raises {!Mpisim.Engine.Stalled})
+    @param coll_alg collective algorithm selection forwarded to the
+      simulator (default [`Monolithic])
     @param obs observability sink forwarded to the simulator *)
 val run :
   ?net:Mpisim.Netmodel.t ->
@@ -40,6 +42,7 @@ val run :
   ?fault:Mpisim.Fault.t ->
   ?max_events:int ->
   ?max_virtual_time:float ->
+  ?coll_alg:Mpisim.Coll_alg.t ->
   ?obs:Obs.Sink.t ->
   ?compute_scale:float ->
   ?compute:compute_mode ->

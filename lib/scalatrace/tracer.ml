@@ -47,11 +47,11 @@ let finish ?merge_impl t =
   let comms = List.sort compare t.comms in
   Merge.merge ?impl:merge_impl ~nranks:t.nranks ~comms locals
 
-let trace_run ?window ?merge_impl ?net ?fault ?max_events ?max_virtual_time ?obs
-    ?(extra_hooks = []) ~nranks program =
+let trace_run ?window ?merge_impl ?net ?fault ?max_events ?max_virtual_time
+    ?coll_alg ?obs ?(extra_hooks = []) ~nranks program =
   let t = create ?window ~nranks () in
   let outcome =
     Mpisim.Mpi.run ~hooks:(hook t :: extra_hooks) ?net ?fault ?max_events
-      ?max_virtual_time ?obs ~nranks program
+      ?max_virtual_time ?coll_alg ?obs ~nranks program
   in
   (finish ?merge_impl t, outcome)

@@ -36,6 +36,7 @@ val trace_run :
   ?fault:Mpisim.Fault.t ->
   ?max_events:int ->
   ?max_virtual_time:float ->
+  ?coll_alg:Mpisim.Coll_alg.t ->
   ?obs:Obs.Sink.t ->
   ?extra_hooks:Mpisim.Hooks.t list ->
   nranks:int ->

@@ -6,6 +6,7 @@ let () =
       ("util", Test_util_misc.suite);
       ("engine", Test_engine.suite);
       ("fault", Test_fault.suite);
+      ("collalg", Test_collalg.suite);
       ("scalatrace", Test_scalatrace.suite);
       ("merge_diff", Test_merge_diff.suite);
       ("conceptual", Test_conceptual.suite);

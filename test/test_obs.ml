@@ -375,6 +375,27 @@ let differential_tests =
             Alcotest.(check (float 1e-12))
               "elapsed" outcome.Mpisim.Engine.elapsed o.Mpisim.Engine.elapsed
         | Error e -> Alcotest.fail (Pipeline.error_to_string e));
+    t "wrappers pin coll_alg to the monolithic default" (fun () ->
+        (* The removal schedule (benchgen.mli) freezes the wrappers: they
+           gain no new config knobs, so they must behave exactly like a
+           pipeline pinned to the `Monolithic default — even while other
+           configs select schedule strategies. *)
+        Alcotest.(check string)
+          "default is monolithic" "monolithic"
+          (Mpisim.Coll_alg.name Pipeline.default.coll_alg);
+        let report, outcome = Benchgen.from_app ~name:"ring" ~nranks:4 ring_app in
+        match
+          Pipeline.run
+            { Pipeline.default with name = Some "ring"; coll_alg = `Monolithic }
+            (Pipeline.From_app { nranks = 4; app = ring_app })
+        with
+        | Ok (a, _) ->
+            Alcotest.(check string)
+              "text" report.Benchgen.text a.Pipeline.report.text;
+            let o = Option.get a.Pipeline.trace_outcome in
+            Alcotest.(check (float 1e-12))
+              "elapsed" outcome.Mpisim.Engine.elapsed o.Mpisim.Engine.elapsed
+        | Error e -> Alcotest.fail (Pipeline.error_to_string e));
     t "generate raises the documented exception on deadlock input" (fun () ->
         (* Figure 5's latent-deadlock shape: the wrapper must surface the
            same exception the historical API threw. *)
