@@ -1,0 +1,36 @@
+open Mpisim
+
+(* 5 ranks. comm_split: {0,1,2} color 0, {3,4} color 1 effectively just
+   giving 0,1,2 a subcomm. Rank 2 computes 100s then joins bcast on the
+   subcomm. Root 0 and rank 1 enter bcast at ~0. After bcast, root sends
+   to world rank 3. Rank 4 computes 50s then sends to rank 3. Rank 3 does
+   two wildcard recvs and prints source order + its clock progression. *)
+let prog (ctx : Mpi.ctx) =
+  let sub = Mpi.comm_split ctx ~color:(if ctx.rank <= 2 then 0 else 1) ~key:ctx.rank in
+  match ctx.rank with
+  | 0 ->
+      Mpi.bcast ~comm:sub ctx ~root:0 ~bytes:8;
+      Printf.printf "root resumed at %g\n%!" (Mpi.wtime ctx);
+      Mpi.send ctx ~dst:3 ~bytes:8 ~tag:1
+  | 1 | 2 ->
+      if ctx.rank = 2 then Mpi.compute ctx 100.;
+      Mpi.bcast ~comm:sub ctx ~root:0 ~bytes:8
+  | 4 ->
+      Mpi.compute ctx 50.;
+      Mpi.send ctx ~dst:3 ~bytes:8 ~tag:1
+  | 3 ->
+      let s1 = Mpi.recv ctx ~src:Call.Any_source ~bytes:8 in
+      let t1 = Mpi.wtime ctx in
+      let s2 = Mpi.recv ctx ~src:Call.Any_source ~bytes:8 in
+      let t2 = Mpi.wtime ctx in
+      Printf.printf "recv order: first from %d at %g, second from %d at %g\n%!"
+        s1.Call.actual_source t1 s2.Call.actual_source t2
+  | _ -> ()
+
+let () =
+  List.iter
+    (fun (label, alg) ->
+      Printf.printf "=== %s ===\n%!" label;
+      let o = Mpi.run ~coll_alg:alg ~nranks:5 prog in
+      Printf.printf "elapsed %g\n%!" o.Engine.elapsed)
+    [ ("monolithic", `Monolithic); ("binomial", `Binomial) ]
