@@ -195,6 +195,92 @@ let collalg_json c =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Neighborhood-collective microbenchmark                               *)
+
+(* A sparse stencil exchange (power-of-two offsets) timed under both
+   schedule expansions: the message-combining isomorphic form (one round
+   per offset) and the naive single-round per-link expansion.  The two
+   move identical bytes — checked here — so the virtual columns isolate
+   what the round structure costs, and the wall columns what the
+   expansion itself costs at scale. *)
+
+type neighbor_run = {
+  n_nranks : int;
+  n_degree : int;
+  n_bytes : int;
+  n_combined_virtual_s : float;
+  n_naive_virtual_s : float;
+  n_combined_wall_s : float;
+  n_naive_wall_s : float;
+}
+
+let run_neighbor ~nranks ~degree ~bytes =
+  let offsets = List.init degree (fun i -> 1 lsl i) in
+  let per_rank = Array.make nranks (Array.of_list offsets, bytes) in
+  let net = Mpisim.Netmodel.bluegene_l in
+  let start () = Array.make nranks 0. in
+  let combined, combined_wall_s =
+    wall (fun () ->
+        Mpisim.Coll_alg.timings net
+          (Mpisim.Coll_alg.neighbor_combined ~p:nranks ~offsets ~bytes)
+          ~start:(start ()))
+  in
+  let naive, naive_wall_s =
+    wall (fun () ->
+        Mpisim.Coll_alg.timings net
+          (Mpisim.Coll_alg.neighbor_naive ~per_rank)
+          ~start:(start ()))
+  in
+  let sent sched = Mpisim.Coll_alg.bytes_sent_per_rank ~p:nranks sched in
+  let total a = Array.fold_left ( + ) 0 a in
+  let cb = total (sent (Mpisim.Coll_alg.neighbor_combined ~p:nranks ~offsets ~bytes)) in
+  let nb = total (sent (Mpisim.Coll_alg.neighbor_naive ~per_rank)) in
+  if cb <> nb then
+    failwith
+      (Printf.sprintf
+         "neighbor schedules disagree on bytes moved: combined=%d naive=%d" cb
+         nb);
+  let vmax a = Array.fold_left Float.max 0. a in
+  {
+    n_nranks = nranks;
+    n_degree = degree;
+    n_bytes = bytes;
+    n_combined_virtual_s = vmax combined;
+    n_naive_virtual_s = vmax naive;
+    n_combined_wall_s = combined_wall_s;
+    n_naive_wall_s = naive_wall_s;
+  }
+
+let run_neighbor_suite ~rank_counts =
+  List.concat_map
+    (fun nranks ->
+      List.map
+        (fun (degree, bytes) ->
+          let r = run_neighbor ~nranks ~degree ~bytes in
+          Printf.printf
+            "  p=%-5d deg=%d %7dB  combined %.2f us  naive %.2f us  (wall \
+             %.4fs / %.4fs)\n%!"
+            r.n_nranks r.n_degree r.n_bytes
+            (r.n_combined_virtual_s *. 1e6)
+            (r.n_naive_virtual_s *. 1e6)
+            r.n_combined_wall_s r.n_naive_wall_s;
+          r)
+        [ (2, 512); (4, 65536) ])
+    rank_counts
+
+let neighbor_json r =
+  Obs.Json.Obj
+    [
+      ("nranks", Obs.Json.Num (float_of_int r.n_nranks));
+      ("degree", Obs.Json.Num (float_of_int r.n_degree));
+      ("bytes", Obs.Json.Num (float_of_int r.n_bytes));
+      ("combined_virtual_s", Obs.Json.Num r.n_combined_virtual_s);
+      ("naive_virtual_s", Obs.Json.Num r.n_naive_virtual_s);
+      ("combined_wall_s", Obs.Json.Num r.n_combined_wall_s);
+      ("naive_wall_s", Obs.Json.Num r.n_naive_wall_s);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end pipeline over the application suite                      *)
 
 type app_run = {
@@ -270,7 +356,7 @@ let app_json a =
     ]
 
 let emit ~path ~mode ~micro_nranks ~msgs_per_rank ~reference ~indexed ~merge
-    ~collalg ~apps =
+    ~collalg ~neighbor ~apps =
   let doc =
     Obs.Json.Obj
       [
@@ -290,6 +376,7 @@ let emit ~path ~mode ~micro_nranks ~msgs_per_rank ~reference ~indexed ~merge
             ] );
         ("merge", merge_json merge);
         ("collalg", Obs.Json.Arr (List.map collalg_json collalg));
+        ("neighbor", Obs.Json.Arr (List.map neighbor_json neighbor));
         ("apps", Obs.Json.Arr (List.map app_json apps));
       ]
   in
@@ -315,7 +402,7 @@ let validate_json path =
         (fun k ->
           if Obs.Json.member k j = None then
             raise (Bad_json ("missing top-level key: " ^ k)))
-        [ "schema"; "micro"; "collalg"; "apps" ]
+        [ "schema"; "micro"; "collalg"; "neighbor"; "apps" ]
   | _ -> raise (Bad_json "top level is not an object")
 
 (* ------------------------------------------------------------------ *)
@@ -359,6 +446,12 @@ let run ~quick () =
   let collalg =
     run_collalg_suite ~rank_counts:collalg_counts ~iters:collalg_iters
   in
+  let neighbor_counts = if quick then [ 64 ] else [ 64; 256; 1024 ] in
+  Printf.printf
+    "neighborhood collectives: sparse exchange, combined vs naive schedules, \
+     p in {%s}\n%!"
+    (String.concat ", " (List.map string_of_int neighbor_counts));
+  let neighbor = run_neighbor_suite ~rank_counts:neighbor_counts in
   let apps, counts =
     if quick then
       ( List.filter
@@ -385,7 +478,8 @@ let run ~quick () =
   in
   let path = "BENCH_engine.json" in
   emit ~path ~mode:(if quick then "quick" else "full") ~micro_nranks
-    ~msgs_per_rank ~reference ~indexed ~merge ~collalg ~apps:app_runs;
+    ~msgs_per_rank ~reference ~indexed ~merge ~collalg ~neighbor
+    ~apps:app_runs;
   Printf.printf "wrote %s\n%!" path;
   if quick then begin
     validate_json path;

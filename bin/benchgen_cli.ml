@@ -851,6 +851,7 @@ let fuzz_cmd =
           (enum
              [
                ("differential", `Differential);
+               ("neighbor", `Neighbor);
                ("corruption", `Corruption);
                ("serve", `Serve);
                ("coll", `Coll);
@@ -859,7 +860,10 @@ let fuzz_cmd =
       & info [ "mode" ] ~docv:"MODE"
           ~doc:
             "Campaign kind: $(b,differential) (random programs vs a semantic \
-             oracle, the default), $(b,corruption) (seeded damage to framed \
+             oracle, the default), $(b,neighbor) (the differential campaign \
+             with half the phase draws biased to sparse neighborhood \
+             collectives — random and stencil topologies over partial \
+             participant sets), $(b,corruption) (seeded damage to framed \
              trace files, checking that every outcome is typed and that \
              best-effort recovery still yields replayable benchmarks), \
              $(b,serve) (seeded scenarios of clean/corrupt/hanging/crashing/\
@@ -947,7 +951,7 @@ let fuzz_cmd =
           s.Check.Corrupt.violations;
         finish (Some s.Check.Corrupt.metrics);
         if s.Check.Corrupt.violations <> [] then exit exit_fuzz_violation
-    | `Differential, replay -> (
+    | (`Differential | `Neighbor), replay -> (
     match replay with
     | Some path -> (
         match Check.Corpus.of_string (Check.Corpus.load ~path) with
@@ -984,6 +988,7 @@ let fuzz_cmd =
             sink;
             log = (fun m -> Printf.eprintf "benchgen: fuzz: %s\n%!" m);
             coll_alg;
+            gen_mode = (if mode = `Neighbor then `Neighbor else `Mixed);
           }
         in
         let s = Check.Campaign.run cfg in

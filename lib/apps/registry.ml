@@ -85,6 +85,24 @@ let all =
       supports = Synthetic.hirsd_supports;
       program = Synthetic.hirsd_program;
     };
+    {
+      name = Synthetic.amg_name;
+      description = "irregular: AMG-like V-cycle (level-dependent sparse neighbor exchanges)";
+      supports = Synthetic.amg_supports;
+      program = Synthetic.amg_program;
+    };
+    {
+      name = Synthetic.kripke_name;
+      description = "irregular: Kripke-like sweep (data-dependent octant ordering, square grid)";
+      supports = Synthetic.kripke_supports;
+      program = Synthetic.kripke_program;
+    };
+    {
+      name = Synthetic.laghos_name;
+      description = "irregular: Laghos-like mixed p2p/collective/neighborhood phases";
+      supports = Synthetic.laghos_supports;
+      program = Synthetic.laghos_program;
+    };
   ]
 
 let paper_suite = List.filteri (fun i _ -> i < 9) all

@@ -132,3 +132,163 @@ let hirsd_program ?(cls = Params.C) ?(seed = 42) () (ctx : Mpi.ctx) =
     Params.compute rng ~mean:1e-6 ctx
   done;
   Mpi.finalize ~site:h_fin ctx
+
+let amg_name = "amg"
+let amg_supports p = p >= 2
+
+let a_lvl = Mpi.site ~label:"amg_level_exchange" __POS__
+let a_norm = Mpi.site ~label:"amg_norm" __POS__
+let a_fin = Mpi.site ~label:"finalize" __POS__
+
+(* AMG-like V-cycle: the active rank set halves at each coarser level
+   (ranks divisible by 2^l) and the survivors run a sparse
+   neighbor_alltoall whose stencil widens as the grid coarsens —
+   level-dependent participant sets, offsets, and byte counts.  The
+   restriction and prolongation sweeps visit the levels in opposite
+   order, then the whole world agrees on a residual norm. *)
+let amg_program ?(cls = Params.C) ?(seed = 42) () (ctx : Mpi.ctx) =
+  let rng = Params.rng_for ~app:amg_name ~seed ~rank:ctx.rank in
+  let n = ctx.nranks in
+  let cycles = max 1 (int_of_float (30. *. Params.iter_scale cls)) in
+  let base_bytes = max 64 (int_of_float (Params.size_scale cls *. 32768.)) in
+  let levels =
+    let rec go l = if n lsr l >= 2 then go (l + 1) else l in
+    go 0
+  in
+  let exchange level =
+    let stride = 1 lsl level in
+    if ctx.rank mod stride = 0 then begin
+      let q = ((n - 1) / stride) + 1 in
+      if q > 1 then begin
+        let parts = Array.init q (fun i -> i * stride) in
+        let me = ctx.rank / stride in
+        let degree = min (level + 1) (q - 1) in
+        let neighbors =
+          List.init degree (fun o -> parts.((me + o + 1) mod q))
+          |> List.sort_uniq compare |> Array.of_list
+        in
+        let bytes = max 32 (base_bytes lsr level) in
+        Mpi.neighbor_alltoall ~site:a_lvl ~parts ctx ~neighbors
+          ~bytes_per_neighbor:bytes;
+        Params.compute rng ~mean:(2e-5 /. float_of_int stride) ctx
+      end
+    end
+  in
+  for _ = 1 to cycles do
+    for l = 0 to levels - 1 do
+      exchange l
+    done;
+    for l = levels - 1 downto 0 do
+      exchange l
+    done;
+    Mpi.allreduce ~site:a_norm ctx ~bytes:8
+  done;
+  Mpi.finalize ~site:a_fin ctx
+
+let kripke_name = "kripke"
+let kripke_supports p = Decomp.is_square p && p >= 4
+
+let k_recv = Mpi.site ~label:"kripke_sweep_recv" __POS__
+let k_send = Mpi.site ~label:"kripke_sweep_send" __POS__
+let k_flux = Mpi.site ~label:"kripke_flux_exchange" __POS__
+let k_conv = Mpi.site ~label:"kripke_conv" __POS__
+let k_fin = Mpi.site ~label:"finalize" __POS__
+
+(* Kripke-like transport sweep: each iteration runs the four corner
+   octants of a KBA wavefront in a data-dependent order drawn from an
+   rng stream shared by every rank (split index [nranks], which no rank
+   uses for its private jitter), so the phase structure varies by seed
+   yet stays agreed and deadlock-free.  Octant message sizes are drawn
+   from the same shared stream; a full-comm neighborhood flux exchange
+   and a convergence allreduce close the iteration. *)
+let kripke_program ?(cls = Params.C) ?(seed = 42) () (ctx : Mpi.ctx) =
+  let rng = Params.rng_for ~app:kripke_name ~seed ~rank:ctx.rank in
+  let dir_rng = Params.rng_for ~app:kripke_name ~seed ~rank:ctx.nranks in
+  let n = ctx.nranks in
+  let px = int_of_float (sqrt (float_of_int n) +. 0.5) in
+  let ix = ctx.rank mod px and iy = ctx.rank / px in
+  let iters = max 1 (int_of_float (40. *. Params.iter_scale cls)) in
+  let base = max 64 (int_of_float (Params.size_scale cls *. 8192.)) in
+  let dirs = [| (1, 1); (1, -1); (-1, 1); (-1, -1) |] in
+  let inb x = x >= 0 && x < px in
+  let at x y = (y * px) + x in
+  for iter = 1 to iters do
+    let order = Array.init 4 (fun i -> i) in
+    Util.Rng.shuffle dir_rng order;
+    Array.iter
+      (fun d ->
+        let sx, sy = dirs.(d) in
+        let bytes = base + (32 * Util.Rng.int dir_rng 8) in
+        if inb (ix - sx) then
+          ignore
+            (Mpi.recv ~site:k_recv ~tag:(Call.Tag d) ctx
+               ~src:(Call.Rank (at (ix - sx) iy)) ~bytes);
+        if inb (iy - sy) then
+          ignore
+            (Mpi.recv ~site:k_recv ~tag:(Call.Tag d) ctx
+               ~src:(Call.Rank (at ix (iy - sy))) ~bytes);
+        Params.compute rng ~mean:3e-5 ctx;
+        if inb (ix + sx) then
+          Mpi.send ~site:k_send ~tag:d ctx ~dst:(at (ix + sx) iy) ~bytes;
+        if inb (iy + sy) then
+          Mpi.send ~site:k_send ~tag:d ctx ~dst:(at ix (iy + sy)) ~bytes)
+      order;
+    let neighbors =
+      [ (ctx.rank + 1) mod n; (ctx.rank + px) mod n ]
+      |> List.sort_uniq compare |> Array.of_list
+    in
+    Mpi.neighbor_allgather ~site:k_flux ctx ~neighbors
+      ~bytes:((base / 4) + 16);
+    if iter mod 2 = 0 then Mpi.allreduce ~site:k_conv ctx ~bytes:8
+  done;
+  Mpi.finalize ~site:k_fin ctx
+
+let laghos_name = "laghos"
+let laghos_supports p = p >= 2
+
+let l_recv = Mpi.site ~label:"laghos_halo_recv" __POS__
+let l_send = Mpi.site ~label:"laghos_halo_send" __POS__
+let l_wait = Mpi.site ~label:"laghos_halo_wait" __POS__
+let l_dt = Mpi.site ~label:"laghos_dt" __POS__
+let l_fct = Mpi.site ~label:"laghos_fct_exchange" __POS__
+let l_step = Mpi.site ~label:"laghos_timestep_bcast" __POS__
+let l_io = Mpi.site ~label:"laghos_io_gather" __POS__
+let l_fin = Mpi.site ~label:"finalize" __POS__
+
+(* Laghos-like mixed phases: every step interleaves a nonblocking
+   corner-force halo, a world allreduce for the CFL timestep, a sparse
+   FCT limiter exchange restricted to the even-rank participant set,
+   and a timestep broadcast; every few steps the root gathers output.
+   Exercises p2p, rooted/unrooted collectives, and a partial-set
+   neighborhood collective in one per-rank stream. *)
+let laghos_program ?(cls = Params.C) ?(seed = 42) () (ctx : Mpi.ctx) =
+  let rng = Params.rng_for ~app:laghos_name ~seed ~rank:ctx.rank in
+  let n = ctx.nranks in
+  let steps = max 1 (int_of_float (60. *. Params.iter_scale cls)) in
+  let halo = max 64 (int_of_float (Params.size_scale cls *. 16384.)) in
+  for step = 1 to steps do
+    let up = (ctx.rank + 1) mod n and dn = (ctx.rank + n - 1) mod n in
+    let rs =
+      List.map
+        (fun s -> Mpi.irecv ~site:l_recv ctx ~src:(Call.Rank s) ~bytes:halo)
+        [ up; dn ]
+    in
+    let ss =
+      List.map (fun d -> Mpi.isend ~site:l_send ctx ~dst:d ~bytes:halo) [ up; dn ]
+    in
+    ignore (Mpi.waitall ~site:l_wait ctx (rs @ ss));
+    Params.compute rng ~mean:4e-5 ctx;
+    Mpi.allreduce ~site:l_dt ctx ~bytes:8;
+    (if ctx.rank mod 2 = 0 then
+       let q = ((n - 1) / 2) + 1 in
+       if q > 1 then begin
+         let parts = Array.init q (fun i -> 2 * i) in
+         let me = ctx.rank / 2 in
+         let neighbors = [| parts.((me + 1) mod q) |] in
+         Mpi.neighbor_alltoall ~site:l_fct ~parts ctx ~neighbors
+           ~bytes_per_neighbor:(halo / 4)
+       end);
+    Mpi.bcast ~site:l_step ctx ~root:0 ~bytes:16;
+    if step mod 4 = 0 then Mpi.gather ~site:l_io ctx ~root:0 ~bytes_per_rank:(halo / 8)
+  done;
+  Mpi.finalize ~site:l_fin ctx

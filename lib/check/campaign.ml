@@ -8,6 +8,7 @@ type config = {
   sink : Obs.Sink.t;
   log : string -> unit;
   coll_alg : Mpisim.Coll_alg.t;
+  gen_mode : Gen.mode;
 }
 
 let default =
@@ -21,6 +22,7 @@ let default =
     sink = Obs.Sink.nil;
     log = ignore;
     coll_alg = `Monolithic;
+    gen_mode = `Mixed;
   }
 
 type counterexample = {
@@ -66,7 +68,7 @@ let write_counterexample cfg ~seed ~violation prog =
 let run_case cfg metrics ~over_budget ~case_index seed =
   let defect = cfg.defect in
   let coll_alg = cfg.coll_alg in
-  let prog = Gen.generate ~seed in
+  let prog = Gen.generate_with ~mode:cfg.gen_mode ~seed in
   let result = Oracle.check ?defect ~coll_alg prog in
   let emit name args =
     Obs.Sink.instant cfg.sink ~pid:Obs.Sink.pipeline_pid ~tid:0 ~cat:"fuzz"

@@ -23,6 +23,9 @@ type config = {
       (** collective algorithm for every oracle evaluation (default
           [`Monolithic]); for the systematic per-algorithm sweep see
           {!Collfuzz} *)
+  gen_mode : Gen.mode;
+      (** generator bias (default [`Mixed]); [`Neighbor] redirects half
+          the phase draws to neighborhood collectives *)
 }
 
 (** 100 seeds from 1, no defect, no output directory, no budget,

@@ -21,6 +21,11 @@ let phase_to_line = function
   | P_sub_coll { parts; op; root; bytes } ->
       Printf.sprintf "phase sub_coll %d %s %d %d" parts (coll_to_string op)
         root bytes
+  | P_neighbor { stride; degree; salt; stencil; gather; bytes } ->
+      Printf.sprintf "phase neighbor %d %d %d %d %d %d" stride degree salt
+        (if stencil then 1 else 0)
+        (if gather then 1 else 0)
+        bytes
   | P_compute { usecs } -> Printf.sprintf "phase compute %d" usecs
 
 let to_string ?(meta = no_meta) (p : prog) =
@@ -80,6 +85,14 @@ let phase_of_fields ln = function
       let* root = int_field ln root in
       let* bytes = int_field ln bytes in
       Ok (P_sub_coll { parts; op; root; bytes })
+  | [ "neighbor"; stride; degree; salt; stencil; gather; bytes ] ->
+      let* stride = int_field ln stride in
+      let* degree = int_field ln degree in
+      let* salt = int_field ln salt in
+      let* stencil = bool_field ln stencil in
+      let* gather = bool_field ln gather in
+      let* bytes = int_field ln bytes in
+      Ok (P_neighbor { stride; degree; salt; stencil; gather; bytes })
   | [ "compute"; usecs ] ->
       let* usecs = int_field ln usecs in
       Ok (P_compute { usecs })

@@ -46,9 +46,19 @@ type phase =
   | P_fan_in of { root : int; tag : int; bytes : int; any_tag : bool }
   | P_coll of { op : coll; root : int; bytes : int; skewed : bool }
   | P_sub_coll of { parts : int; op : coll; root : int; bytes : int }
+  | P_neighbor of {
+      stride : int;
+      degree : int;
+      salt : int;
+      stencil : bool;
+      gather : bool;
+      bytes : int;
+    }
   | P_compute of { usecs : int }
 
 type prog = { nranks : int; reps : int; phases : phase list }
+
+type mode = [ `Mixed | `Neighbor ]
 
 (* ------------------------------------------------------------------ *)
 (* Invariants                                                          *)
@@ -99,6 +109,18 @@ let validate (p : prog) =
               i parts
           else if root < 0 then err "phase %d: sub_coll root %d < 0" i root
           else if bytes < 1 then err "phase %d: sub_coll bytes %d < 1" i bytes
+          else Ok ()
+      | P_neighbor { stride; degree; salt; bytes; stencil = _; gather = _ } ->
+          if stride < 1 then err "phase %d: neighbor stride %d < 1" i stride
+          else if 2 * stride > p.nranks then
+            (* the participant set (ranks divisible by stride) must keep
+               >= 2 members, or the phase degenerates to a no-op *)
+            err "phase %d: neighbor stride %d leaves < 2 participants" i
+              stride
+          else if degree < 1 then
+            err "phase %d: neighbor degree %d < 1" i degree
+          else if salt < 0 then err "phase %d: neighbor salt %d < 0" i salt
+          else if bytes < 1 then err "phase %d: neighbor bytes %d < 1" i bytes
           else Ok ()
       | P_compute { usecs } ->
           if usecs < 1 then err "phase %d: compute usecs %d < 1" i usecs
@@ -199,6 +221,37 @@ let run_phase idx (ctx : Mpi.ctx) phase =
       let p = Mpi.comm_size c in
       coll_call ~site:(site idx "sub.coll") ~comm:c ctx op ~root:(root mod p)
         ~bytes ~p
+  | P_neighbor { stride; degree; salt; stencil; gather; bytes } ->
+      (* Participants are the ranks divisible by [stride]; validation
+         guarantees at least two.  Offsets live in participant-position
+         space and are derived deterministically from (salt, position),
+         so every participant can compute every other's neighbor list —
+         the phase is collective-complete by construction and can never
+         deadlock.  [stencil] makes the offsets position-independent (the
+         isomorphic fast path); otherwise each participant draws its own
+         (the random-topology slow path). *)
+      if ctx.rank mod stride = 0 then begin
+        let q = ((n - 1) / stride) + 1 in
+        let parts = Array.init q (fun i -> i * stride) in
+        let me = ctx.rank / stride in
+        let off j =
+          if stencil then 1 + ((salt + (5 * j)) mod (q - 1))
+          else 1 + ((((salt + (7 * me) + (3 * j)) * 13) mod (q - 1)))
+        in
+        let neighbors =
+          List.init (min degree (q - 1)) (fun j -> parts.((me + off j) mod q))
+          |> List.sort_uniq compare |> Array.of_list
+        in
+        (* stride 1 means the whole communicator: exercise the implicit
+           full-comm participant path rather than an explicit set *)
+        let parts = if stride = 1 then [||] else parts in
+        if gather then
+          Mpi.neighbor_allgather ~site:(site idx "nbr.ag") ~parts ctx
+            ~neighbors ~bytes
+        else
+          Mpi.neighbor_alltoall ~site:(site idx "nbr.a2a") ~parts ctx
+            ~neighbors ~bytes_per_neighbor:bytes
+      end
   | P_compute { usecs } -> Mpi.compute ctx (float_of_int usecs *. 1e-6)
 
 let to_app (p : prog) (ctx : Mpi.ctx) =
@@ -214,7 +267,25 @@ let to_app (p : prog) (ctx : Mpi.ctx) =
 (* ------------------------------------------------------------------ *)
 (* Random generation                                                   *)
 
-let gen_phase ~nranks ~idx rng =
+let gen_neighbor_phase ~nranks rng =
+  P_neighbor
+    {
+      stride = 1 + Util.Rng.int rng (min 3 (nranks / 2));
+      degree = 1 + Util.Rng.int rng 3;
+      salt = Util.Rng.int rng 64;
+      stencil = Util.Rng.int rng 2 = 0;
+      gather = Util.Rng.int rng 2 = 0;
+      bytes = 32 * (1 + Util.Rng.int rng 32);
+    }
+
+let gen_phase ?(mode = `Mixed) ~nranks ~idx rng =
+  (* neighbor mode keeps the full regular vocabulary (the interesting
+     failures are interactions) but biases half the draws to
+     neighborhood phases; the mixed stream is byte-identical to what it
+     was before neighbor phases existed *)
+  if mode = `Neighbor && Util.Rng.int rng 2 = 0 then
+    gen_neighbor_phase ~nranks rng
+  else
   let bytes = 64 * (1 + Util.Rng.int rng 64) in
   match Util.Rng.int rng 10 with
   | 0 | 1 ->
@@ -249,13 +320,15 @@ let gen_phase ~nranks ~idx rng =
       P_sub_coll { parts; op; root = Util.Rng.int rng nranks; bytes }
   | _ -> P_compute { usecs = 1 + Util.Rng.int rng 20 }
 
-let generate ~seed =
+let generate_with ~mode ~seed =
   let rng = Util.Rng.create ~seed in
   let nranks = 2 + Util.Rng.int rng 11 in
   let reps = 1 + Util.Rng.int rng 3 in
   let nphases = 1 + Util.Rng.int rng 7 in
-  let phases = List.init nphases (fun idx -> gen_phase ~nranks ~idx rng) in
+  let phases = List.init nphases (fun idx -> gen_phase ~mode ~nranks ~idx rng) in
   { nranks; reps; phases }
+
+let generate ~seed = generate_with ~mode:`Mixed ~seed
 
 (* ------------------------------------------------------------------ *)
 
@@ -272,6 +345,10 @@ let pp_phase ppf = function
   | P_sub_coll { parts; op; root; bytes } ->
       Format.fprintf ppf "sub_coll parts=%d %s root=%d bytes=%d" parts
         (coll_to_string op) root bytes
+  | P_neighbor { stride; degree; salt; stencil; gather; bytes } ->
+      Format.fprintf ppf
+        "neighbor stride=%d degree=%d salt=%d stencil=%b gather=%b bytes=%d"
+        stride degree salt stencil gather bytes
   | P_compute { usecs } -> Format.fprintf ppf "compute usecs=%d" usecs
 
 let pp ppf (p : prog) =

@@ -55,9 +55,31 @@ type phase =
       (** the collective on a split communicator of [parts] contiguous
           groups (each >= 2 ranks), or on a dup of the world communicator
           when [parts = 1]; [root] is taken mod the group size *)
+  | P_neighbor of {
+      stride : int;
+      degree : int;
+      salt : int;
+      stencil : bool;
+      gather : bool;
+      bytes : int;
+    }
+      (** a neighborhood collective over the ranks divisible by [stride]
+          (validation keeps >= 2 of them; [stride = 1] uses the implicit
+          full-communicator participant path).  Neighbor offsets in
+          participant-position space are a pure function of
+          [(salt, position)] — position-independent when [stencil] (the
+          isomorphic fast path), per-participant otherwise — so every
+          rank agrees on the topology and the phase cannot deadlock.
+          [gather] selects neighbor_allgather over neighbor_alltoall. *)
   | P_compute of { usecs : int }  (** pure local work *)
 
 type prog = { nranks : int; reps : int; phases : phase list }
+
+(** Generator bias: [`Mixed] is the historical vocabulary (byte-identical
+    draw stream to before neighborhood phases existed); [`Neighbor] keeps
+    the full vocabulary but redirects half the phase draws to
+    {!phase.P_neighbor}. *)
+type mode = [ `Mixed | `Neighbor ]
 
 (** Largest [nranks] {!validate} accepts. *)
 val max_nranks : int
@@ -73,9 +95,13 @@ val validate : prog -> (unit, string) result
     sites. *)
 val to_app : prog -> Mpisim.Mpi.ctx -> unit
 
-(** Draw a program; pure function of [seed].  [nranks] in [2, 12], up to
-    8 phases, up to 3 repetitions. *)
+(** Draw a program; pure function of [seed] ([`Mixed] mode).  [nranks]
+    in [2, 12], up to 8 phases, up to 3 repetitions. *)
 val generate : seed:int -> prog
+
+(** [generate] with an explicit generator bias; pure function of
+    [(mode, seed)].  [generate_with ~mode:`Mixed] is [generate]. *)
+val generate_with : mode:mode -> seed:int -> prog
 
 val pp_phase : Format.formatter -> phase -> unit
 val pp : Format.formatter -> prog -> unit

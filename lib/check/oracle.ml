@@ -55,6 +55,8 @@ let norm_ops ~p = function
   | "MPI_Allreduce" -> [ "REDALL" ]
   | "MPI_Allgather" | "MPI_Allgatherv" -> [ "RED"; "MCAST" ]
   | "MPI_Alltoall" | "MPI_Alltoallv" -> [ "A2A" ]
+  | "MPI_Neighbor_alltoall" -> [ "NBR_A2A" ]
+  | "MPI_Neighbor_allgather" -> [ "NBR_AG" ]
   | "MPI_Reduce_scatter" -> List.init p (fun _ -> "RED")
   | _ -> [] (* communicator management, MPI_Finalize: Table 1 skips *)
 

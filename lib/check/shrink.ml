@@ -10,6 +10,8 @@ let phase_weight = function
   | P_coll { skewed = true; _ } -> 2
   | P_coll { skewed = false; _ } -> 1
   | P_ring _ | P_pairwise _ -> 1
+  (* degree folded in so reducing it is a strictly decreasing move *)
+  | P_neighbor { stencil; degree; _ } -> (if stencil then 1 else 2) + degree
   | P_compute _ -> 0
 
 let phase_bytes = function
@@ -17,7 +19,8 @@ let phase_bytes = function
   | P_pairwise { bytes }
   | P_fan_in { bytes; _ }
   | P_coll { bytes; _ }
-  | P_sub_coll { bytes; _ } ->
+  | P_sub_coll { bytes; _ }
+  | P_neighbor { bytes; _ } ->
       bytes
   | P_compute { usecs } -> usecs
 
@@ -38,6 +41,9 @@ let remap_phase ~nranks = function
   | P_sub_coll s ->
       let parts = if s.parts >= 2 && 2 * s.parts <= nranks then s.parts else 1 in
       P_sub_coll { s with parts; root = s.root mod nranks }
+  | P_neighbor nb ->
+      let stride = if 2 * nb.stride <= nranks then nb.stride else 1 in
+      P_neighbor { nb with stride }
   | P_compute _ as ph -> ph
 
 let with_nranks nranks (p : prog) =
@@ -46,6 +52,12 @@ let with_nranks nranks (p : prog) =
 (* Simpler variants of one phase, most aggressive first. *)
 let simplify_phase = function
   | P_fan_in ({ any_tag = true; _ } as f) -> [ P_fan_in { f with any_tag = false } ]
+  | P_neighbor ({ stencil = false; _ } as nb) ->
+      [ P_neighbor { nb with stencil = true } ]
+  | P_neighbor ({ degree; _ } as nb) when degree > 1 ->
+      [ P_neighbor { nb with degree = 1 } ]
+  | P_neighbor ({ bytes; _ } as nb) when bytes > 32 ->
+      [ P_neighbor { nb with bytes = 32 } ]
   | P_coll ({ skewed = true; _ } as c) -> [ P_coll { c with skewed = false } ]
   | P_sub_coll { op; root; bytes; _ } -> [ P_coll { op; root; bytes; skewed = false } ]
   | P_ring ({ bytes; _ } as r) when bytes > 64 -> [ P_ring { r with bytes = 64 } ]

@@ -39,6 +39,7 @@ type stmt =
   | Multicast of { src : tasks; bytes : expr; dst : tasks }
   | Reduce of { src : tasks; bytes : expr; dst : tasks }
   | Alltoall of { tasks : tasks; bytes : expr }
+  | Neighbor of { tasks : tasks; bytes : expr; offsets : int list; gather : bool }
   | Compute of { tasks : tasks; usecs : expr }
   | For of { count : expr; body : stmt list }
   | For_each of { var : string; first : expr; last : expr; body : stmt list }
@@ -163,7 +164,7 @@ let rec map_stmt f s =
             else_ = List.map (map_stmt f) r.else_;
           }
     | Send _ | Receive _ | Await _ | Sync _ | Multicast _ | Reduce _
-    | Alltoall _ | Compute _ | Log _ | Reset _ ->
+    | Alltoall _ | Neighbor _ | Compute _ | Log _ | Reset _ ->
         s
   in
   f s
@@ -177,7 +178,7 @@ let rec fold_stmt f acc s =
   | If { then_; else_; _ } ->
       List.fold_left (fold_stmt f) (List.fold_left (fold_stmt f) acc then_) else_
   | Send _ | Receive _ | Await _ | Sync _ | Multicast _ | Reduce _ | Alltoall _
-  | Compute _ | Log _ | Reset _ ->
+  | Neighbor _ | Compute _ | Log _ | Reset _ ->
       acc
 
 let fold_stmts f acc p = List.fold_left (fold_stmt f) acc p.body

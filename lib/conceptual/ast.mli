@@ -67,6 +67,11 @@ type stmt =
       (** many-to-one/many fan-in; reduce-to-all when [dst] equals [src] *)
   | Alltoall of { tasks : tasks; bytes : expr }
       (** every group member exchanges [bytes] with every other *)
+  | Neighbor of { tasks : tasks; bytes : expr; offsets : int list; gather : bool }
+      (** sparse neighborhood collective over the group: each member
+          exchanges ([gather = false]) or gathers from ([gather = true])
+          the neighbors at the given positive relative [offsets] in
+          group-position space, cyclically *)
   | Compute of { tasks : tasks; usecs : expr }  (** COMPUTES FOR n MICROSECONDS *)
   | For of { count : expr; body : stmt list }  (** FOR n REPETITIONS *)
   | For_each of { var : string; first : expr; last : expr; body : stmt list }

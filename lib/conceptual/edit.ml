@@ -30,6 +30,7 @@ let scale_messages factor p =
       | Multicast r -> Multicast { r with bytes = scale_expr_bytes factor r.bytes }
       | Reduce r -> Reduce { r with bytes = scale_expr_bytes factor r.bytes }
       | Alltoall r -> Alltoall { r with bytes = scale_expr_bytes factor r.bytes }
+      | Neighbor r -> Neighbor { r with bytes = scale_expr_bytes factor r.bytes }
       | s -> s)
     p
 
@@ -45,7 +46,7 @@ let rec stmt_usecs = function
       with Eval_error _ -> 0.)
   | If { then_; else_; _ } -> Float.max (body_usecs then_) (body_usecs else_)
   | Send _ | Receive _ | Await _ | Sync _ | Multicast _ | Reduce _ | Alltoall _
-  | Log _ | Reset _ ->
+  | Neighbor _ | Log _ | Reset _ ->
       0.
 
 and body_usecs body = List.fold_left (fun acc s -> acc +. stmt_usecs s) 0. body

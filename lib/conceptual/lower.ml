@@ -49,7 +49,8 @@ let collect_groups ~nranks (p : program) =
   in
   let visit () s =
     match s with
-    | Sync t | Alltoall { tasks = t; _ } -> note (static_members ~nranks t)
+    | Sync t | Alltoall { tasks = t; _ } | Neighbor { tasks = t; _ } ->
+        note (static_members ~nranks t)
     | Multicast { src; dst; _ } -> (
         match static_members ~nranks src with
         | [ root ] ->
@@ -215,6 +216,31 @@ let rec exec_stmt x env path s =
       if List.mem r ms && List.length ms > 1 then
         Mpisim.Mpi.alltoall ~site ~comm:(comm_for x ms) x.ctx
           ~bytes_per_pair:(bytes_of env bytes)
+  | Neighbor { tasks = t; bytes; offsets; gather } ->
+      let ms = static_members ~nranks t in
+      let q = List.length ms in
+      if List.mem r ms && q > 1 then begin
+        let comm = comm_for x ms in
+        let lr = local_rank comm r in
+        let b = bytes_of env bytes in
+        (* Offsets are positions within the group, applied cyclically to
+           this task's position; every member applies the same offsets, so
+           the engine sees an isomorphic (stencil) neighborhood. *)
+        let neighbors =
+          List.filter_map
+            (fun o ->
+              let o = ((o mod q) + q) mod q in
+              if o = 0 then None else Some ((lr + o) mod q))
+            offsets
+          |> List.sort_uniq compare |> Array.of_list
+        in
+        if Array.length neighbors > 0 then
+          if gather then
+            Mpisim.Mpi.neighbor_allgather ~site ~comm x.ctx ~neighbors ~bytes:b
+          else
+            Mpisim.Mpi.neighbor_alltoall ~site ~comm x.ctx ~neighbors
+              ~bytes_per_neighbor:b
+      end
   | Compute { tasks = t; usecs } ->
       if mem t env ~rank:r ~nranks then begin
         let env' = (bind t) r in

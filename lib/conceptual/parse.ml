@@ -419,6 +419,10 @@ and parse_task_stmt st =
     let dst = parse_tasks st in
     Reduce { src = subject; bytes; dst }
   end
+  else if accept_kw st (verb_kw "EXCHANGE") then
+    parse_neighbor st ~subject ~gather:false
+  else if accept_kw st (verb_kw "GATHER") then
+    parse_neighbor st ~subject ~gather:true
   else if accept_kw st (verb_kw "COMPUTE") then begin
     expect st (KW "FOR");
     let usecs = parse_expr st in
@@ -458,6 +462,30 @@ and parse_task_stmt st =
     Reset subject
   end
   else error st "expected a verb (SEND, RECEIVE, AWAIT, SYNCHRONIZE, ...)"
+
+(* EXCHANGE .. WITH NEIGHBORS AT OFFSETS o1, o2, ...  /
+   GATHER .. FROM NEIGHBORS AT OFFSETS o1, o2, ... *)
+and parse_neighbor st ~subject ~gather =
+  expect st (KW "A");
+  let bytes = parse_expr st in
+  expect st (KW "BYTE");
+  expect st (KW "MESSAGE");
+  expect st (KW (if gather then "FROM" else "WITH"));
+  expect st (KW "NEIGHBORS");
+  expect st (KW "AT");
+  expect st (KW "OFFSETS");
+  let offset () =
+    match peek st with
+    | Some (INT o) when o > 0 ->
+        advance st;
+        o
+    | _ -> error st "expected a positive neighbor offset"
+  in
+  let offsets = ref [ offset () ] in
+  while accept st (SYM ",") do
+    offsets := offset () :: !offsets
+  done;
+  Neighbor { tasks = subject; bytes; offsets = List.rev !offsets; gather }
 
 let make_state input =
   let toks, lns = lex input in

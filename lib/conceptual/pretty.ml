@@ -125,6 +125,15 @@ let rec stmt_lines buf depth s =
       buf_add_indented buf depth
         (Printf.sprintf "%s %s A %s BYTE MESSAGE TO ALL OTHER TASKS" (tasks t)
            (verb t "SEND") (expr bytes))
+  | Neighbor { tasks = t; bytes; offsets; gather } ->
+      let offs = String.concat ", " (List.map string_of_int offsets) in
+      buf_add_indented buf depth
+        (if gather then
+           Printf.sprintf "%s %s A %s BYTE MESSAGE FROM NEIGHBORS AT OFFSETS %s"
+             (tasks t) (verb t "GATHER") (expr bytes) offs
+         else
+           Printf.sprintf "%s %s A %s BYTE MESSAGE WITH NEIGHBORS AT OFFSETS %s"
+             (tasks t) (verb t "EXCHANGE") (expr bytes) offs)
   | Compute { tasks = t; usecs } ->
       buf_add_indented buf depth
         (Printf.sprintf "%s %s FOR %s MICROSECONDS" (tasks t) (verb t "COMPUTE")

@@ -18,13 +18,27 @@ type outcome = {
   dropped_events : int;
 }
 
+(* A collective wait is keyed by (communicator, participant signature,
+   slot).  The signature is "" for full-communicator collectives — the
+   historical key, byte-compatible behavior — and the comma-joined sorted
+   world participant set for neighborhood collectives, so disjoint
+   participant groups on one communicator advance independently instead
+   of mis-accounting each other's arrival bitmap. *)
+type coll_key = int * string * int
+
 type node_state = {
   rank : int;
   mutable cursor : Traversal.cursor;
   mutable finished : bool;
-  mutable blocked : (int * int) option; (* collective key (comm, slot) *)
-  coll_seq : (int, int) Hashtbl.t; (* comm id -> next slot *)
+  mutable blocked : coll_key option;
+  coll_seq : (int * string, int) Hashtbl.t; (* (comm, psig) -> next slot *)
 }
+
+let psig_of (e : Event.t) =
+  match e.Event.parts with
+  | None -> ""
+  | Some ps ->
+      String.concat "," (List.map string_of_int (Array.to_list ps))
 
 (* Collective-wait state is indexed so the hot per-arrival operations are
    sublinear in the communicator size: arrivals are marked in a bool array
@@ -36,18 +50,20 @@ type coll_wait = {
   members : Util.Rank_set.t;
   member_arr : int array; (* members, ascending *)
   arrived : bool array; (* by [member_arr] position *)
+  partial : bool; (* declared participant set, not the whole communicator *)
   mutable n_arrived : int;
   mutable scan : int; (* all positions < scan have arrived *)
   mutable arrivals : (int * Event.t * Traversal.cursor) list;
       (* rank, event, cursor past the event *)
 }
 
-let make_wait members =
+let make_wait ?(partial = false) members =
   let member_arr = Array.of_list (Util.Rank_set.to_list members) in
   {
     members;
     member_arr;
     arrived = Array.make (Array.length member_arr) false;
+    partial;
     n_arrived = 0;
     scan = 0;
     arrivals = [];
@@ -66,7 +82,8 @@ let member_pos w r =
   in
   go 0 (Array.length arr - 1)
 
-let record_arrival key w rank event after =
+let record_arrival (key : coll_key) w rank event after =
+  let comm, _, slot = key in
   (match member_pos w rank with
   | Some pos ->
       if not w.arrived.(pos) then begin
@@ -74,17 +91,30 @@ let record_arrival key w rank event after =
         w.n_arrived <- w.n_arrived + 1
       end
   | None ->
-      raise
-        (Align_error
-           (Printf.sprintf
-              "rank %d reaches a collective on communicator %d (slot %d) but \
-               is not a member of that communicator"
-              rank (fst key) (snd key))));
+      if w.partial then
+        raise
+          (Align_error
+             (Printf.sprintf
+                "rank %d arrives at %s on communicator %d (slot %d) but is \
+                 outside the declared participant set {%s}"
+                rank
+                (Event.kind_name event.Event.kind)
+                comm slot
+                (String.concat ","
+                   (List.map string_of_int (Array.to_list w.member_arr)))))
+      else
+        raise
+          (Align_error
+             (Printf.sprintf
+                "rank %d reaches a collective on communicator %d (slot %d) but \
+                 is not a member of that communicator"
+                rank comm slot)));
   w.arrivals <- (rank, event, after) :: w.arrivals
 
 (* One RSD for the complete participant set, hoisted to a single call
    point (the smallest rank's site). *)
-let merge_collective key arrivals members =
+let merge_collective (key : coll_key) arrivals members =
+  let comm, _, slot = key in
   let arrivals = List.sort (fun (a, _, _) (b, _, _) -> compare a b) arrivals in
   match arrivals with
   | [] ->
@@ -93,7 +123,7 @@ let merge_collective key arrivals members =
            (Printf.sprintf
               "internal: collective on communicator %d (slot %d) completed \
                with no arrivals"
-              (fst key) (snd key)))
+              comm slot))
   | (_, first, _) :: rest ->
       List.iter
         (fun (r, (e : Event.t), _) ->
@@ -103,7 +133,7 @@ let merge_collective key arrivals members =
                  (Printf.sprintf
                     "collective mismatch on communicator %d (slot %d): rank %d \
                      calls %s but rank 0 of the group calls %s"
-                    (fst key) (snd key) r (Event.kind_name e.kind)
+                    comm slot r (Event.kind_name e.kind)
                     (Event.kind_name first.kind)));
           if Event.is_p2p e.kind then
             raise (Align_error "internal: p2p event in collective merge"))
@@ -149,7 +179,7 @@ let merge_collective key arrivals members =
                         (Align_error
                            (Printf.sprintf
                               "root mismatch in %s on communicator %d (rank %d)"
-                              (Event.kind_name e.kind) (fst key) r)))
+                              (Event.kind_name e.kind) comm r)))
               arrivals;
             first.peer
         | p -> p
@@ -166,6 +196,7 @@ let merge_collective key arrivals members =
         vec;
         tag = first.tag;
         comm = first.comm;
+        parts = Option.map Array.copy first.parts;
         dtime;
         ranks = members;
         hcache = 0;
@@ -177,7 +208,7 @@ let merge_collective key arrivals members =
 let stall_of_waits waits states =
   let edges = ref [] in
   Hashtbl.iter
-    (fun (comm, slot) (w : coll_wait) ->
+    (fun ((comm, _, slot) : coll_key) (w : coll_wait) ->
       let absent = ref [] in
       for i = Array.length w.member_arr - 1 downto 0 do
         if not w.arrived.(i) then absent := w.member_arr.(i) :: !absent
@@ -232,7 +263,7 @@ let run_policy ?(policy : policy = `Strict) (trace : Trace.t) =
           coll_seq = Hashtbl.create 8;
         })
   in
-  let waits : (int * int, coll_wait) Hashtbl.t = Hashtbl.create 64 in
+  let waits : (coll_key, coll_wait) Hashtbl.t = Hashtbl.create 64 in
   let rebuild = Traversal.rebuild_create ~nranks ~comms in
   let next_unfinished from =
     let rec go i tried =
@@ -315,16 +346,24 @@ let run_policy ?(policy : policy = `Strict) (trace : Trace.t) =
           s.cursor <- after
         end
         else begin
+          let psig = psig_of e in
+          let seq_key = (e.comm, psig) in
           let slot =
-            Option.value ~default:0 (Hashtbl.find_opt s.coll_seq e.comm)
+            Option.value ~default:0 (Hashtbl.find_opt s.coll_seq seq_key)
           in
-          Hashtbl.replace s.coll_seq e.comm (slot + 1);
-          let key = (e.comm, slot) in
+          Hashtbl.replace s.coll_seq seq_key (slot + 1);
+          let key = (e.comm, psig, slot) in
           let w =
             match Hashtbl.find_opt waits key with
             | Some w -> w
             | None ->
-                let w = make_wait (members_of e.comm) in
+                let w =
+                  match e.Event.parts with
+                  | Some ps ->
+                      make_wait ~partial:true
+                        (Util.Rank_set.of_list (Array.to_list ps))
+                  | None -> make_wait (members_of e.comm)
+                in
                 Hashtbl.replace waits key w;
                 w
           in

@@ -97,6 +97,14 @@ let leaf_lines ~nranks depth (e : Event.t) =
     | Event.E_alltoallv -> [ Printf.sprintf "MPI_Alltoallv(/* %d bytes total */);" e.bytes ]
     | Event.E_reduce_scatter ->
         [ Printf.sprintf "MPI_Reduce_scatter(/* %d bytes total */);" e.bytes ]
+    | Event.E_neighbor_alltoall ->
+        [ Printf.sprintf
+            "MPI_Neighbor_alltoall(buf, %d, MPI_BYTE, buf2, %d, MPI_BYTE, graph_comm /* degree %d */);"
+            e.bytes e.bytes (max 0 e.tag) ]
+    | Event.E_neighbor_allgather ->
+        [ Printf.sprintf
+            "MPI_Neighbor_allgather(buf, %d, MPI_BYTE, buf2, %d, MPI_BYTE, graph_comm /* degree %d */);"
+            e.bytes e.bytes (max 0 e.tag) ]
     | Event.E_comm_split -> [ "/* communicator creation elided */" ]
     | Event.E_comm_dup -> [ "/* communicator duplication elided */" ]
     | Event.E_finalize -> [ "/* MPI_Finalize emitted in epilogue */" ]

@@ -76,9 +76,14 @@ let conceptual ?(compute_floor_usecs = 0.05) trace =
   let nranks = Trace.nranks trace in
   let tasks_of ranks = A.tasks_of_rank_set ~nranks ranks in
   let members_of (e : Event.t) =
-    match List.assoc_opt e.comm (Trace.comms trace) with
-    | Some m -> m
-    | None -> e.ranks
+    match e.parts with
+    | Some ps ->
+        (* a declared participant set overrides communicator membership *)
+        Util.Rank_set.of_list (Array.to_list ps)
+    | None -> (
+        match List.assoc_opt e.comm (Trace.comms trace) with
+        | Some m -> m
+        | None -> e.ranks)
   in
   let compute_stmts (e : Event.t) =
     let usecs = Util.Histogram.mean e.dtime *. 1e6 in
@@ -157,6 +162,12 @@ let conceptual ?(compute_floor_usecs = 0.05) trace =
             in
             A.Reduce { src = group; bytes = A.Int bytes; dst = A.Single (A.Int m) })
           m_list
+    | Collective_map.T_neighbor { gather; bytes; offsets } ->
+        [
+          A.Neighbor
+            { tasks = group; bytes = A.Int bytes;
+              offsets = Array.to_list offsets; gather };
+        ]
     | Collective_map.T_skip -> []
   in
   {

@@ -8,6 +8,7 @@ type target =
   | T_alltoall of { bytes : int }
   | T_reduce_multicast of { root : int; reduce_bytes : int; multicast_bytes : int }
   | T_reduce_per_member of { bytes_per_member : int array }
+  | T_neighbor of { gather : bool; bytes : int; offsets : int array }
   | T_skip
 
 exception Unmappable of string
@@ -55,6 +56,30 @@ let map ~p (e : Event.t) =
         | None -> Array.make p (avg e.bytes p)
       in
       T_reduce_per_member { bytes_per_member = vec }
+  | Event.E_neighbor_alltoall | Event.E_neighbor_allgather ->
+      if p <= 1 then T_skip
+      else
+        (* The offset vector survives RSD merging exactly when the
+           neighborhood is a rank-relative stencil; a lossy merge drops
+           it, leaving only the degree (in [tag]), for which we
+           substitute a ring stencil of the same degree — fan-out shape
+           and per-rank volume are preserved, the precise topology is
+           not. *)
+        let sanitize v =
+          Array.to_list v
+          |> List.map (fun o -> ((o mod p) + p) mod p)
+          |> List.filter (fun o -> o <> 0)
+          |> List.sort_uniq compare
+        in
+        let offsets =
+          match Option.map sanitize e.vec with
+          | Some (_ :: _ as l) -> Array.of_list l
+          | Some [] | None ->
+              let deg = min (max e.tag 1) (p - 1) in
+              Array.init deg (fun i -> i + 1)
+        in
+        T_neighbor
+          { gather = e.kind = Event.E_neighbor_allgather; bytes = e.bytes; offsets }
   | Event.E_comm_split | Event.E_comm_dup | Event.E_finalize -> T_skip
   | Event.E_send | Event.E_isend | Event.E_recv | Event.E_irecv | Event.E_wait
   | Event.E_waitall _ ->
@@ -75,6 +100,8 @@ let describe = function
   | Event.E_alltoallv -> "MULTICAST with averaged message size"
   | Event.E_reduce_scatter ->
       "n many-to-one REDUCEs with different message sizes and roots"
+  | Event.E_neighbor_alltoall -> "EXCHANGE WITH NEIGHBORS at the traced offsets"
+  | Event.E_neighbor_allgather -> "GATHER FROM NEIGHBORS at the traced offsets"
   | Event.E_comm_split | Event.E_comm_dup -> "(communicator management: omitted)"
   | Event.E_finalize -> "(end of benchmark)"
   | Event.E_send | Event.E_isend -> "SEND"
@@ -88,6 +115,8 @@ let table =
     ("Alltoallv", "MULTICAST with averaged message size");
     ("Gather", "REDUCE");
     ("Gatherv", "REDUCE with averaged message size");
+    ("Neighbor_allgather", "GATHER FROM NEIGHBORS at the traced offsets");
+    ("Neighbor_alltoall", "EXCHANGE WITH NEIGHBORS at the traced offsets");
     ( "Reduce_scatter",
       "n many-to-one REDUCEs with different message sizes and roots, where n \
        is the communicator size" );

@@ -16,6 +16,11 @@ type target =
   | T_reduce_multicast of { root : int; reduce_bytes : int; multicast_bytes : int }
   | T_reduce_per_member of { bytes_per_member : int array }
       (** n many-to-one REDUCEs with different roots/sizes (Reduce_scatter) *)
+  | T_neighbor of { gather : bool; bytes : int; offsets : int array }
+      (** sparse neighborhood collective: [offsets] are sorted nonzero
+          relative positions within the participant group (exact when the
+          traced stencil survived merging; a same-degree ring otherwise);
+          [bytes] is the per-neighbor payload *)
   | T_skip  (** communicator management: not part of the benchmark *)
 
 exception Unmappable of string

@@ -18,7 +18,11 @@ type blocked_reason =
   | B_recv of { e : entry; mutable tried : int }
       (* [tried] cycles over candidate unblockers for wildcard receives *)
   | B_wait of { mutable tried : int (* proxy pointer into pending list *) }
-  | B_coll of (int * int)
+  | B_coll of (int * string * int)
+      (* (comm, participant signature, slot); the signature is "" for
+         full-communicator collectives and the comma-joined declared
+         participant set for neighborhood collectives — same keying as
+         {!Align} *)
 
 type node_state = {
   rank : int;
@@ -27,8 +31,13 @@ type node_state = {
   mutable finished : bool;
   mutable blocked : blocked_reason option;
   mutable pending : entry list; (* L1: own unmatched ops, oldest first *)
-  coll_seq : (int, int) Hashtbl.t;
+  coll_seq : (int * string, int) Hashtbl.t;
 }
+
+let psig_of (e : Event.t) =
+  match e.Event.parts with
+  | None -> ""
+  | Some ps -> String.concat "," (List.map string_of_int (Array.to_list ps))
 
 type coll_wait = {
   members : Util.Rank_set.t;
@@ -156,7 +165,7 @@ let traversal_resolve (trace : Trace.t) =
      are receives posted by r (so a send to r scans them). *)
   let pending_sends = Array.make nranks ([] : entry list) in
   let pending_recvs = Array.make nranks ([] : entry list) in
-  let waits : (int * int, coll_wait) Hashtbl.t = Hashtbl.create 64 in
+  let waits : (int * string * int, coll_wait) Hashtbl.t = Hashtbl.create 64 in
   (* RSD identity: structural hashing would conflate distinct-but-equal
      events, so leaves get explicit ids by physical identity. *)
   let leaf_ids =
@@ -338,16 +347,23 @@ let traversal_resolve (trace : Trace.t) =
                 running := false
               end
           | _ when Event.is_collective e.kind ->
+              let psig = psig_of e in
+              let seq_key = (e.comm, psig) in
               let slot =
-                Option.value ~default:0 (Hashtbl.find_opt s.coll_seq e.comm)
+                Option.value ~default:0 (Hashtbl.find_opt s.coll_seq seq_key)
               in
-              Hashtbl.replace s.coll_seq e.comm (slot + 1);
-              let key = (e.comm, slot) in
+              Hashtbl.replace s.coll_seq seq_key (slot + 1);
+              let key = (e.comm, psig, slot) in
               let w =
                 match Hashtbl.find_opt waits key with
                 | Some w -> w
                 | None ->
-                    let members = members_of e.comm in
+                    let members =
+                      match e.Event.parts with
+                      | Some ps ->
+                          Util.Rank_set.of_list (Array.to_list ps)
+                      | None -> members_of e.comm
+                    in
                     let w =
                       {
                         members;
@@ -392,7 +408,7 @@ let traversal_resolve (trace : Trace.t) =
             | Some (B_recv { e; _ }) -> "blocking " ^ describe_entry e
             | Some (B_wait _) ->
                 Printf.sprintf "a wait on %d pending operations" (List.length s.pending)
-            | Some (B_coll (c, slot)) ->
+            | Some (B_coll (c, _, slot)) ->
                 Printf.sprintf "a collective on communicator %d (slot %d)" c slot
             | None -> "<runnable>"
           in

@@ -26,6 +26,12 @@ type op =
   | Alltoall of { bytes_per_pair : int }
   | Alltoallv of { bytes_to : int array }
   | Reduce_scatter of { bytes_per_rank : int array }
+  | Neighbor_alltoall of {
+      parts : int array;
+      neighbors : int array;
+      bytes_per_neighbor : int;
+    }
+  | Neighbor_allgather of { parts : int array; neighbors : int array; bytes : int }
   | Comm_split of { color : int; key : int }
   | Comm_dup
   | Compute of float
@@ -45,7 +51,8 @@ type value =
 let is_collective = function
   | Barrier | Bcast _ | Reduce _ | Allreduce _ | Gather _ | Gatherv _
   | Allgather _ | Allgatherv _ | Scatter _ | Scatterv _ | Alltoall _
-  | Alltoallv _ | Reduce_scatter _ | Comm_split _ | Comm_dup | Finalize ->
+  | Alltoallv _ | Reduce_scatter _ | Neighbor_alltoall _ | Neighbor_allgather _
+  | Comm_split _ | Comm_dup | Finalize ->
       true
   | Send _ | Isend _ | Recv _ | Irecv _ | Wait _ | Waitall _ | Compute _
   | Wtime ->
@@ -73,6 +80,8 @@ let op_name = function
   | Alltoall _ -> "MPI_Alltoall"
   | Alltoallv _ -> "MPI_Alltoallv"
   | Reduce_scatter _ -> "MPI_Reduce_scatter"
+  | Neighbor_alltoall _ -> "MPI_Neighbor_alltoall"
+  | Neighbor_allgather _ -> "MPI_Neighbor_allgather"
   | Comm_split _ -> "MPI_Comm_split"
   | Comm_dup -> "MPI_Comm_dup"
   | Compute _ -> "compute"
@@ -100,6 +109,9 @@ let local_bytes op ~p ~rank =
   | Alltoall { bytes_per_pair } -> bytes_per_pair * p
   | Alltoallv { bytes_to } -> sum bytes_to
   | Reduce_scatter { bytes_per_rank } -> sum bytes_per_rank
+  | Neighbor_alltoall { neighbors; bytes_per_neighbor; _ } ->
+      Array.length neighbors * bytes_per_neighbor
+  | Neighbor_allgather { neighbors; bytes; _ } -> Array.length neighbors * bytes
 
 let pp_op ppf op =
   let name = op_name op in
@@ -112,5 +124,11 @@ let pp_op ppf op =
       Format.fprintf ppf "%s(src=%s,%dB,tag=%s)" name src_s bytes tag_s
   | Wait r -> Format.fprintf ppf "%s(req=%d)" name r
   | Waitall rs -> Format.fprintf ppf "%s(%d reqs)" name (List.length rs)
+  | Neighbor_alltoall { parts; neighbors; bytes_per_neighbor } ->
+      Format.fprintf ppf "%s(|parts|=%d,deg=%d,%dB)" name (Array.length parts)
+        (Array.length neighbors) bytes_per_neighbor
+  | Neighbor_allgather { parts; neighbors; bytes } ->
+      Format.fprintf ppf "%s(|parts|=%d,deg=%d,%dB)" name (Array.length parts)
+        (Array.length neighbors) bytes
   | Compute d -> Format.fprintf ppf "compute(%.3gs)" d
   | _ -> Format.pp_print_string ppf name

@@ -37,6 +37,22 @@ type op =
   | Alltoall of { bytes_per_pair : int }
   | Alltoallv of { bytes_to : int array }
   | Reduce_scatter of { bytes_per_rank : int array }
+  | Neighbor_alltoall of {
+      parts : int array;
+          (** sorted communicator-local ranks of the declared participant
+              set; [[||]] means the whole communicator.  Every participant
+              must call the operation (it synchronizes the set), but data
+              moves only along each caller's [neighbors]. *)
+      neighbors : int array;
+          (** this caller's sorted communicator-local neighbor list; must be
+              a subset of the participant set and must not contain the
+              caller *)
+      bytes_per_neighbor : int;
+    }
+      (** sparse all-to-all: a distinct [bytes_per_neighbor]-sized block to
+          each neighbor *)
+  | Neighbor_allgather of { parts : int array; neighbors : int array; bytes : int }
+      (** sparse allgather: the same [bytes]-sized block to every neighbor *)
   | Comm_split of { color : int; key : int }
   | Comm_dup
   | Compute of float  (** local work for the given number of seconds *)

@@ -164,6 +164,49 @@ let expand (a : alg) ~(op : Call.op) ~p : schedule option =
     | _ -> None
 
 (* ------------------------------------------------------------------ *)
+(* Sparse neighborhood schedules (message-combining for sparse
+   collectives, arxiv 1606.07676).  Participants are indexed by position
+   in the declared participant set; an offset o means "the participant o
+   positions after me, cyclically". *)
+
+(* Isomorphic case: every participant declares the same relative offset
+   set and payload — one compact round per offset. *)
+let neighbor_combined ~p ~offsets ~bytes =
+  List.map
+    (fun o ->
+      List.init p (fun r ->
+          { x_src = r; x_dst = (r + o) mod p; x_bytes = bytes }))
+    offsets
+
+(* General case: all per-participant transfers issued concurrently in a
+   single round (each link is independent; nothing serializes them). *)
+let neighbor_naive ~per_rank =
+  let p = Array.length per_rank in
+  let rnd = ref [] in
+  Array.iteri
+    (fun r (offsets, bytes) ->
+      Array.iter
+        (fun o ->
+          rnd := { x_src = r; x_dst = (r + o) mod p; x_bytes = bytes } :: !rnd)
+        offsets)
+    per_rank;
+  [ List.rev !rnd ]
+
+let neighbor_isomorphic ~per_rank =
+  if Array.length per_rank = 0 then None
+  else
+    let offs0, b0 = per_rank.(0) in
+    if Array.for_all (fun (o, b) -> b = b0 && o = offs0) per_rank then
+      Some (Array.to_list offs0, b0)
+    else None
+
+let neighbor_schedule ~per_rank =
+  match neighbor_isomorphic ~per_rank with
+  | Some (offsets, bytes) ->
+      neighbor_combined ~p:(Array.length per_rank) ~offsets ~bytes
+  | None -> neighbor_naive ~per_rank
+
+(* ------------------------------------------------------------------ *)
 (* Timing a schedule                                                    *)
 
 (* Per-rank ready times folded round by round.  Departures are computed

@@ -97,6 +97,33 @@ val expand : alg -> op:Call.op -> p:int -> schedule option
     charges it once per logical collective (see {!Netmodel}). *)
 val timings : Netmodel.t -> schedule -> start:float array -> float array
 
+(** {2 Sparse neighborhood schedules}
+
+    Message-combining schedules for neighborhood collectives (arxiv
+    1606.07676).  Participants are indexed by position in the declared
+    participant set; an offset [o] means "the participant [o] positions
+    after me, cyclically".  [per_rank.(i)] is participant [i]'s (sorted
+    offset array, bytes per neighbor). *)
+
+(** [neighbor_combined ~p ~offsets ~bytes] — the isomorphic fast path:
+    one round per offset, each round a full cyclic shift of the
+    participant group. *)
+val neighbor_combined : p:int -> offsets:int list -> bytes:int -> schedule
+
+(** [neighbor_naive ~per_rank] — the general expansion: every
+    per-participant transfer issued concurrently in a single round.
+    Sends exactly the same per-rank byte totals as the combined form
+    when the topology is isomorphic. *)
+val neighbor_naive : per_rank:(int array * int) array -> schedule
+
+(** [Some (offsets, bytes)] when every participant declares the same
+    offset set and payload (a rank-relative stencil). *)
+val neighbor_isomorphic :
+  per_rank:(int array * int) array -> (int list * int) option
+
+(** Combined schedule when the topology is isomorphic, naive otherwise. *)
+val neighbor_schedule : per_rank:(int array * int) array -> schedule
+
 (** {2 Schedule-shape helpers (tests, bench)} *)
 
 val round_count : schedule -> int

@@ -84,6 +84,9 @@ type rank_state = {
 type coll_state = {
   c_comm : Comm.t;
   c_name : string;
+  c_parts : int array;
+      (* world ranks of the declared participant set (the whole
+         communicator for everything but neighborhood collectives) *)
   mutable c_arrivals : (int * float * Call.op) list;
 }
 
@@ -102,8 +105,14 @@ type state = {
   mutable next_req : int;
   mutable next_comm : int;
   comms : (int, Comm.t) Hashtbl.t;
-  colls : (int * int, coll_state) Hashtbl.t;
-  coll_seq : (int * int, int) Hashtbl.t;
+  (* Collectives are keyed by (communicator id, participant-set
+     signature, per-rank arrival slot).  The signature is "" for
+     full-communicator operations — the historical keying — and the
+     encoded declared participant set for neighborhood collectives, so
+     disjoint participant groups on one communicator progress
+     independently. *)
+  colls : (int * string * int, coll_state) Hashtbl.t;
+  coll_seq : (int * string * int, int) Hashtbl.t;
   coll_alg : Coll_alg.t;
   hooks : Hooks.t list;
   fibers : fiber option array;
@@ -320,7 +329,7 @@ let wait_edges st =
                   let cid = Comm.id c.Call.comm in
                   let pending =
                     Hashtbl.fold
-                      (fun (kcid, _) cs acc ->
+                      (fun (kcid, _, _) cs acc ->
                         if
                           kcid = cid
                           && List.exists
@@ -333,7 +342,7 @@ let wait_edges st =
                   (match pending with
                   | None -> []
                   | Some cs ->
-                      Comm.members cs.c_comm |> Array.to_list
+                      cs.c_parts |> Array.to_list
                       |> List.filter (fun w ->
                              not
                                (List.exists
@@ -698,9 +707,9 @@ let first_arrival ~key (c : coll_state) =
   match c.c_arrivals with
   | a :: _ -> a
   | [] ->
-      let cid, slot = key in
+      let cid, _, slot = key in
       let members =
-        Comm.members c.c_comm |> Array.to_list |> List.map string_of_int
+        c.c_parts |> Array.to_list |> List.map string_of_int
         |> String.concat ","
       in
       raise
@@ -776,6 +785,23 @@ let coll_cost st ~key (c : coll_state) =
       Netmodel.alltoall_cost net ~p ~total:worst
   | Reduce_scatter { bytes_per_rank } ->
       Netmodel.reduce_scatter_cost net ~p ~total:(sum bytes_per_rank)
+  | Neighbor_alltoall _ | Neighbor_allgather _ ->
+      (* Bottleneck caller: its degree and payload bound the exchange. *)
+      List.fold_left
+        (fun acc (_, _, op) ->
+          match op with
+          | Call.Neighbor_alltoall { neighbors; bytes_per_neighbor; _ } ->
+              Float.max acc
+                (Netmodel.neighbor_cost net ~degree:(Array.length neighbors)
+                   ~bytes:bytes_per_neighbor)
+          | Call.Neighbor_allgather { neighbors; bytes; _ } ->
+              Float.max acc
+                (Netmodel.neighbor_cost net
+                   ~degree:(Array.length neighbors)
+                   ~bytes)
+          | _ -> acc)
+        (Netmodel.neighbor_cost net ~degree:0 ~bytes:0)
+        c.c_arrivals
   | Comm_split _ | Comm_dup | Finalize -> Netmodel.barrier_cost net ~p
   | Send _ | Isend _ | Recv _ | Irecv _ | Wait _ | Waitall _ | Compute _ | Wtime ->
       assert false
@@ -829,10 +855,54 @@ let representative_op ~key (c : coll_state) =
   | Call.Bcast { root; _ } | Call.Reduce { root; _ } -> of_rank root
   | op -> op
 
-(* Under a pluggable strategy, the per-local-rank schedule completion
-   times, or [None] for the monolithic analytic path.  Communicator
-   management and [Finalize] always stay monolithic (they synchronize,
-   they do not move data). *)
+(* Neighborhood collectives under a pluggable strategy: participants are
+   indexed by position in the declared participant set; each arrival's
+   neighbor list becomes a relative-offset array in that indexing.  When
+   every participant declares the same offsets the schedule is the
+   message-combining (isomorphic) form, otherwise the naive per-link
+   expansion — {!Coll_alg.neighbor_schedule} decides. *)
+let neighbor_times st (c : coll_state) =
+  let comm = c.c_comm in
+  let q = Array.length c.c_parts in
+  let pos_of_world = Hashtbl.create q in
+  Array.iteri (fun i w -> Hashtbl.replace pos_of_world w i) c.c_parts;
+  let per_rank = Array.make q ([||], 0) in
+  let start = Array.make q 0. in
+  List.iter
+    (fun (w, t, op) ->
+      match Hashtbl.find_opt pos_of_world w with
+      | None -> ()
+      | Some i ->
+          let neighbors, bytes =
+            match op with
+            | Call.Neighbor_alltoall { neighbors; bytes_per_neighbor; _ } ->
+                (neighbors, bytes_per_neighbor)
+            | Call.Neighbor_allgather { neighbors; bytes; _ } -> (neighbors, bytes)
+            | _ -> ([||], 0)
+          in
+          let offsets =
+            Array.map
+              (fun nb ->
+                let nb_world = Comm.world_of_local comm nb in
+                match Hashtbl.find_opt pos_of_world nb_world with
+                | Some j -> (j - i + q) mod q
+                | None -> 0)
+              neighbors
+          in
+          Array.sort compare offsets;
+          per_rank.(i) <- (offsets, bytes);
+          start.(i) <- t +. st.net.collective_dispatch)
+    c.c_arrivals;
+  let fin = Coll_alg.timings st.net (Coll_alg.neighbor_schedule ~per_rank) ~start in
+  Some (fun w ->
+      match Hashtbl.find_opt pos_of_world w with
+      | Some i -> Some fin.(i)
+      | None -> None)
+
+(* Under a pluggable strategy, a lookup from world rank to schedule
+   completion time, or [None] for the monolithic analytic path.
+   Communicator management and [Finalize] always stay monolithic (they
+   synchronize, they do not move data). *)
 let coll_schedule_times st ~key (c : coll_state) =
   match st.coll_alg with
   | `Monolithic -> None
@@ -840,6 +910,8 @@ let coll_schedule_times st ~key (c : coll_state) =
       let (_, _, any_op) = first_arrival ~key c in
       match any_op with
       | Call.Comm_split _ | Call.Comm_dup | Call.Finalize -> None
+      | Call.Neighbor_alltoall _ | Call.Neighbor_allgather _ ->
+          neighbor_times st c
       | _ -> (
           let p = Comm.size c.c_comm in
           let op = representative_op ~key c in
@@ -855,7 +927,12 @@ let coll_schedule_times st ~key (c : coll_state) =
                   | Some l -> start.(l) <- t +. st.net.collective_dispatch
                   | None -> ())
                 c.c_arrivals;
-              Some (Coll_alg.timings st.net sched ~start)))
+              let fin = Coll_alg.timings st.net sched ~start in
+              Some
+                (fun w ->
+                  match Comm.local_of_world c.c_comm w with
+                  | Some l -> Some fin.(l)
+                  | None -> None)))
 
 let finish_collective st key (c : coll_state) =
   Hashtbl.remove st.colls key;
@@ -883,6 +960,7 @@ let finish_collective st key (c : coll_state) =
   let participants =
     Array.of_list (List.rev_map (fun (w, _, _) -> w) c.c_arrivals)
   in
+  let cid = match key with k, _, _ -> k in
   (* Whichever strategy runs, exactly one completion event fires for the
      logical collective, timestamped at its last rank's completion. *)
   match coll_schedule_times st ~key c with
@@ -891,21 +969,97 @@ let finish_collective st key (c : coll_state) =
       List.iter
         (fun (w, _, _) -> schedule st ~time:done_at (E_resume (w, value_for w)))
         c.c_arrivals;
-      fire_collective_complete st ~time:done_at ~comm:(fst key) ~name:c.c_name
+      fire_collective_complete st ~time:done_at ~comm:cid ~name:c.c_name
         ~participants
-  | Some fin ->
-      let done_at = Array.fold_left Float.max t_all fin in
+  | Some fin_of ->
+      let done_at =
+        List.fold_left
+          (fun acc (w, _, _) ->
+            match fin_of w with Some t -> Float.max acc t | None -> acc)
+          t_all c.c_arrivals
+      in
       List.iter
         (fun (w, _, _) ->
-          let at =
-            match Comm.local_of_world c.c_comm w with
-            | Some l -> fin.(l)
-            | None -> done_at
-          in
+          let at = match fin_of w with Some t -> t | None -> done_at in
           schedule st ~time:at (E_resume (w, value_for w)))
         c.c_arrivals;
-      fire_collective_complete st ~time:done_at ~comm:(fst key) ~name:c.c_name
+      fire_collective_complete st ~time:done_at ~comm:cid ~name:c.c_name
         ~participants
+
+(* Declared participant set of a neighborhood collective, validated for
+   the calling rank: strictly increasing communicator-local ranks, within
+   the communicator, containing the caller; the neighbor list strictly
+   increasing, a subset of the participant set, never the caller.  [[||]]
+   participants mean the whole communicator.  Returns the participant-set
+   signature (the keying component) and the world ranks of the set;
+   non-neighborhood operations synchronize the whole communicator under
+   the empty signature. *)
+let participant_set rank (call : Call.t) =
+  let comm = call.comm in
+  let size = Comm.size comm in
+  let whole () = ("", Comm.members comm) in
+  match call.op with
+  | Call.Neighbor_alltoall { parts; neighbors; _ }
+  | Call.Neighbor_allgather { parts; neighbors; _ } ->
+      let name = Call.op_name call.op in
+      let local =
+        match Comm.local_of_world comm rank with
+        | Some l -> l
+        | None -> assert false (* membership checked by the caller *)
+      in
+      let check_sorted what a =
+        Array.iteri
+          (fun i v ->
+            if v < 0 || v >= size then
+              raise
+                (Mpi_error
+                   (Printf.sprintf
+                      "rank %d: %s %s names local rank %d outside \
+                       communicator %d (size %d)"
+                      rank name what v (Comm.id comm) size));
+            if i > 0 && a.(i - 1) >= v then
+              raise
+                (Mpi_error
+                   (Printf.sprintf
+                      "rank %d: %s %s must be strictly increasing" rank name
+                      what)))
+          a
+      in
+      let in_parts =
+        if Array.length parts = 0 then fun _ -> true
+        else begin
+          check_sorted "participant set" parts;
+          if not (Array.exists (fun v -> v = local) parts) then
+            raise
+              (Mpi_error
+                 (Printf.sprintf
+                    "rank %d (local %d) calls %s but is not in its declared \
+                     participant set"
+                    rank local name));
+          fun v -> Array.exists (fun u -> u = v) parts
+        end
+      in
+      check_sorted "neighbor list" neighbors;
+      Array.iter
+        (fun nb ->
+          if nb = local then
+            raise
+              (Mpi_error
+                 (Printf.sprintf "rank %d: %s neighbor list contains itself"
+                    rank name));
+          if not (in_parts nb) then
+            raise
+              (Mpi_error
+                 (Printf.sprintf
+                    "rank %d: %s neighbor %d is outside the declared \
+                     participant set"
+                    rank name nb)))
+        neighbors;
+      if Array.length parts = 0 then whole ()
+      else
+        ( String.concat "," (Array.to_list (Array.map string_of_int parts)),
+          Array.map (fun l -> Comm.world_of_local comm l) parts )
+  | _ -> whole ()
 
 let do_collective st rank (call : Call.t) =
   let comm = call.comm in
@@ -915,14 +1069,24 @@ let do_collective st rank (call : Call.t) =
          (Printf.sprintf "rank %d calling %s on communicator %d it is not in"
             rank (Call.op_name call.op) (Comm.id comm)));
   let cid = Comm.id comm in
-  let slot = Option.value ~default:0 (Hashtbl.find_opt st.coll_seq (cid, rank)) in
-  Hashtbl.replace st.coll_seq (cid, rank) (slot + 1);
-  let key = (cid, slot) in
+  let psig, parts = participant_set rank call in
+  let slot =
+    Option.value ~default:0 (Hashtbl.find_opt st.coll_seq (cid, psig, rank))
+  in
+  Hashtbl.replace st.coll_seq (cid, psig, rank) (slot + 1);
+  let key = (cid, psig, slot) in
   let c =
     match Hashtbl.find_opt st.colls key with
     | Some c -> c
     | None ->
-        let c = { c_comm = comm; c_name = Call.op_name call.op; c_arrivals = [] } in
+        let c =
+          {
+            c_comm = comm;
+            c_name = Call.op_name call.op;
+            c_parts = parts;
+            c_arrivals = [];
+          }
+        in
         Hashtbl.replace st.colls key c;
         c
   in
@@ -936,7 +1100,8 @@ let do_collective st rank (call : Call.t) =
             (Util.Callsite.to_string call.site)
             c.c_name));
   c.c_arrivals <- (rank, st.ranks.(rank).rs_clock, call.op) :: c.c_arrivals;
-  if List.length c.c_arrivals = Comm.size comm then finish_collective st key c
+  if List.length c.c_arrivals = Array.length c.c_parts then
+    finish_collective st key c
 
 (* ------------------------------------------------------------------ *)
 (* Call dispatch                                                       *)
@@ -965,7 +1130,8 @@ let handle_call st rank (call : Call.t) (k : fiber) =
   | Wtime -> schedule st ~time:rs.rs_clock (E_resume (rank, V_time rs.rs_clock))
   | Barrier | Bcast _ | Reduce _ | Allreduce _ | Gather _ | Gatherv _
   | Allgather _ | Allgatherv _ | Scatter _ | Scatterv _ | Alltoall _
-  | Alltoallv _ | Reduce_scatter _ | Comm_split _ | Comm_dup | Finalize ->
+  | Alltoallv _ | Reduce_scatter _ | Neighbor_alltoall _ | Neighbor_allgather _
+  | Comm_split _ | Comm_dup | Finalize ->
       do_collective st rank call
 
 (* ------------------------------------------------------------------ *)

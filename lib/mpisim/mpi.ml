@@ -100,6 +100,17 @@ let reduce_scatter ?site ?comm (ctx : ctx) ~bytes_per_rank =
   let comm = Option.value ~default:ctx.world comm in
   unit_call ?site ~comm (Call.Reduce_scatter { bytes_per_rank })
 
+let neighbor_alltoall ?site ?comm ?(parts = [||]) (ctx : ctx) ~neighbors
+    ~bytes_per_neighbor =
+  let comm = Option.value ~default:ctx.world comm in
+  unit_call ?site ~comm
+    (Call.Neighbor_alltoall { parts; neighbors; bytes_per_neighbor })
+
+let neighbor_allgather ?site ?comm ?(parts = [||]) (ctx : ctx) ~neighbors
+    ~bytes =
+  let comm = Option.value ~default:ctx.world comm in
+  unit_call ?site ~comm (Call.Neighbor_allgather { parts; neighbors; bytes })
+
 let comm_split ?site ?comm (ctx : ctx) ~color ~key =
   let comm = Option.value ~default:ctx.world comm in
   let op = Call.Comm_split { color; key } in

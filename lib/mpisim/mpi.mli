@@ -82,6 +82,26 @@ val alltoallv : ?site:Util.Callsite.t -> ?comm:Comm.t -> ctx -> bytes_to:int arr
 val reduce_scatter :
   ?site:Util.Callsite.t -> ?comm:Comm.t -> ctx -> bytes_per_rank:int array -> unit
 
+(** {1 Neighborhood collectives}
+
+    Sparse collectives over per-rank neighbor lists.  [?parts] is the
+    declared participant set (sorted communicator-local ranks; default
+    the whole communicator): every rank in it must make the call, and
+    the operation synchronizes exactly that set — not the whole
+    communicator.  [neighbors] is this caller's sorted
+    communicator-local neighbor list, a subset of the participant set
+    without the caller.  When every participant declares the same
+    rank-relative offsets (a stencil), the engine prices the exchange
+    with a compact message-combining round schedule (see {!Coll_alg}). *)
+
+val neighbor_alltoall :
+  ?site:Util.Callsite.t -> ?comm:Comm.t -> ?parts:int array -> ctx ->
+  neighbors:int array -> bytes_per_neighbor:int -> unit
+
+val neighbor_allgather :
+  ?site:Util.Callsite.t -> ?comm:Comm.t -> ?parts:int array -> ctx ->
+  neighbors:int array -> bytes:int -> unit
+
 (** {1 Communicator management} *)
 
 val comm_split :

@@ -93,6 +93,12 @@ let alltoall_cost t ~p ~total =
   let per_stage = if p <= 1 then total else total / (p - 1) in
   t.collective_dispatch +. (float_of_int (p - 1) *. stage t ~bytes:per_stage)
 
+(* Sparse neighbor exchange: one stage per neighbor, each moving the
+   per-neighbor payload — the dense [alltoall_cost] restricted to the
+   caller's degree instead of p-1 partners. *)
+let neighbor_cost t ~degree ~bytes =
+  t.collective_dispatch +. (float_of_int (max 0 degree) *. stage t ~bytes)
+
 let reduce_scatter_cost t ~p ~total =
   (* reduce of the full vector then scatter of the pieces *)
   reduce_cost t ~p ~bytes:total +. gather_cost t ~p ~total

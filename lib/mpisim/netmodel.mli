@@ -79,6 +79,12 @@ val gather_cost : t -> p:int -> total:int -> float
 
 val allgather_cost : t -> p:int -> total:int -> float
 val alltoall_cost : t -> p:int -> total:int -> float
+
+(** Sparse neighborhood exchange: [degree] serialized stages of [bytes]
+    each — the dense all-to-all cost restricted to the caller's neighbor
+    count. *)
+val neighbor_cost : t -> degree:int -> bytes:int -> float
+
 val reduce_scatter_cost : t -> p:int -> total:int -> float
 
 val pp : Format.formatter -> t -> unit

@@ -176,6 +176,64 @@ let run ?(net = Mpisim.Netmodel.bluegene_l) ?(hooks = []) ?fault ?max_events
       | Event.E_reduce_scatter ->
           let v = match e.vec with Some v -> v | None -> uniform_vec ~p ~total:e.bytes in
           Mpisim.Mpi.reduce_scatter ~site ~comm ctx ~bytes_per_rank:v
+      | Event.E_neighbor_alltoall | Event.E_neighbor_allgather ->
+          (* Reconstruct this rank's neighbor list from the participant
+             set and the offset vector; a merged trace that lost the
+             stencil (vec = None) falls back to a ring of the traced
+             degree, preserving participant set and per-rank volume. *)
+          let parts_world =
+            match e.parts with
+            | Some ps -> ps
+            | None -> Mpisim.Comm.members comm
+          in
+          let q = Array.length parts_world in
+          if q > 1 then begin
+            let me =
+              let rec find i =
+                if i >= q then
+                  raise (Replay_error "rank outside neighbor participant set")
+                else if parts_world.(i) = r then i
+                else find (i + 1)
+              in
+              find 0
+            in
+            let offsets =
+              let sanitized =
+                match e.vec with
+                | None -> []
+                | Some v ->
+                    Array.to_list v
+                    |> List.map (fun o -> ((o mod q) + q) mod q)
+                    |> List.filter (fun o -> o <> 0)
+                    |> List.sort_uniq compare
+              in
+              match sanitized with
+              | _ :: _ -> sanitized
+              | [] ->
+                  let deg = min (max e.tag 1) (q - 1) in
+                  List.init deg (fun i -> i + 1)
+            in
+            let neighbors =
+              List.map
+                (fun o -> local comm parts_world.((me + o) mod q))
+                offsets
+              |> List.sort_uniq compare |> Array.of_list
+            in
+            let parts_local =
+              match e.parts with
+              | None -> [||]
+              | Some ps ->
+                  let l = Array.map (local comm) ps in
+                  Array.sort compare l;
+                  l
+            in
+            if e.kind = Event.E_neighbor_alltoall then
+              Mpisim.Mpi.neighbor_alltoall ~site ~comm ~parts:parts_local ctx
+                ~neighbors ~bytes_per_neighbor:e.bytes
+            else
+              Mpisim.Mpi.neighbor_allgather ~site ~comm ~parts:parts_local ctx
+                ~neighbors ~bytes:e.bytes
+          end
       | Event.E_comm_split | Event.E_comm_dup ->
           () (* communicators are pre-created *)
       | Event.E_finalize -> Mpisim.Mpi.finalize ~site ctx

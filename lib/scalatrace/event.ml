@@ -25,6 +25,8 @@ type kind =
   | E_alltoall
   | E_alltoallv
   | E_reduce_scatter
+  | E_neighbor_alltoall
+  | E_neighbor_allgather
   | E_comm_split
   | E_comm_dup
   | E_finalize
@@ -37,6 +39,7 @@ type t = {
   vec : int array option;
   tag : int;
   comm : int;
+  parts : int array option;
   dtime : Util.Histogram.t;
   mutable ranks : Util.Rank_set.t;
   mutable hcache : int; (* 0 = not yet computed; see [hash] *)
@@ -45,7 +48,8 @@ type t = {
 let is_collective = function
   | E_barrier | E_bcast | E_reduce | E_allreduce | E_gather | E_gatherv
   | E_allgather | E_allgatherv | E_scatter | E_scatterv | E_alltoall
-  | E_alltoallv | E_reduce_scatter | E_comm_split | E_comm_dup | E_finalize ->
+  | E_alltoallv | E_reduce_scatter | E_neighbor_alltoall | E_neighbor_allgather
+  | E_comm_split | E_comm_dup | E_finalize ->
       true
   | E_send | E_isend | E_recv | E_irecv | E_wait | E_waitall _ -> false
 
@@ -73,6 +77,8 @@ let kind_name = function
   | E_alltoall -> "MPI_Alltoall"
   | E_alltoallv -> "MPI_Alltoallv"
   | E_reduce_scatter -> "MPI_Reduce_scatter"
+  | E_neighbor_alltoall -> "MPI_Neighbor_alltoall"
+  | E_neighbor_allgather -> "MPI_Neighbor_allgather"
   | E_comm_split -> "MPI_Comm_split"
   | E_comm_dup -> "MPI_Comm_dup"
   | E_finalize -> "MPI_Finalize"
@@ -82,7 +88,7 @@ let sum = Array.fold_left ( + ) 0
 let make ~world_rank ~time_gap ~site ~kind ~peer ~bytes ~vec ~tag ~comm =
   let dtime = Util.Histogram.create () in
   Util.Histogram.add dtime (Float.max 0. time_gap);
-  { site; kind; peer; bytes; vec; tag; comm;
+  { site; kind; peer; bytes; vec; tag; comm; parts = None;
     dtime; ranks = Util.Rank_set.singleton world_rank; hcache = 0 }
 
 let of_call ~world_rank ~time_gap (call : Mpisim.Call.t) =
@@ -90,6 +96,35 @@ let of_call ~world_rank ~time_gap (call : Mpisim.Call.t) =
   let site = call.site in
   let world_of r = Mpisim.Comm.world_of_local call.comm r in
   let mk = make ~world_rank ~time_gap ~site ~comm in
+  (* Neighbor offsets are positions in the declared participant set:
+     offset o from participant i reaches participant (i + o) mod q.  A
+     rank-relative stencil therefore produces the same [vec] on every
+     rank, which is what lets RSD merging keep it exact. *)
+  let neighbor_fields ~parts ~neighbors =
+    let q, pos_of =
+      if Array.length parts = 0 then
+        (Mpisim.Comm.size call.comm, fun l -> l)
+      else
+        ( Array.length parts,
+          fun l ->
+            let rec find i = if parts.(i) = l then i else find (i + 1) in
+            find 0 )
+    in
+    let me =
+      match Mpisim.Comm.local_of_world call.comm world_rank with
+      | Some l -> pos_of l
+      | None -> 0
+    in
+    let offsets =
+      Array.map (fun nb -> (pos_of nb - me + q) mod q) neighbors
+    in
+    Array.sort compare offsets;
+    let parts =
+      if Array.length parts = 0 then None
+      else Some (Array.map world_of parts)
+    in
+    (offsets, parts)
+  in
   let p2p_tag t = t in
   match call.op with
   | Compute _ | Wtime -> None
@@ -142,6 +177,18 @@ let of_call ~world_rank ~time_gap (call : Mpisim.Call.t) =
       Some
         (mk ~kind:E_reduce_scatter ~peer:P_none ~bytes:(sum bytes_per_rank)
            ~vec:(Some (Array.copy bytes_per_rank)) ~tag:0)
+  | Neighbor_alltoall { parts; neighbors; bytes_per_neighbor } ->
+      let offsets, parts = neighbor_fields ~parts ~neighbors in
+      Some
+        { (mk ~kind:E_neighbor_alltoall ~peer:P_none ~bytes:bytes_per_neighbor
+             ~vec:(Some offsets) ~tag:(Array.length neighbors))
+          with parts }
+  | Neighbor_allgather { parts; neighbors; bytes } ->
+      let offsets, parts = neighbor_fields ~parts ~neighbors in
+      Some
+        { (mk ~kind:E_neighbor_allgather ~peer:P_none ~bytes
+             ~vec:(Some offsets) ~tag:(Array.length neighbors))
+          with parts }
   | Comm_split { color; key } ->
       (* color/key preserved as a per-rank map entry so splits replay *)
       Some (mk ~kind:E_comm_split ~peer:(P_map [ (world_rank, color) ]) ~bytes:key ~vec:None ~tag:0)
@@ -153,6 +200,8 @@ let same_vec a b =
   | None, None -> true
   | Some x, Some y -> x = y
   | _ -> false
+
+let same_parts = same_vec
 
 (* Wildcardness must survive merging, so P_any only merges with P_any. *)
 let peer_class = function
@@ -170,7 +219,8 @@ let hash e =
     let pc = match peer_class e.peer with `Any -> 1 | `None -> 2 | `Concrete -> 3 in
     let h =
       Hashtbl.hash
-        (Util.Callsite.hash e.site, e.kind, e.bytes, e.tag, e.comm, e.vec, pc)
+        (Util.Callsite.hash e.site, e.kind, e.bytes, e.tag, e.comm, e.vec,
+         e.parts, pc)
     in
     let h = if h = 0 then 1 else h in
     e.hcache <- h;
@@ -182,6 +232,7 @@ let mergeable a b =
   && Util.Callsite.equal a.site b.site
   && a.kind = b.kind && a.bytes = b.bytes && a.tag = b.tag && a.comm = b.comm
   && same_vec a.vec b.vec
+  && same_parts a.parts b.parts
   && peer_class a.peer = peer_class b.peer
 
 (* Expand a generalized peer back to explicit (rank, peer) observations. *)
@@ -243,6 +294,7 @@ let copy e =
     e with
     dtime = Util.Histogram.copy e.dtime;
     vec = Option.map Array.copy e.vec;
+    parts = Option.map Array.copy e.parts;
   }
 
 let pp_peer ppf = function
@@ -255,4 +307,7 @@ let pp_peer ppf = function
 let pp ppf e =
   Format.fprintf ppf "%s%a bytes=%d tag=%d comm=%d ranks=%a dt=%a" (kind_name e.kind)
     pp_peer e.peer e.bytes e.tag e.comm Util.Rank_set.pp e.ranks Util.Histogram.pp
-    e.dtime
+    e.dtime;
+  match e.parts with
+  | None -> ()
+  | Some ps -> Format.fprintf ppf " parts=|%d|" (Array.length ps)

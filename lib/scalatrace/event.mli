@@ -34,6 +34,8 @@ type kind =
   | E_alltoall
   | E_alltoallv
   | E_reduce_scatter
+  | E_neighbor_alltoall  (** sparse exchange over a neighbor list *)
+  | E_neighbor_allgather  (** sparse gather over a neighbor list *)
   | E_comm_split
   | E_comm_dup
   | E_finalize
@@ -43,10 +45,20 @@ type t = {
   kind : kind;
   mutable peer : peer;
   bytes : int;  (** canonical payload: p2p message size, per-rank collective
-                    size, or total for v-collectives *)
-  vec : int array option;  (** exact per-rank sizes of v-collectives *)
-  tag : int;  (** p2p tag; [-1] encodes MPI_ANY_TAG *)
+                    size, or total for v-collectives; per-neighbor size
+                    for neighborhood collectives *)
+  vec : int array option;
+      (** exact per-rank sizes of v-collectives; for neighborhood
+          collectives, the sorted relative neighbor offsets in
+          participant-position space (identical on every rank of a
+          stencil, which keeps RSD merging exact) *)
+  tag : int;  (** p2p tag; [-1] encodes MPI_ANY_TAG; neighbor degree for
+                  neighborhood collectives *)
   comm : int;  (** communicator id *)
+  parts : int array option;
+      (** declared participant set as sorted world ranks; [None] means
+          the whole communicator (every pre-existing event, so old
+          traces stay byte-identical on disk) *)
   dtime : Util.Histogram.t;  (** computation time preceding this event *)
   mutable ranks : Util.Rank_set.t;  (** participating world ranks *)
   mutable hcache : int;

@@ -33,10 +33,23 @@ let has_unaligned_collectives t =
     (fun e ->
       if Event.is_collective e.Event.kind && e.Event.kind <> Event.E_finalize
       then
-        match List.assoc_opt e.Event.comm t.comms with
-        | Some members ->
-            if not (Util.Rank_set.equal e.Event.ranks members) then found := true
-        | None -> ())
+        (* A partial-participant collective is complete when every rank of
+           its declared participant set merged in — not the whole
+           communicator. *)
+        match e.Event.parts with
+        | Some ps ->
+            let expect =
+              Array.fold_left
+                (fun acc r -> Util.Rank_set.add r acc)
+                Util.Rank_set.empty ps
+            in
+            if not (Util.Rank_set.equal e.Event.ranks expect) then found := true
+        | None -> (
+            match List.assoc_opt e.Event.comm t.comms with
+            | Some members ->
+                if not (Util.Rank_set.equal e.Event.ranks members) then
+                  found := true
+            | None -> ()))
     t.nodes;
   !found
 

@@ -50,6 +50,8 @@ let kind_of_string ?src line s =
       | "MPI_Alltoall" -> Event.E_alltoall
       | "MPI_Alltoallv" -> Event.E_alltoallv
       | "MPI_Reduce_scatter" -> Event.E_reduce_scatter
+      | "MPI_Neighbor_alltoall" -> Event.E_neighbor_alltoall
+      | "MPI_Neighbor_allgather" -> Event.E_neighbor_allgather
       | "MPI_Comm_split" -> Event.E_comm_split
       | "MPI_Comm_dup" -> Event.E_comm_dup
       | "MPI_Finalize" -> Event.E_finalize
@@ -129,12 +131,21 @@ let vec_of_string ?src line = function
       with Failure _ -> fail ?src line "bad size vector %S" s)
 
 let event_to_line (e : Event.t) =
-  Printf.sprintf "event %s peer=%s bytes=%d vec=%s tag=%d comm=%d ranks=%s dt=%d;%.17g;%.17g;%.17g;%.17g site=%s"
+  (* [parts=] is emitted only for partial participant sets, so every
+     trace written before neighborhood collectives existed reproduces
+     byte-identically. *)
+  let parts_field =
+    match e.parts with
+    | None -> ""
+    | Some ps -> " parts=" ^ vec_to_string (Some ps)
+  in
+  Printf.sprintf "event %s peer=%s bytes=%d vec=%s tag=%d comm=%d ranks=%s dt=%d;%.17g;%.17g;%.17g;%.17g%s site=%s"
     (kind_to_string e.kind) (peer_to_string e.peer) e.bytes (vec_to_string e.vec)
     e.tag e.comm (ranks_to_string e.ranks)
     (Util.Histogram.count e.dtime) (Util.Histogram.sum e.dtime)
     (Util.Histogram.min_value e.dtime) (Util.Histogram.max_value e.dtime)
     (Util.Histogram.first_sample e.dtime)
+    parts_field
     (Util.Callsite.encode e.site)
 
 let add_nodes buf depth ns =
@@ -208,6 +219,18 @@ let parse_event ?src lineno rest =
             String.sub f (String.length prefix) (String.length f - String.length prefix)
         | None -> fail ?src lineno "missing field %s" key
       in
+      let get_opt key =
+        let prefix = key ^ "=" in
+        Option.map
+          (fun f ->
+            String.sub f (String.length prefix)
+              (String.length f - String.length prefix))
+          (List.find_opt
+             (fun f ->
+               String.length f >= String.length prefix
+               && String.sub f 0 (String.length prefix) = prefix)
+             fields)
+      in
       let int_field key =
         try int_of_string (get key) with Failure _ -> fail ?src lineno "bad %s" key
       in
@@ -229,6 +252,10 @@ let parse_event ?src lineno rest =
         vec = vec_of_string ?src lineno (get "vec");
         tag = int_field "tag";
         comm = int_field "comm";
+        parts =
+          (match get_opt "parts" with
+          | None -> None
+          | Some s -> vec_of_string ?src lineno s);
         dtime = dt;
         ranks = ranks_of_string ?src lineno (get "ranks");
         hcache = 0;

@@ -88,7 +88,7 @@ let align_tests =
             {
               Event.site = (if rank = 0 then s1 else s2);
               kind; peer = Event.P_none; bytes = 8; vec = None; tag = 0; comm = 0;
-              dtime = h; ranks = Util.Rank_set.singleton rank; hcache = 0;
+              parts = None; dtime = h; ranks = Util.Rank_set.singleton rank; hcache = 0;
             }
         in
         let fin rank =
@@ -97,7 +97,7 @@ let align_tests =
           Tnode.Leaf
             {
               Event.site = s5; kind = Event.E_finalize; peer = Event.P_none;
-              bytes = 0; vec = None; tag = 0; comm = 0; dtime = h;
+              bytes = 0; vec = None; tag = 0; comm = 0; parts = None; dtime = h;
               ranks = Util.Rank_set.singleton rank; hcache = 0;
             }
         in
@@ -259,8 +259,8 @@ let map_tests =
     let h = Util.Histogram.create () in
     Util.Histogram.add h 0.;
     {
-      Event.site = s1; kind; peer; bytes; vec; tag = 0; comm = 0; dtime = h;
-      ranks = Util.Rank_set.all 4; hcache = 0;
+      Event.site = s1; kind; peer; bytes; vec; tag = 0; comm = 0; parts = None;
+      dtime = h; ranks = Util.Rank_set.all 4; hcache = 0;
     }
   in
   [
@@ -306,8 +306,14 @@ let map_tests =
              ignore (Benchgen.Collective_map.map ~p:4 (mk Event.E_send ()));
              false
            with Benchgen.Collective_map.Unmappable _ -> true));
-    t "table has the paper's 8 rows" (fun () ->
-        Alcotest.(check int) "rows" 8 (List.length Benchgen.Collective_map.table));
+    t "table has the paper's 8 rows plus the 2 neighborhood extensions"
+      (fun () ->
+        Alcotest.(check int) "rows" 10 (List.length Benchgen.Collective_map.table);
+        List.iter
+          (fun name ->
+            Alcotest.(check bool) (name ^ " present") true
+              (List.mem_assoc name Benchgen.Collective_map.table))
+          [ "Neighbor_alltoall"; "Neighbor_allgather" ]);
   ]
 
 let suite = align_tests @ wildcard_tests @ map_tests

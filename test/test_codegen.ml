@@ -14,7 +14,7 @@ let mk ?(kind = Event.E_send) ?(peer = Event.P_abs 1) ?(bytes = 64) ?(tag = 0)
     ?(ranks = Util.Rank_set.singleton 0) ?(dt = 0.) () =
   let h = Util.Histogram.create () in
   Util.Histogram.add h dt;
-  { Event.site; kind; peer; bytes; vec = None; tag; comm = 0; dtime = h; ranks;
+  { Event.site; kind; peer; bytes; vec = None; tag; comm = 0; parts = None; dtime = h; ranks;
     hcache = 0 }
 
 let trace_of nodes =

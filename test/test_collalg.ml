@@ -249,7 +249,7 @@ let differential_tests =
     t "registry + 40-seed Gen campaign: all strategies match monolithic"
       (fun () ->
         let s = Check.Collfuzz.run Check.Collfuzz.default in
-        Alcotest.(check int) "whole registry" 13 s.Check.Collfuzz.apps_checked;
+        Alcotest.(check int) "whole registry" 16 s.Check.Collfuzz.apps_checked;
         Alcotest.(check int) "40 seeds" 40 s.Check.Collfuzz.gen_checked;
         List.iter
           (fun (v : Check.Collfuzz.violation) ->
@@ -261,4 +261,139 @@ let differential_tests =
           (List.length s.Check.Collfuzz.violations));
   ]
 
-let suite = shape_tests @ dispatch_tests @ differential_tests
+(* --- neighborhood schedules ----------------------------------------- *)
+
+(* Deterministic pseudo-random per-participant topologies: offsets in
+   [1, p-1], degree in [1, 3], a pure function of (seed, rank). *)
+let random_per_rank ~seed ~p ~bytes =
+  Array.init p (fun r ->
+      let rng = Util.Rng.split (Util.Rng.create ~seed) ~index:r in
+      let deg = 1 + Util.Rng.int rng 3 in
+      let offs =
+        List.init deg (fun _ -> 1 + Util.Rng.int rng (p - 1))
+        |> List.sort_uniq compare |> Array.of_list
+      in
+      (offs, bytes))
+
+let neighbor_count_completions ~coll_alg ~nranks program =
+  let n = ref 0 in
+  let hook =
+    {
+      Hooks.nil with
+      on_collective_complete =
+        (fun ~time:_ ~comm:_ ~name ~participants:_ ->
+          if
+            name = "MPI_Neighbor_alltoall" || name = "MPI_Neighbor_allgather"
+          then incr n);
+    }
+  in
+  let _ = Mpi.run ~hooks:[ hook ] ~coll_alg ~nranks program in
+  !n
+
+let neighbor_tests =
+  [
+    t "combined schedule: one round per offset, full-duplex shifts" (fun () ->
+        let offsets = [ 1; 3 ] and p = 8 and bytes = 256 in
+        let sched = Coll_alg.neighbor_combined ~p ~offsets ~bytes in
+        Alcotest.(check int) "rounds" 2 (Coll_alg.round_count sched);
+        List.iteri
+          (fun k rnd ->
+            let o = List.nth offsets k in
+            Alcotest.(check int) "transfers" p (List.length rnd);
+            List.iter
+              (fun (x : Coll_alg.xfer) ->
+                Alcotest.(check int) "cyclic shift" ((x.x_src + o) mod p) x.x_dst;
+                Alcotest.(check int) "payload" bytes x.x_bytes)
+              rnd)
+          sched);
+    t "combined bytes equal the naive per-neighbor sum, every rank" (fun () ->
+        (* the message-combining rewrite may restructure rounds but must
+           move exactly the per-neighbor volume of the naive expansion *)
+        List.iter
+          (fun (p, degree, bytes) ->
+            let offsets = List.init degree (fun i -> 1 + (i * 2)) in
+            let per_rank = Array.make p (Array.of_list offsets, bytes) in
+            let combined =
+              Coll_alg.bytes_sent_per_rank ~p
+                (Coll_alg.neighbor_combined ~p ~offsets ~bytes)
+            in
+            let naive =
+              Coll_alg.bytes_sent_per_rank ~p (Coll_alg.neighbor_naive ~per_rank)
+            in
+            Array.iteri
+              (fun r b ->
+                Alcotest.(check int)
+                  (Printf.sprintf "p=%d deg=%d rank %d" p degree r)
+                  (degree * bytes) b;
+                Alcotest.(check int) "naive agrees" naive.(r) b)
+              combined)
+          [ (4, 1, 64); (8, 3, 512); (16, 2, 4096) ]);
+    t "neighbor_schedule dispatch: isomorphic combines, irregular doesn't"
+      (fun () ->
+        let p = 8 and bytes = 128 in
+        let iso = Array.make p ([| 1; 2 |], bytes) in
+        Alcotest.(check int)
+          "isomorphic: one round per offset" 2
+          (Coll_alg.round_count (Coll_alg.neighbor_schedule ~per_rank:iso));
+        let irregular = random_per_rank ~seed:3 ~p ~bytes in
+        Alcotest.(check bool)
+          "random topology really is irregular" true
+          (Coll_alg.neighbor_isomorphic ~per_rank:irregular = None);
+        Alcotest.(check int)
+          "irregular: single concurrent round" 1
+          (Coll_alg.round_count
+             (Coll_alg.neighbor_schedule ~per_rank:irregular)));
+    t "schedules are deterministic across seeds and repetition" (fun () ->
+        for seed = 1 to 10 do
+          let per_rank = random_per_rank ~seed ~p:12 ~bytes:96 in
+          let again = random_per_rank ~seed ~p:12 ~bytes:96 in
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: same schedule" seed)
+            true
+            (Coll_alg.neighbor_schedule ~per_rank
+            = Coll_alg.neighbor_schedule ~per_rank:again);
+          let fin () =
+            Coll_alg.timings net
+              (Coll_alg.neighbor_schedule ~per_rank)
+              ~start:(Array.make 12 0.)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: same timings" seed)
+            true
+            (fin () = fin ())
+        done);
+    t "one completion per logical neighborhood collective, every strategy"
+      (fun () ->
+        (* three logical collectives: a full-comm stencil alltoall, a
+           partial-set allgather over the even ranks, and a second
+           full-comm exchange — every strategy must fire exactly three
+           completion events regardless of how rounds are expanded *)
+        let nranks = 8 in
+        let program (ctx : Mpi.ctx) =
+          let nbrs l = Array.of_list (List.sort_uniq compare l) in
+          Mpi.neighbor_alltoall ctx
+            ~neighbors:(nbrs [ (ctx.rank + 1) mod nranks; (ctx.rank + 3) mod nranks ])
+            ~bytes_per_neighbor:64;
+          if ctx.rank mod 2 = 0 then begin
+            let parts = Array.init (nranks / 2) (fun i -> 2 * i) in
+            let q = Array.length parts in
+            let me = ctx.rank / 2 in
+            Mpi.neighbor_allgather ~parts ctx
+              ~neighbors:(nbrs [ parts.((me + 1) mod q) ])
+              ~bytes:32
+          end;
+          Mpi.neighbor_alltoall ctx
+            ~neighbors:(nbrs [ (ctx.rank + 1) mod nranks ])
+            ~bytes_per_neighbor:128;
+          Mpi.finalize ctx
+        in
+        List.iter
+          (fun coll_alg ->
+            Alcotest.(check int)
+              (Coll_alg.name coll_alg)
+              3
+              (neighbor_count_completions ~coll_alg ~nranks program))
+          Coll_alg.all);
+  ]
+
+let suite = shape_tests @ dispatch_tests @ differential_tests @ neighbor_tests

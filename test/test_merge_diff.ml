@@ -70,8 +70,8 @@ let gen_props =
 let site_x = Util.Callsite.synthetic "x"
 let site_y = Util.Callsite.synthetic "y"
 
-let coll_leaf ?(site = site_x) ?(kind = Event.E_allreduce) ?(comm = 0) ~bytes
-    ranks =
+let coll_leaf ?(site = site_x) ?(kind = Event.E_allreduce) ?(comm = 0) ?parts
+    ~bytes ranks =
   let h = Util.Histogram.create () in
   Util.Histogram.add h 0.;
   Tnode.Leaf
@@ -83,6 +83,7 @@ let coll_leaf ?(site = site_x) ?(kind = Event.E_allreduce) ?(comm = 0) ~bytes
       vec = None;
       tag = 0;
       comm;
+      parts;
       dtime = h;
       ranks = Util.Rank_set.of_list ranks;
       hcache = 0;
@@ -159,6 +160,34 @@ let align_tests =
         match Benchgen.Align.run trace with
         | _ -> Alcotest.fail "expected Align_error"
         | exception Benchgen.Align.Align_error _ -> ());
+    t "neighborhood arrival outside the declared participant set" (fun () ->
+        (* rank 1 reaches a partial-participant neighborhood collective
+           whose declared set is {0, 2}: the arrival must raise the typed
+           Align_error naming the participant set, not stall or
+           mis-account the arrival bitmap *)
+        let parts = [| 0; 2 |] in
+        let trace =
+          Trace.make ~nranks:4
+            ~comms:[ (0, Util.Rank_set.all 4) ]
+            ~nodes:
+              [
+                coll_leaf ~kind:Event.E_neighbor_alltoall ~parts ~bytes:64
+                  [ 0; 1; 2 ];
+              ]
+        in
+        match Benchgen.Align.run trace with
+        | _ -> Alcotest.fail "expected Align_error"
+        | exception Benchgen.Align.Align_error msg ->
+            Alcotest.(check bool)
+              "message names the participant set" true
+              (let has needle =
+                 let nl = String.length needle and ml = String.length msg in
+                 let rec go i =
+                   i + nl <= ml && (String.sub msg i nl = needle || go (i + 1))
+                 in
+                 go 0
+               in
+               has "participant set" && has "{0,2}"));
   ]
 
 let suite = registry_tests @ gen_props @ align_tests

@@ -170,7 +170,7 @@ let apps_tests =
         Alcotest.(check (list string)) "paper suite"
           [ "bt"; "cg"; "ep"; "ft"; "is"; "lu"; "mg"; "sp"; "sweep3d" ]
           (List.map (fun (a : Apps.Registry.app) -> a.name) Apps.Registry.paper_suite);
-        Alcotest.(check int) "thirteen total" 13 (List.length Apps.Registry.all));
+        Alcotest.(check int) "sixteen total" 16 (List.length Apps.Registry.all));
     t "rank constraints enforced" (fun () ->
         let bt = Option.get (Apps.Registry.find "bt") in
         Alcotest.(check bool) "16 square ok" true (bt.supports 16);

@@ -241,6 +241,44 @@ let unit_tests =
                     ~nranks:(Trace.nranks trace) program
                 in
                 ignore res));
+    t "v2 framing keeps neighborhood participant sets and offset vectors"
+      (fun () ->
+        (* seq_sig compares kind/peer/bytes/tag/comm but not parts/vec —
+           this test pins the neighborhood metadata itself: a traced
+           partial-participant exchange must reload with the same
+           participant set and offset vector, and re-save byte-stably. *)
+        let prog (ctx : Mpisim.Mpi.ctx) =
+          if ctx.rank mod 2 = 0 then begin
+            let parts = [| 0; 2 |] in
+            let me = ctx.rank / 2 in
+            Mpisim.Mpi.neighbor_alltoall ~parts ctx
+              ~neighbors:[| parts.((me + 1) mod 2) |]
+              ~bytes_per_neighbor:48
+          end;
+          Mpisim.Mpi.barrier ctx;
+          Mpisim.Mpi.finalize ctx
+        in
+        let trace, _ = Tracer.trace_run ~nranks:4 prog in
+        let bytes = Trace_io.to_framed trace in
+        let trace' = Trace_io.of_string bytes in
+        Alcotest.(check string)
+          "byte-stable" bytes
+          (Trace_io.to_framed trace');
+        let found = ref None in
+        Tnode.iter_leaves
+          (fun e ->
+            if e.Event.kind = Event.E_neighbor_alltoall then found := Some e)
+          (Trace.nodes trace');
+        match !found with
+        | None -> Alcotest.fail "neighbor event lost in the round trip"
+        | Some e ->
+            Alcotest.(check (option (array int)))
+              "participant set survives" (Some [| 0; 2 |])
+              (Option.map Array.copy e.Event.parts);
+            Alcotest.(check (option (array int)))
+              "offset vector survives" (Some [| 1 |])
+              (Option.map Array.copy e.Event.vec);
+            Alcotest.(check int) "payload" 48 e.Event.bytes);
     t "corruption campaign: typed outcomes only, salvaged traces replay"
       (fun () ->
         let s =

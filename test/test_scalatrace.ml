@@ -11,7 +11,7 @@ let mk_event ?(site = site_a) ?(kind = Event.E_send) ?(peer = Event.P_abs 1)
   let h = Util.Histogram.create () in
   Util.Histogram.add h dt;
   {
-    Event.site; kind; peer; bytes; vec = None; tag; comm; dtime = h;
+    Event.site; kind; peer; bytes; vec = None; tag; comm; parts = None; dtime = h;
     ranks = Util.Rank_set.singleton rank; hcache = 0;
   }
 
