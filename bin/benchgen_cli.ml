@@ -875,13 +875,25 @@ let fuzz_cmd =
              identical communication and exactly one completion event per \
              logical collective).")
   in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Serve mode only: scenarios drive a simulated worker pool of \
+             $(docv) persistent workers (crashing/hanging jobs across \
+             workers, worker-kill injection, restart backoff, breaker trips, \
+             poison-job quarantine).  1 (the default) keeps the single-worker \
+             supervisor scenarios.")
+  in
   let parse_defect s =
     match Pipeline.defect_of_string s with
     | Ok d -> d
     | Error m -> fail exit_invalid m
   in
-  let run seeds seed_start defect out budget replay mode coll obs =
+  let run seeds seed_start defect out budget replay mode coll workers obs =
     guarded @@ fun () ->
+    if workers < 1 then fail exit_invalid "--workers must be >= 1";
     let defect = Option.map parse_defect defect in
     let coll_alg = parse_coll_alg coll in
     let sink, finish = obs_setup obs in
@@ -913,6 +925,7 @@ let fuzz_cmd =
           {
             Check.Servefuzz.seed_start;
             seeds;
+            workers;
             log = (fun m -> Printf.eprintf "benchgen: fuzz: %s\n%!" m);
           }
         in
@@ -1009,7 +1022,8 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc ~man)
     Term.(
       const run $ seeds_arg $ seed_start_arg $ defect_arg $ out_arg
-      $ budget_arg $ replay_arg $ mode_arg $ coll_alg_arg $ obs_term)
+      $ budget_arg $ replay_arg $ mode_arg $ coll_alg_arg $ workers_arg
+      $ obs_term)
 
 let serve_cmd =
   let doc =
@@ -1044,6 +1058,12 @@ let serve_cmd =
          $(b,backoff_max_s), $(b,jitter), $(b,escalate), $(b,recovery)).  \
          Exit status is 13 when the server cannot start (e.g. socket bind \
          failure).";
+      `P
+        "With $(b,--workers) > 1 jobs run concurrently on a pool of \
+         persistent forked workers; with $(b,--listen) the server also \
+         accepts TCP connections.  $(b,SIGTERM)/$(b,SIGINT) trigger a \
+         graceful drain (finish live jobs, emit the summary, remove the \
+         socket file).";
     ]
   in
   let socket_arg =
@@ -1054,6 +1074,54 @@ let serve_cmd =
           ~doc:
             "Also listen on a Unix-domain socket at $(docv) (created at \
              start, removed at exit).")
+  in
+  let listen_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Also listen on TCP at $(docv).  HOST may be an address, a \
+             hostname, or empty/$(b,*) for all interfaces; PORT 0 picks a \
+             free port (the bound address is logged to stderr).")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Size of the persistent worker pool.  Jobs are dispatched \
+             concurrently to idle workers; a crashed worker is restarted \
+             with exponential backoff, a crash-looping worker slot is parked \
+             by a circuit breaker, and a job that crashes 2 distinct workers \
+             is quarantined with a typed $(b,poisoned) error.")
+  in
+  let max_conns_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Cap on accepted socket/TCP connections; beyond it a client \
+             gets one typed $(b,rejected (conn_limit)) response and is \
+             closed.")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Per-connection cap on unresolved jobs; further submissions on \
+             that connection are rejected with $(b,inflight_limit) until \
+             responses drain.")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Close a socket/TCP connection after $(docv) seconds with no \
+             traffic and no unresolved jobs.")
   in
   let queue_arg =
     Arg.(
@@ -1129,10 +1197,17 @@ let serve_cmd =
             "Reject request lines longer than $(docv) bytes with a typed \
              $(b,rejected (oversized)) response.")
   in
-  let run socket queue_depth deadline retries base factor cap jitter
-      no_escalate seed recovery max_bytes obs =
+  let run socket listen workers max_conns max_inflight idle_timeout
+      queue_depth deadline retries base factor cap jitter no_escalate seed
+      recovery max_bytes obs =
     guarded @@ fun () ->
     if queue_depth < 1 then fail exit_invalid "--queue-depth must be >= 1";
+    if workers < 1 then fail exit_invalid "--workers must be >= 1";
+    if max_conns < 1 then fail exit_invalid "--max-conns must be >= 1";
+    if max_inflight < 1 then fail exit_invalid "--max-inflight must be >= 1";
+    (match idle_timeout with
+    | Some t when t <= 0. -> fail exit_invalid "--idle-timeout must be > 0"
+    | _ -> ());
     (match deadline with
     | Some d when d <= 0. -> fail exit_invalid "--deadline must be > 0"
     | _ -> ());
@@ -1153,10 +1228,15 @@ let serve_cmd =
       {
         Serve.Server.default with
         socket;
+        listen;
         queue_limit = queue_depth;
+        wpolicy = { Serve.Pool.default_wpolicy with workers };
         policy;
         seed;
         max_request_bytes = max_bytes;
+        max_conns;
+        max_inflight;
+        idle_timeout_s = idle_timeout;
         log = (fun m -> Printf.eprintf "benchgen: serve: %s\n%!" m);
       }
     in
@@ -1166,10 +1246,11 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc ~man)
     Term.(
-      const run $ socket_arg $ queue_arg $ deadline_arg $ retries_arg
-      $ backoff_base_arg $ backoff_factor_arg $ backoff_max_arg $ jitter_arg
-      $ no_escalate_arg $ seed_arg $ recovery_arg `Strict $ max_bytes_arg
-      $ obs_term)
+      const run $ socket_arg $ listen_arg $ workers_arg $ max_conns_arg
+      $ max_inflight_arg $ idle_timeout_arg $ queue_arg $ deadline_arg
+      $ retries_arg $ backoff_base_arg $ backoff_factor_arg $ backoff_max_arg
+      $ jitter_arg $ no_escalate_arg $ seed_arg $ recovery_arg `Strict
+      $ max_bytes_arg $ obs_term)
 
 let () =
   let doc = "automatic generation of executable communication specifications" in

@@ -1,31 +1,45 @@
-(** Seeded service fuzzer for the serve-mode supervisor
-    ([benchgen fuzz --mode serve]).
+(** Seeded service fuzzer for the serve-mode supervisor and worker
+    pool ([benchgen fuzz --mode serve [--workers N]]).
 
-    Each seed builds a deterministic scenario: a supervisor on a
-    virtual clock with a small random queue bound and retry policy, a
-    synthetic job runner (the serve analogue of the pipeline [defect]
-    seam) drawing jobs from six kinds — clean, flaky (fails until
-    recovery escalates to best-effort), fatal (always fails), hanging
-    (exceeds its deadline and is killed), crashing (raises into the
-    supervisor), and oversized/garbage request lines — and a random
-    interleaving of submissions, job executions, health probes, and a
-    final drain or shutdown.
+    With [workers = 1] each seed builds a deterministic single-worker
+    scenario: a supervisor on a virtual clock with a small random
+    queue bound and retry policy, a synthetic job runner (the serve
+    analogue of the pipeline [defect] seam) drawing jobs from six
+    kinds — clean, flaky (fails until recovery escalates to
+    best-effort), fatal (always fails), hanging (exceeds its deadline
+    and is killed), crashing (raises into the supervisor), and
+    oversized/garbage request lines — and a random interleaving of
+    submissions, job executions, health probes, and a final drain or
+    shutdown.
 
-    The supervisor's contract is asserted on the full transcript:
+    With [workers > 1] each seed drives a {!Serve.Pool} through
+    {!Serve.Pool.Sim} on virtual time: crashing and hanging jobs
+    interleaved across workers (including [C_crash_once], which kills
+    its first worker and then succeeds on the retry, and [C_poison],
+    which kills every worker it touches and must be quarantined),
+    out-of-band worker-kill injections, health probes, and a final
+    drain or shutdown.  The transcript is timestamped, so determinism
+    also pins the virtual schedule (dispatch order, restart backoff,
+    breaker trips).
+
+    The contract asserted on the full transcript is the same in both
+    modes:
     - {b typed responses only}: every emitted line re-parses as a
       {!Serve.Protocol.response} and round-trips byte-identically;
     - {b no lost jobs}: every accepted submission gets exactly one
       terminal response (result or cancelled); every rejected one gets
       none;
-    - {b bounded queue}: the queue never exceeds its configured limit;
-    - {b clean drain}: after drain/shutdown the queue is empty and the
-      summary's counts agree with the responses seen;
+    - {b bounded queue}: the queue never exceeds its configured limit
+      (high-water checked via the [serve.queue_depth_max] gauge);
+    - {b clean drain}: after drain/shutdown no live jobs remain and
+      the summary's counts agree with the responses seen;
     - {b determinism}: the same seed produces a byte-identical
       transcript (each scenario is run twice and compared). *)
 
 type config = {
   seed_start : int;
   seeds : int;
+  workers : int;  (** 1 = single-worker supervisor; >1 = pool scenarios *)
   log : string -> unit;
 }
 
@@ -43,6 +57,6 @@ type summary = {
 val run : config -> summary
 
 (** The response transcript of one seed's scenario (one line per
-    response, ["\n"]-terminated) — exposed so tests can assert
-    same-seed byte-equality directly. *)
-val transcript : seed:int -> string
+    response, ["\n"]-terminated; timestamped when [workers > 1]) —
+    exposed so tests can assert same-seed byte-equality directly. *)
+val transcript : ?workers:int -> seed:int -> unit -> string

@@ -21,6 +21,21 @@ type 'a verdict =
     blocks). *)
 val run_forked : deadline_s:float option -> (unit -> 'a) -> 'a verdict
 
+(** Result shape marshaled back from a worker: everything the response
+    needs, nothing pipeline-internal. *)
+type worker_result =
+  | R_ok of Protocol.ok_info
+  | R_error of Protocol.error_info
+
+(** [attempt sub ~recovery] — one pipeline attempt, run {e in the
+    calling process}: build the {!Benchgen.Pipeline.config} from the
+    job, run it at [recovery], write [sub_out] if requested.  This is
+    the body both execution engines share: {!run_forked} wraps it in a
+    fresh fork per attempt; {!Worker} runs it in a persistent pool
+    worker's loop. *)
+val attempt :
+  Protocol.submit -> recovery:Benchgen.Pipeline.recovery -> worker_result
+
 (** The production runner: builds a {!Benchgen.Pipeline.config} from
     the job (source, recovery level, output path), runs
     [Pipeline.run] in a forked worker under the deadline, and maps the

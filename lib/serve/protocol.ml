@@ -20,12 +20,16 @@ type reject_reason =
   | Draining
   | Oversized of { bytes : int; limit : int }
   | Bad_request of string
+  | Conn_limit of { limit : int }
+  | Inflight_limit of { limit : int }
 
 let reject_tag = function
   | Queue_full -> "queue_full"
   | Draining -> "draining"
   | Oversized _ -> "oversized"
   | Bad_request _ -> "bad_request"
+  | Conn_limit _ -> "conn_limit"
+  | Inflight_limit _ -> "inflight_limit"
 
 type error_info = {
   e_tag : string;
@@ -60,6 +64,9 @@ type response =
       cancelled : int;
     }
   | Drained of { jobs_run : int; cancelled : int }
+
+let submit_path (sub : submit) =
+  match sub.sub_source with J_file path -> Some path | J_app _ -> None
 
 let error_of_gen_error ?path e =
   (* An escalated recovery level can turn a strict load/align failure
@@ -170,6 +177,7 @@ let reject_fields = function
   | Oversized { bytes; limit } ->
       [ ("bytes", num bytes); ("limit", num limit) ]
   | Bad_request detail -> [ ("detail", Json.Str detail) ]
+  | Conn_limit { limit } | Inflight_limit { limit } -> [ ("limit", num limit) ]
   | Queue_full | Draining -> []
 
 let error_json e =
@@ -284,6 +292,8 @@ let response_of_line line =
             Oversized { bytes = get_int j "bytes"; limit = get_int j "limit" }
         | "bad_request" ->
             Bad_request (Option.value ~default:"" (opt_str_of j "detail"))
+        | "conn_limit" -> Conn_limit { limit = get_int j "limit" }
+        | "inflight_limit" -> Inflight_limit { limit = get_int j "limit" }
         | r -> bad ("unknown reject reason " ^ r)
       in
       Rejected { id = opt_str_of j "id"; reason }

@@ -58,15 +58,24 @@ type reject_reason =
   | Oversized of { bytes : int; limit : int }
       (** request line exceeds the configured maximum *)
   | Bad_request of string  (** unparseable or ill-typed request *)
+  | Conn_limit of { limit : int }
+      (** server is at its connection cap; this connection is closed
+          after the rejection is written *)
+  | Inflight_limit of { limit : int }
+      (** this connection already has [limit] unresolved jobs
+          (backpressure; resubmit after a result arrives) *)
 
-(** ["queue_full"] | ["draining"] | ["oversized"] | ["bad_request"]. *)
+(** ["queue_full"] | ["draining"] | ["oversized"] | ["bad_request"] |
+    ["conn_limit"] | ["inflight_limit"]. *)
 val reject_tag : reject_reason -> string
 
 type error_info = {
   e_tag : string;
       (** stable machine tag: a {!Benchgen.Pipeline.error_tag}, or one
           of the serve-level tags ["deadline_exceeded"], ["crashed"],
-          ["unknown_app"], ["bad_class"] *)
+          ["poisoned"] (the job's attempts killed two distinct pool
+          workers and it was quarantined), ["unknown_app"],
+          ["bad_class"] *)
   e_path : string option;  (** input trace file, when the job had one *)
   e_retryable : bool;
       (** whether the supervisor considers this failure worth retrying
@@ -100,6 +109,9 @@ type response =
       cancelled : int;
     }
   | Drained of { jobs_run : int; cancelled : int }
+
+(** The input trace path of a submit, when its source is a file. *)
+val submit_path : submit -> string option
 
 (** [error_of_gen_error ?path e] maps a typed pipeline error to the
     wire shape: tag from {!Benchgen.Pipeline.error_tag}, [path]

@@ -1,42 +1,59 @@
 (** The long-lived [benchgen serve] process: accepts line-delimited
-    JSON requests over stdin/stdout and (optionally) a Unix-domain
-    socket, feeds them through a {!Supervisor}, and routes each job's
-    terminal response back to the connection that submitted it.
+    JSON requests over stdin/stdout, a Unix-domain socket, and/or a
+    TCP listener, feeds them through a {!Pool} of persistent forked
+    workers, and routes each job's terminal response back to the
+    connection that submitted it (by job id — jobs complete out of
+    submission order once [workers > 1]).
 
-    Event-loop shape: all readable input is consumed (admitting or
-    shedding every pending submission) {e before} the next queued job
-    runs, so admission control sees the real backlog; one job runs at a
-    time in a forked, deadline-killable worker ({!Isolate}).
+    Event-loop shape: one [select] over every client connection, every
+    listener, and every worker's reply pipe; its timeout is the pool's
+    {!Pool.next_wakeup} (deadline kills, restart backoffs, retry
+    releases) folded with the earliest connection idle expiry.
+
+    Backpressure and limits:
+    - [queue_limit] bounds live jobs (shed with [queue_full]);
+    - [max_conns] caps accepted socket/TCP connections — beyond it a
+      client gets one typed [conn_limit] rejection and is closed;
+    - [max_inflight] caps unresolved jobs per connection
+      ([inflight_limit] rejections);
+    - [idle_timeout_s] closes socket/TCP connections with no traffic
+      and no unresolved jobs.
 
     Shutdown is deterministic:
-    - a [drain] request (or end-of-input on stdin in stdio mode) stops
-      admission, finishes every queued job in order, emits the
-      [drained] summary, and exits cleanly;
-    - a [shutdown] request stops admission, cancels every queued job
-      (one [cancelled] response each, in queue order), emits the
-      summary, and exits cleanly.
+    - a [drain] request (or end-of-input on stdin when there is no
+      listener, or [SIGTERM]/[SIGINT]) stops admission, finishes every
+      live job, emits the [drained] summary, and exits cleanly,
+      removing the socket file;
+    - a [shutdown] request stops admission, cancels every live job
+      (one [cancelled] response each), kills the running workers,
+      emits the summary, and exits cleanly.
 
     A client that disappears mid-job does not kill the server: its
     responses are dropped (counted as [serve.orphaned]) and [SIGPIPE]
     is ignored. *)
 
 type config = {
-  socket : string option;  (** listen on this Unix-domain socket too *)
+  socket : string option;  (** listen on this Unix-domain socket *)
+  listen : string option;  (** listen on this TCP [host:port] *)
   stdio : bool;  (** serve stdin/stdout (default [true]) *)
   queue_limit : int;
+  wpolicy : Pool.wpolicy;  (** worker count + supervision knobs *)
   policy : Policy.t;  (** per-job default; requests may override *)
   seed : int;  (** backoff-jitter seed *)
   max_request_bytes : int;  (** longer lines are rejected as [oversized] *)
-  runner : Supervisor.runner;
+  max_conns : int;  (** accepted-connection cap *)
+  max_inflight : int;  (** unresolved jobs per connection *)
+  idle_timeout_s : float option;  (** close idle socket/TCP connections *)
   metrics : Obs.Metrics.t option;
   log : string -> unit;  (** server-side diagnostics (stderr) *)
 }
 
-(** [stdio]-only, queue 64, default policy, seed 1, 1 MiB request
-    cap, {!Isolate.pipeline_runner}, silent log. *)
+(** [stdio]-only, queue 64, 1 worker, default policies, seed 1, 1 MiB
+    request cap, 64 connections, 16 inflight per connection, no idle
+    timeout, silent log. *)
 val default : config
 
-(** Run the serve loop until drain/shutdown.  Returns the supervisor's
+(** Run the serve loop until drain/shutdown.  Returns the pool's
     metrics registry on clean exit, or [Error msg] on a fatal
-    environment failure (socket bind, unreadable stdin). *)
+    environment failure (socket bind, bad listen address). *)
 val run : config -> (Obs.Metrics.t, string) result

@@ -21,6 +21,33 @@ type runner =
   deadline_s:float option ->
   attempt_outcome
 
+(* Shared failure classification: the single-worker supervisor and the
+   worker pool must describe the same outcome with the same wire error,
+   or the fuzzer's transcript contract would depend on which engine ran
+   the job. *)
+let attempt_error ~(policy : Policy.t) ~path ~recovery = function
+  | A_error e -> e
+  | A_timeout ->
+      {
+        Protocol.e_tag = "deadline_exceeded";
+        e_path = path;
+        e_retryable = true;
+        e_detail =
+          Printf.sprintf
+            "attempt exceeded its %.3f s wall-clock deadline (recovery %s) \
+             and was killed"
+            (Option.value ~default:0. policy.Policy.deadline_s)
+            (Pipeline.recovery_to_string recovery);
+      }
+  | A_crashed msg ->
+      {
+        Protocol.e_tag = "crashed";
+        e_path = path;
+        e_retryable = true;
+        e_detail = "worker died abnormally: " ^ msg;
+      }
+  | A_ok _ -> invalid_arg "Supervisor.attempt_error: A_ok is not a failure"
+
 type t = {
   runner : runner;
   clock : clock;
@@ -113,33 +140,9 @@ let run_job t (sub : Protocol.submit) =
     in
     (outcome, recovery)
   in
-  let path_of_sub =
-    match sub.sub_source with
-    | Protocol.J_file path -> Some path
-    | Protocol.J_app _ -> None
-  in
-  let error_of_outcome recovery = function
-    | A_error e -> e
-    | A_timeout ->
-        {
-          Protocol.e_tag = "deadline_exceeded";
-          e_path = path_of_sub;
-          e_retryable = true;
-          e_detail =
-            Printf.sprintf
-              "attempt exceeded its %.3f s wall-clock deadline (recovery %s) \
-               and was killed"
-              (Option.value ~default:0. policy.deadline_s)
-              (Pipeline.recovery_to_string recovery);
-        }
-    | A_crashed msg ->
-        {
-          Protocol.e_tag = "crashed";
-          e_path = path_of_sub;
-          e_retryable = true;
-          e_detail = "worker died abnormally: " ^ msg;
-        }
-    | A_ok _ -> assert false
+  let path_of_sub = Protocol.submit_path sub in
+  let error_of_outcome recovery outcome =
+    attempt_error ~policy ~path:path_of_sub ~recovery outcome
   in
   let rec go attempt =
     match run_attempt attempt with

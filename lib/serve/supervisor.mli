@@ -43,6 +43,18 @@ type runner =
   deadline_s:float option ->
   attempt_outcome
 
+(** Map a failed attempt to the wire error: [A_error] passes through,
+    [A_timeout] becomes ["deadline_exceeded"], [A_crashed] becomes
+    ["crashed"] (both retryable).  Shared by this supervisor and the
+    worker {!Pool} so both engines describe the same failure with the
+    same response.  @raise Invalid_argument on [A_ok]. *)
+val attempt_error :
+  policy:Policy.t ->
+  path:string option ->
+  recovery:Benchgen.Pipeline.recovery ->
+  attempt_outcome ->
+  Protocol.error_info
+
 type t
 
 (** [create ~runner ~clock ()].  [queue_limit] (default 64) bounds the

@@ -8,6 +8,11 @@ let monotonic_s () =
   if t > !last then last := t;
   !last
 
+let earliest a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some x, Some y -> Some (Float.min x y)
+
 let sleep_s s =
   if s > 0. then begin
     let until = monotonic_s () +. s in

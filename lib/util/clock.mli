@@ -14,6 +14,12 @@
 (** Monotonic wall-clock seconds.  Successive calls never decrease. *)
 val monotonic_s : unit -> float
 
+(** [earliest a b] is the earlier of two optional wakeup times ([None]
+    means "no wakeup needed").  Event loops use it to fold per-source
+    deadlines (pool wakeups, connection idle expiries) into one
+    [select] timeout. *)
+val earliest : float option -> float option -> float option
+
 (** [sleep_s s] blocks the calling thread for [s] wall-clock seconds
     ([s <= 0.] returns immediately); restarts after [EINTR] so the full
     duration always elapses. *)

@@ -1,0 +1,267 @@
+(* End-to-end smoke test for the worker pool: start `benchgen serve
+   --workers 2`, dispatch a job that blocks its worker in open(2) on a
+   writer-less FIFO, SIGKILL the worker's real pid mid-job, and assert
+   the supervision chain live: the job is retried on the *other*
+   worker, a second kill quarantines it with a typed `poisoned` error,
+   the pool keeps serving, the drain exits 0, and the restart and
+   quarantine counters land in the metrics export.  A second section
+   checks SIGTERM: graceful drain, exit 0, socket file removed.
+
+   Worker pids and dispatch routing are learned from the server's own
+   stderr log ("pool: worker N spawned pid=P", "pool: job J -> worker
+   N pid=P").
+
+   Usage: pool_smoke.exe PATH-TO-BENCHGEN-CLI *)
+
+module P = Serve.Protocol
+
+let cli = Sys.argv.(1)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("pool_smoke: FAIL: " ^ s);
+      exit 1)
+    fmt
+
+(* a wedged server must fail the test, not hang the build *)
+let () = ignore (Unix.alarm 120)
+
+let run_quiet args =
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid = Unix.create_process args.(0) args Unix.stdin null Unix.stderr in
+  Unix.close null;
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> fail "setup command failed: %s" (String.concat " " (Array.to_list args))
+
+let good_trace = "pool-smoke-good.trace"
+let hang_fifo = "pool-smoke-hang.fifo"
+let sock_path = "pool-smoke.sock"
+let metrics_path = "pool-smoke.metrics.jsonl"
+
+let () =
+  run_quiet [| cli; "trace"; "ring"; "-n"; "4"; "-o"; good_trace |];
+  (try Unix.unlink hang_fifo with Unix.Unix_error _ -> ());
+  Unix.mkfifo hang_fifo 0o600;
+  try Unix.unlink sock_path with Unix.Unix_error _ -> ()
+
+let wait_exit_0 what pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> fail "%s exited %d, wanted 0" what n
+  | _ -> fail "%s died on a signal" what
+
+let connect_unix path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rec go tries =
+    match Unix.connect sock (Unix.ADDR_UNIX path) with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when tries > 0 ->
+        Unix.sleepf 0.1;
+        go (tries - 1)
+  in
+  go 100;
+  (Unix.out_channel_of_descr sock, Unix.in_channel_of_descr (Unix.dup sock))
+
+let send oc line =
+  output_string oc (line ^ "\n");
+  flush oc
+
+let recv ic what =
+  match input_line ic with
+  | line -> (
+      match P.response_of_line line with
+      | r -> r
+      | exception _ -> fail "%s: untyped response line: %s" what line)
+  | exception End_of_file -> fail "%s: connection closed early" what
+
+(* ------------------------------------------------------------------ *)
+(* 1. kill a worker mid-job: retry elsewhere, then poison quarantine   *)
+
+let () =
+  let err_r, err_w = Unix.pipe ~cloexec:true () in
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let pid =
+    Unix.create_process cli
+      [|
+        cli; "serve"; "--socket"; sock_path; "--workers"; "2";
+        "--metrics-out"; metrics_path;
+      |]
+      null Unix.stdout err_w
+  in
+  Unix.close null;
+  Unix.close err_w;
+  let err_ic = Unix.in_channel_of_descr err_r in
+  (* scan the server's own log until [want] yields on a line *)
+  let await_log what want =
+    let rec go () =
+      match input_line err_ic with
+      | line -> ( match want line with Some v -> v | None -> go ())
+      | exception End_of_file -> fail "server exited while waiting for %s" what
+    in
+    go ()
+  in
+  let dispatch_of line =
+    Scanf.sscanf_opt line "benchgen: serve: pool: job %s -> worker %d pid=%d"
+      (fun job wid wpid -> (job, wid, wpid))
+  in
+  let oc, ic = connect_unix sock_path in
+  send oc
+    (Printf.sprintf {|{"op":"submit","id":"victim","trace":"%s"}|} hang_fifo);
+  (match recv ic "victim" with
+  | P.Accepted { id = "victim"; _ } -> ()
+  | r -> fail "victim not accepted: %s" (P.response_to_line r));
+  let _, wid1, wpid1 =
+    await_log "first dispatch" (fun l ->
+        match dispatch_of l with
+        | Some (("victim", _, _) as d) -> Some d
+        | _ -> None)
+  in
+  Unix.kill wpid1 Sys.sigkill;
+  (* the pool must retry on the *other* worker: slot wid1's restart
+     backoff (0.1 s) outlasts the job's retry backoff (< 0.0625 s) *)
+  let _, wid2, wpid2 =
+    await_log "retry dispatch" (fun l ->
+        match dispatch_of l with
+        | Some (("victim", _, _) as d) -> Some d
+        | _ -> None)
+  in
+  if wid2 = wid1 then fail "retry went back to the killed slot %d" wid1;
+  Unix.kill wpid2 Sys.sigkill;
+  (* two distinct workers crashed: the job must come back poisoned *)
+  (match recv ic "victim" with
+  | P.Result_error { id = "victim"; attempts; error } ->
+      if error.P.e_tag <> "poisoned" then
+        fail "victim tag %S, wanted poisoned" error.P.e_tag;
+      if error.P.e_retryable then fail "poisoned must not be retryable";
+      if attempts <> 2 then fail "victim attempts %d, wanted 2" attempts
+  | r -> fail "victim not quarantined: %s" (P.response_to_line r));
+  (* the pool recovers: a good job still completes *)
+  send oc
+    (Printf.sprintf {|{"op":"submit","id":"after","trace":"%s"}|} good_trace);
+  (match recv ic "after" with
+  | P.Accepted { id = "after"; _ } -> ()
+  | r -> fail "after not accepted: %s" (P.response_to_line r));
+  (match recv ic "after" with
+  | P.Result_ok { id = "after"; _ } -> ()
+  | r -> fail "after did not succeed: %s" (P.response_to_line r));
+  send oc {|{"op":"drain"}|};
+  (match recv ic "drain" with
+  | P.Drained _ -> ()
+  | r -> fail "wanted drained, got %s" (P.response_to_line r));
+  close_out oc;
+  close_in ic;
+  wait_exit_0 "pool server" pid;
+  close_in err_ic;
+  (* the supervision counters must land in the metrics export *)
+  let metrics =
+    let ic = open_in metrics_path in
+    let rec go acc =
+      match input_line ic with
+      | l -> go (l :: acc)
+      | exception End_of_file ->
+          close_in ic;
+          acc
+    in
+    go []
+  in
+  let counter name =
+    List.fold_left
+      (fun acc line ->
+        match
+          ( Obs.Json.member "name" (Obs.Json.parse line),
+            Obs.Json.member "value" (Obs.Json.parse line) )
+        with
+        | Some (Obs.Json.Str n), Some (Obs.Json.Num v) when n = name ->
+            Float.max acc v
+        | _ -> acc)
+      Float.neg_infinity metrics
+  in
+  (* the second killed slot may still be in restart backoff when the
+     drain lands, so only its sibling's respawn is guaranteed *)
+  if counter "serve.pool.restarts" < 1.0 then
+    fail "serve.pool.restarts %.0f, wanted >= 1" (counter "serve.pool.restarts");
+  if counter "serve.pool.quarantined" < 1.0 then
+    fail "serve.pool.quarantined %.0f, wanted >= 1"
+      (counter "serve.pool.quarantined");
+  if counter "serve.pool.deaths" < 2.0 then
+    fail "serve.pool.deaths %.0f, wanted >= 2" (counter "serve.pool.deaths");
+  prerr_endline "pool_smoke: kill/retry/quarantine ok"
+
+(* ------------------------------------------------------------------ *)
+(* 2. concurrency: 4 slow jobs on 4 workers take ~1x, not ~4x          *)
+
+let () =
+  (try Unix.unlink sock_path with Unix.Unix_error _ -> ());
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let pid =
+    Unix.create_process cli
+      [| cli; "serve"; "--socket"; sock_path; "--workers"; "4" |]
+      null Unix.stdout Unix.stderr
+  in
+  Unix.close null;
+  let oc, ic = connect_unix sock_path in
+  (* each job blocks its worker in open(2) on the writer-less FIFO for
+     exactly its 0.6 s deadline — a deterministic slow job.  Serial
+     execution would need >= 2.4 s; 4 workers need ~0.6 s. *)
+  for i = 1 to 4 do
+    send oc
+      (Printf.sprintf
+         {|{"op":"submit","id":"slow%d","trace":"%s","deadline_s":0.6,"max_retries":0}|}
+         i hang_fifo)
+  done;
+  for i = 1 to 4 do
+    match recv ic "slow accept" with
+    | P.Accepted _ -> ()
+    | r -> fail "slow%d not accepted: %s" i (P.response_to_line r)
+  done;
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to 4 do
+    match recv ic "slow result" with
+    | P.Result_error { error; _ } when error.P.e_tag = "deadline_exceeded" ->
+        ()
+    | r -> fail "wanted 4 deadline kills, got %s" (P.response_to_line r)
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if elapsed > 1.8 then
+    fail "4 slow jobs on 4 workers took %.2fs, wanted ~0.6s (serial = 2.4s)"
+      elapsed;
+  send oc {|{"op":"drain"}|};
+  (match recv ic "drain" with
+  | P.Drained _ -> ()
+  | r -> fail "wanted drained, got %s" (P.response_to_line r));
+  close_out oc;
+  close_in ic;
+  wait_exit_0 "concurrency server" pid;
+  Printf.eprintf "pool_smoke: 4-way concurrency ok (%.2fs)\n%!" elapsed
+
+(* ------------------------------------------------------------------ *)
+(* 3. SIGTERM: graceful drain, exit 0, socket removed                  *)
+
+let () =
+  (try Unix.unlink sock_path with Unix.Unix_error _ -> ());
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let pid =
+    Unix.create_process cli
+      [| cli; "serve"; "--socket"; sock_path; "--workers"; "2" |]
+      null Unix.stdout Unix.stderr
+  in
+  Unix.close null;
+  let oc, ic = connect_unix sock_path in
+  send oc
+    (Printf.sprintf {|{"op":"submit","id":"term","trace":"%s"}|} good_trace);
+  (match recv ic "term" with
+  | P.Accepted { id = "term"; _ } -> ()
+  | r -> fail "term not accepted: %s" (P.response_to_line r));
+  Unix.kill pid Sys.sigterm;
+  (* the in-flight job still completes before the drain finishes *)
+  (match recv ic "term" with
+  | P.Result_ok { id = "term"; _ } -> ()
+  | r -> fail "term did not complete under SIGTERM: %s" (P.response_to_line r));
+  close_out oc;
+  close_in ic;
+  wait_exit_0 "sigterm server" pid;
+  if Sys.file_exists sock_path then fail "socket file not removed on SIGTERM";
+  prerr_endline "pool_smoke: sigterm drain ok"

@@ -178,3 +178,148 @@ let () =
   wait_exit_0 "socket server" pid;
   if Sys.file_exists sock_path then fail "socket file not removed on exit";
   prerr_endline "serve_smoke: socket mode ok"
+
+(* ------------------------------------------------------------------ *)
+(* Helpers for the multi-connection sections                           *)
+
+let connect_unix sock_path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rec go tries =
+    match Unix.connect sock (Unix.ADDR_UNIX sock_path) with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when tries > 0 ->
+        Unix.sleepf 0.1;
+        go (tries - 1)
+  in
+  go 100;
+  (Unix.out_channel_of_descr sock, Unix.in_channel_of_descr (Unix.dup sock))
+
+let send oc line =
+  output_string oc (line ^ "\n");
+  flush oc
+
+let recv ic what =
+  match input_line ic with
+  | line -> (
+      match P.response_of_line line with
+      | r -> r
+      | exception _ -> fail "%s: untyped response line: %s" what line)
+  | exception End_of_file -> fail "%s: connection closed early" what
+
+(* ------------------------------------------------------------------ *)
+(* 3. multi-client: two connections, interleaved jobs, routed replies  *)
+
+let () =
+  let sock_path = "smoke-serve-multi.sock" in
+  (try Unix.unlink sock_path with Unix.Unix_error _ -> ());
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let pid =
+    Unix.create_process cli
+      [| cli; "serve"; "--socket"; sock_path; "--workers"; "2" |]
+      null Unix.stdout Unix.stderr
+  in
+  Unix.close null;
+  let a_oc, a_ic = connect_unix sock_path in
+  let b_oc, b_ic = connect_unix sock_path in
+  (* interleave: both jobs in flight before either client reads *)
+  send a_oc (Printf.sprintf {|{"op":"submit","id":"a-good","trace":"%s"}|} good_trace);
+  send b_oc
+    (Printf.sprintf
+       {|{"op":"submit","id":"b-bad","trace":"%s","max_retries":0,"escalate":false}|}
+       corrupt_trace);
+  (match recv b_ic "client b" with
+  | P.Accepted { id = "b-bad"; _ } -> ()
+  | r -> fail "client b: wanted its own accept, got %s" (P.response_to_line r));
+  (match recv b_ic "client b" with
+  | P.Result_error { id = "b-bad"; error; _ } ->
+      if error.P.e_tag <> "trace_format" then
+        fail "client b: tag %S, wanted trace_format" error.P.e_tag
+  | r -> fail "client b: wanted its own error, got %s" (P.response_to_line r));
+  (match recv a_ic "client a" with
+  | P.Accepted { id = "a-good"; _ } -> ()
+  | r -> fail "client a: wanted its own accept, got %s" (P.response_to_line r));
+  (match recv a_ic "client a" with
+  | P.Result_ok { id = "a-good"; _ } -> ()
+  | r -> fail "client a: wanted its own result, got %s" (P.response_to_line r));
+  close_out b_oc;
+  close_in b_ic;
+  send a_oc {|{"op":"drain"}|};
+  (match recv a_ic "client a" with
+  | P.Drained _ -> ()
+  | r -> fail "client a: wanted drained, got %s" (P.response_to_line r));
+  close_out a_oc;
+  close_in a_ic;
+  wait_exit_0 "multi-client server" pid;
+  prerr_endline "serve_smoke: multi-client mode ok"
+
+(* ------------------------------------------------------------------ *)
+(* 4. TCP mode: --listen on port 0, per-connection inflight cap        *)
+
+let () =
+  let err_r, err_w = Unix.pipe ~cloexec:true () in
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let pid =
+    Unix.create_process cli
+      [|
+        cli; "serve"; "--listen"; "127.0.0.1:0"; "--max-inflight"; "1";
+        "--workers"; "1";
+      |]
+      null Unix.stdout err_w
+  in
+  Unix.close null;
+  Unix.close err_w;
+  let err_ic = Unix.in_channel_of_descr err_r in
+  (* the server logs the bound port (we asked for port 0) *)
+  let rec find_port () =
+    match input_line err_ic with
+    | line -> (
+        match
+          Scanf.sscanf_opt line "benchgen: serve: serve: listening on %s@:%d"
+            (fun _host port -> port)
+        with
+        | Some port -> port
+        | None -> find_port ())
+    | exception End_of_file -> fail "server exited before announcing its port"
+  in
+  let port = find_port () in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let oc = Unix.out_channel_of_descr sock in
+  let ic = Unix.in_channel_of_descr (Unix.dup sock) in
+  (* pipeline: a hanging job (unresolved) then a second submit, which
+     must bounce off --max-inflight 1 with a typed rejection *)
+  send oc
+    (Printf.sprintf
+       {|{"op":"submit","id":"hang","trace":"%s","deadline_s":0.5,"max_retries":0}|}
+       hang_fifo);
+  send oc (Printf.sprintf {|{"op":"submit","id":"good","trace":"%s"}|} good_trace);
+  (match recv ic "tcp" with
+  | P.Accepted { id = "hang"; _ } -> ()
+  | r -> fail "tcp: wanted hang accepted, got %s" (P.response_to_line r));
+  (match recv ic "tcp" with
+  | P.Rejected { id = Some "good"; reason = P.Inflight_limit { limit = 1 } } ->
+      ()
+  | r -> fail "tcp: wanted inflight_limit reject, got %s" (P.response_to_line r));
+  (match recv ic "tcp" with
+  | P.Result_error { id = "hang"; error; _ } ->
+      if error.P.e_tag <> "deadline_exceeded" then
+        fail "tcp: hang tag %S, wanted deadline_exceeded" error.P.e_tag
+  | r -> fail "tcp: wanted hang killed, got %s" (P.response_to_line r));
+  (* the slot freed: the same submission is admitted now *)
+  send oc (Printf.sprintf {|{"op":"submit","id":"good","trace":"%s"}|} good_trace);
+  (match recv ic "tcp" with
+  | P.Accepted { id = "good"; _ } -> ()
+  | r -> fail "tcp: wanted good accepted, got %s" (P.response_to_line r));
+  (match recv ic "tcp" with
+  | P.Result_ok { id = "good"; _ } -> ()
+  | r -> fail "tcp: wanted good ok, got %s" (P.response_to_line r));
+  send oc {|{"op":"drain"}|};
+  (match recv ic "tcp" with
+  | P.Drained _ -> ()
+  | r -> fail "tcp: wanted drained, got %s" (P.response_to_line r));
+  close_out oc;
+  close_in ic;
+  wait_exit_0 "tcp server" pid;
+  close_in err_ic;
+  prerr_endline "serve_smoke: tcp mode ok"

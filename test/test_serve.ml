@@ -123,6 +123,20 @@ let sample_responses =
     P.Rejected { id = Some "j2"; reason = P.Queue_full };
     P.Rejected { id = None; reason = P.Bad_request "not json" };
     P.Rejected { id = Some "big"; reason = P.Oversized { bytes = 999; limit = 100 } };
+    P.Rejected { id = None; reason = P.Conn_limit { limit = 64 } };
+    P.Rejected { id = Some "j9"; reason = P.Inflight_limit { limit = 16 } };
+    P.Result_error
+      {
+        id = "jp";
+        attempts = 2;
+        error =
+          {
+            P.e_tag = "poisoned";
+            e_path = None;
+            e_retryable = false;
+            e_detail = "job crashed 2 distinct workers; quarantined";
+          };
+      };
     P.Result_ok
       {
         id = "j3";
@@ -488,6 +502,299 @@ let supervisor_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Worker pool: concurrent dispatch, crash restart, breaker, poison    *)
+
+module Pool = Serve.Pool
+
+let pool_sub ?(policy = Policy.default) id =
+  {
+    P.sub_id = id;
+    sub_source = P.J_app { app = "x"; nranks = 4; cls = "A" };
+    sub_policy = policy;
+    sub_emit_text = false;
+    sub_out = None;
+  }
+
+let dispatch_wids acts =
+  List.filter_map
+    (function Pool.Dispatch { wid; _ } -> Some wid | _ -> None)
+    acts
+
+let ok_behavior ?(dur = 0.01) () =
+  Pool.Sim.B_ok { dur; statements = 4 }
+
+let sim_pool ?queue_limit ?metrics ~workers () =
+  Pool.create ?queue_limit ?metrics
+    ~wpolicy:{ Pool.default_wpolicy with workers }
+    ()
+
+let last_result_at responses =
+  List.fold_left
+    (fun acc (at, r) ->
+      match r with P.Result_ok _ | P.Result_error _ -> Float.max acc at | _ -> acc)
+    0. responses
+
+let pool_tests =
+  [
+    t "4 concurrent slow jobs finish in ~1x single-job wall-clock" (fun () ->
+        let slow _ ~attempt:_ ~recovery:_ = ok_behavior ~dur:1.0 () in
+        let timeline =
+          List.init 4 (fun i ->
+              (0.0, Pool.Sim.I_submit (pool_sub (Printf.sprintf "j%d" i))))
+          @ [ (0.0, Pool.Sim.I_drain) ]
+        in
+        let run workers =
+          Pool.Sim.run ~pool:(sim_pool ~workers ()) ~script:slow ~timeline ()
+        in
+        let wide = run 4 and narrow = run 1 in
+        let oks rs =
+          List.length
+            (List.filter (fun (_, r) ->
+                 match r with P.Result_ok _ -> true | _ -> false)
+               rs)
+        in
+        Alcotest.(check int) "4 workers: all ok" 4 (oks wide);
+        Alcotest.(check int) "1 worker: all ok" 4 (oks narrow);
+        let t4 = last_result_at wide and t1 = last_result_at narrow in
+        Alcotest.(check bool)
+          (Printf.sprintf "4 workers ~1x (%.3fs)" t4)
+          true (t4 < 1.5);
+        Alcotest.(check bool)
+          (Printf.sprintf "1 worker ~4x (%.3fs)" t1)
+          true (t1 >= 4.0));
+    t "worker crash mid-job: restart + retry succeeds elsewhere" (fun () ->
+        (* worker 0 crashes on the first attempt; its restart backoff
+           (0.1s) is longer than the job's retry backoff (<= 0.0625s),
+           so the retry can only have run on worker 1 *)
+        let script _ ~attempt ~recovery:_ =
+          if attempt = 0 then
+            Pool.Sim.B_crash { dur = 0.01; detail = "synthetic segfault" }
+          else ok_behavior ()
+        in
+        let m = Obs.Metrics.create () in
+        let rs =
+          Pool.Sim.run
+            ~pool:(sim_pool ~metrics:m ~workers:2 ())
+            ~script
+            ~timeline:
+              [ (0.0, Pool.Sim.I_submit (pool_sub "j1")); (0.0, Pool.Sim.I_drain) ]
+            ()
+        in
+        (match
+           List.find_opt
+             (fun (_, r) -> match r with P.Result_ok _ -> true | _ -> false)
+             rs
+         with
+        | Some (at, P.Result_ok { attempts; _ }) ->
+            Alcotest.(check int) "second attempt won" 2 attempts;
+            Alcotest.(check bool)
+              (Printf.sprintf "retry beat worker 0's restart (%.3fs)" at)
+              true
+              (at < 0.12)
+        | _ -> Alcotest.fail "no ok result");
+        Alcotest.(check (option int))
+          "one abnormal death" (Some 1)
+          (Obs.Metrics.counter_value m "serve.pool.deaths");
+        Alcotest.(check bool) "slot restarted" true
+          (Obs.Metrics.counter_value m "serve.pool.restarts" >= Some 1));
+    t "poison job quarantined after crashing 2 distinct workers" (fun () ->
+        let script (s : P.submit) ~attempt:_ ~recovery:_ =
+          if s.P.sub_id = "poison" then
+            Pool.Sim.B_crash { dur = 0.01; detail = "poison pill" }
+          else ok_behavior ()
+        in
+        let m = Obs.Metrics.create () in
+        let rs =
+          Pool.Sim.run
+            ~pool:(sim_pool ~metrics:m ~workers:3 ())
+            ~script
+            ~timeline:
+              [
+                (0.0, Pool.Sim.I_submit (pool_sub "poison"));
+                (0.5, Pool.Sim.I_submit (pool_sub "after"));
+                (0.5, Pool.Sim.I_drain);
+              ]
+            ()
+        in
+        (match
+           List.find_opt
+             (fun (_, r) ->
+               match r with
+               | P.Result_error { id = "poison"; _ } -> true
+               | _ -> false)
+             rs
+         with
+        | Some (_, P.Result_error { attempts; error; _ }) ->
+            Alcotest.(check string) "typed poisoned" "poisoned"
+              error.P.e_tag;
+            Alcotest.(check bool) "not retryable" false error.P.e_retryable;
+            Alcotest.(check int) "crashed exactly 2 workers" 2 attempts
+        | _ -> Alcotest.fail "poison job got no terminal error");
+        Alcotest.(check bool) "pool still serves" true
+          (List.exists
+             (fun (_, r) ->
+               match r with P.Result_ok { id = "after"; _ } -> true | _ -> false)
+             rs);
+        Alcotest.(check (option int))
+          "quarantine counted" (Some 1)
+          (Obs.Metrics.counter_value m "serve.pool.quarantined"));
+    t "breaker parks a crash-looping slot; probation is one-strike" (fun () ->
+        let wp =
+          {
+            Pool.default_wpolicy with
+            workers = 1;
+            restart_backoff_base_s = 0.05;
+            breaker_deaths = 2;
+            breaker_window_s = 30.0;
+            breaker_cooldown_s = 1.0;
+          }
+        in
+        let m = Obs.Metrics.create () in
+        let pool = Pool.create ~metrics:m ~wpolicy:wp () in
+        ignore (Pool.boot pool);
+        ignore (Pool.handle pool ~now:0.0 (Pool.E_spawned { wid = 0 }));
+        ignore (Pool.handle pool ~now:0.1 (Pool.E_died { wid = 0; detail = "d1" }));
+        Alcotest.(check string) "first death: backoff" "backoff"
+          (Pool.worker_state_name pool 0);
+        ignore (Pool.tick pool ~now:0.2);
+        ignore (Pool.handle pool ~now:0.2 (Pool.E_spawned { wid = 0 }));
+        ignore (Pool.handle pool ~now:0.3 (Pool.E_died { wid = 0; detail = "d2" }));
+        Alcotest.(check string) "second death in window: parked" "parked"
+          (Pool.worker_state_name pool 0);
+        Alcotest.(check (option int))
+          "breaker tripped" (Some 1)
+          (Obs.Metrics.counter_value m "serve.pool.breaker_trips");
+        (* cooldown elapses -> probation spawn *)
+        ignore (Pool.tick pool ~now:1.4);
+        Alcotest.(check string) "unparked" "starting"
+          (Pool.worker_state_name pool 0);
+        ignore (Pool.handle pool ~now:1.4 (Pool.E_spawned { wid = 0 }));
+        ignore (Pool.handle pool ~now:1.5 (Pool.E_died { wid = 0; detail = "d3" }));
+        Alcotest.(check string) "probation death re-parks immediately" "parked"
+          (Pool.worker_state_name pool 0);
+        Alcotest.(check (option int))
+          "second trip" (Some 2)
+          (Obs.Metrics.counter_value m "serve.pool.breaker_trips"));
+    t "deadline kill respawns the slot and is not a breaker death" (fun () ->
+        let policy =
+          { Policy.default with deadline_s = Some 0.5; max_retries = 0 }
+        in
+        let script (s : P.submit) ~attempt:_ ~recovery:_ =
+          if s.P.sub_id = "hang" then Pool.Sim.B_hang else ok_behavior ()
+        in
+        let m = Obs.Metrics.create () in
+        let rs =
+          Pool.Sim.run
+            ~pool:(sim_pool ~metrics:m ~workers:1 ())
+            ~script
+            ~timeline:
+              [
+                (0.0, Pool.Sim.I_submit (pool_sub ~policy "hang"));
+                (1.0, Pool.Sim.I_submit (pool_sub ~policy "next"));
+                (1.0, Pool.Sim.I_drain);
+              ]
+            ()
+        in
+        (match
+           List.find_opt
+             (fun (_, r) ->
+               match r with
+               | P.Result_error { id = "hang"; _ } -> true
+               | _ -> false)
+             rs
+         with
+        | Some (_, P.Result_error { error; _ }) ->
+            Alcotest.(check string) "typed timeout" "deadline_exceeded"
+              error.P.e_tag
+        | _ -> Alcotest.fail "hanging job got no terminal error");
+        Alcotest.(check bool) "slot recovered for the next job" true
+          (List.exists
+             (fun (_, r) ->
+               match r with P.Result_ok { id = "next"; _ } -> true | _ -> false)
+             rs);
+        Alcotest.(check (option int))
+          "deadline kill counted" (Some 1)
+          (Obs.Metrics.counter_value m "serve.deadline_kills");
+        Alcotest.(check (option int))
+          "not a breaker death" None
+          (Obs.Metrics.counter_value m "serve.pool.deaths"));
+    t "admission bounds live jobs; duplicate live ids rejected" (fun () ->
+        let pool = sim_pool ~queue_limit:2 ~workers:1 () in
+        ignore (Pool.boot pool);
+        (* worker never spawns, so submissions stay queued (= live) *)
+        let accept id =
+          match Pool.submit pool ~now:0.0 (pool_sub id) with
+          | P.Accepted _, _ -> true
+          | _ -> false
+        in
+        Alcotest.(check bool) "j1 in" true (accept "j1");
+        Alcotest.(check bool) "j2 in" true (accept "j2");
+        (match Pool.submit pool ~now:0.0 (pool_sub "j3") with
+        | P.Rejected { reason = P.Queue_full; _ }, [] -> ()
+        | _ -> Alcotest.fail "overflow not shed");
+        let pool4 = sim_pool ~queue_limit:8 ~workers:1 () in
+        ignore (Pool.boot pool4);
+        ignore (Pool.submit pool4 ~now:0.0 (pool_sub "dup"));
+        match Pool.submit pool4 ~now:0.0 (pool_sub "dup") with
+        | P.Rejected { reason = P.Bad_request _; id = Some "dup" }, [] -> ()
+        | _ -> Alcotest.fail "duplicate live id accepted");
+    t "dispatch picks FIFO job, lowest-numbered idle worker" (fun () ->
+        let pool = sim_pool ~workers:3 () in
+        ignore (Pool.boot pool);
+        for wid = 0 to 2 do
+          ignore (Pool.handle pool ~now:0.0 (Pool.E_spawned { wid }))
+        done;
+        let _, a1 = Pool.submit pool ~now:0.1 (pool_sub "a") in
+        let _, a2 = Pool.submit pool ~now:0.1 (pool_sub "b") in
+        Alcotest.(check (list int)) "a -> worker 0" [ 0 ] (dispatch_wids a1);
+        Alcotest.(check (list int)) "b -> worker 1" [ 1 ] (dispatch_wids a2);
+        let done_acts =
+          Pool.handle pool ~now:0.2
+            (Pool.E_result
+               {
+                 wid = 0;
+                 outcome =
+                   Sup.A_ok
+                     {
+                       P.ok_statements = 1;
+                       ok_final_rsds = 1;
+                       ok_recovery = "strict";
+                       ok_warnings = [];
+                       ok_text = None;
+                       ok_out = None;
+                     };
+               })
+        in
+        ignore done_acts;
+        let _, a3 = Pool.submit pool ~now:0.3 (pool_sub "c") in
+        Alcotest.(check (list int)) "freed worker 0 reused" [ 0 ]
+          (dispatch_wids a3));
+    t "shutdown cancels queued and running jobs and kills workers" (fun () ->
+        let pool = sim_pool ~workers:1 () in
+        ignore (Pool.boot pool);
+        ignore (Pool.handle pool ~now:0.0 (Pool.E_spawned { wid = 0 }));
+        ignore (Pool.submit pool ~now:0.0 (pool_sub "j1"));
+        (* j1 is busy on worker 0 *)
+        ignore (Pool.submit pool ~now:0.0 (pool_sub "j2"));
+        ignore (Pool.submit pool ~now:0.0 (pool_sub "j3"));
+        let responses, acts = Pool.shutdown pool ~now:0.1 in
+        let ids =
+          List.filter_map
+            (function P.Cancelled { id } -> Some id | _ -> None)
+            responses
+        in
+        Alcotest.(check (list string))
+          "queued first, then running" [ "j2"; "j3"; "j1" ] ids;
+        (match List.rev responses with
+        | P.Drained { jobs_run = 0; cancelled = 3 } :: _ -> ()
+        | _ -> Alcotest.fail "summary missing or wrong");
+        Alcotest.(check bool) "running worker killed" true
+          (List.exists (function Pool.Kill { wid = 0 } -> true | _ -> false) acts);
+        Alcotest.(check bool) "pool drains afterwards" true
+          (Pool.draining pool && Pool.idle pool));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Service fuzzer                                                      *)
 
 let fuzz_tests =
@@ -495,7 +802,12 @@ let fuzz_tests =
     t "50-seed campaign: no violations" (fun () ->
         let s =
           Check.Servefuzz.run
-            { Check.Servefuzz.seed_start = 1; seeds = 50; log = ignore }
+            {
+              Check.Servefuzz.seed_start = 1;
+              seeds = 50;
+              workers = 1;
+              log = ignore;
+            }
         in
         Alcotest.(check int) "cases" 50 s.Check.Servefuzz.cases;
         Alcotest.(check bool) "jobs submitted" true (s.Check.Servefuzz.jobs > 100);
@@ -515,8 +827,33 @@ let fuzz_tests =
         for seed = 1 to 10 do
           Alcotest.(check string)
             (Printf.sprintf "seed %d" seed)
-            (Check.Servefuzz.transcript ~seed)
-            (Check.Servefuzz.transcript ~seed)
+            (Check.Servefuzz.transcript ~seed ())
+            (Check.Servefuzz.transcript ~seed ())
+        done);
+    t "concurrent campaign (3 workers, 25 seeds): no violations" (fun () ->
+        let s =
+          Check.Servefuzz.run
+            {
+              Check.Servefuzz.seed_start = 1;
+              seeds = 25;
+              workers = 3;
+              log = ignore;
+            }
+        in
+        Alcotest.(check int) "cases" 25 s.Check.Servefuzz.cases;
+        Alcotest.(check bool) "jobs submitted" true (s.Check.Servefuzz.jobs > 50);
+        match s.Check.Servefuzz.violations with
+        | [] -> ()
+        | v :: _ ->
+            Alcotest.failf "%d violations; first: seed %d: %s"
+              (List.length s.Check.Servefuzz.violations)
+              v.Check.Servefuzz.v_seed v.Check.Servefuzz.v_what);
+    t "same seed, byte-identical concurrent transcript" (fun () ->
+        for seed = 1 to 8 do
+          Alcotest.(check string)
+            (Printf.sprintf "seed %d" seed)
+            (Check.Servefuzz.transcript ~workers:4 ~seed ())
+            (Check.Servefuzz.transcript ~workers:4 ~seed ())
         done);
   ]
 
@@ -557,5 +894,5 @@ let metrics_domain_tests =
   ]
 
 let suite =
-  policy_tests @ protocol_tests @ supervisor_tests @ fuzz_tests
+  policy_tests @ protocol_tests @ supervisor_tests @ pool_tests @ fuzz_tests
   @ metrics_domain_tests
